@@ -1,0 +1,99 @@
+"""E10 -- the multi-chip scalability argument of section 2.
+
+"For very high performance, several switches per node can be used, each
+one being implemented in its own chip. In this case, channel bandwidth
+does not decrease when the number of switches increases ... As a
+consequence, scalability is excellent because the number of switches
+(chips) per node can increase as network size increases, thus
+compensating the higher average distance traveled by messages."
+
+We grow the mesh (4x4 -> 6x6 -> 8x8 -> 10x10) under a locality workload
+whose *absolute* reach grows with the machine, and compare:
+
+* CLRP with ``k`` **scaled** with network radius (1, 2, 2, 3) -- the
+  paper's multi-chip design point;
+* CLRP with ``k`` **fixed** at 1 -- the pin-limited single-chip strawman;
+* the wormhole baseline.
+
+Shape to reproduce: fixed-k CLRP chokes progressively on circuit-channel
+contention as the circuit population grows with the machine, while
+scaled-k CLRP holds latency flat -- the compensation effect the paper
+argues for.  (Wormhole latency stays roughly flat here too: the locality
+workload keeps distances bounded; the scalability pressure lands
+precisely on the *circuit channel pool*, which is what k controls.)
+"""
+
+from repro.analysis.report import format_table
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic.locality import LocalityWorkloadBuilder
+
+from benchmarks.common import once, publish
+
+SIZES = [(4, 4), (6, 6), (8, 8), (10, 10)]
+SCALED_K = {4: 1, 6: 2, 8: 2, 10: 3}
+LOAD = 0.2
+LENGTH = 32
+DURATION = 2500
+
+
+def run_one(dims, protocol, k=None):
+    wave = None
+    if protocol == "clrp":
+        wave = WaveConfig(num_switches=k, circuit_cache_size=4)
+    config = NetworkConfig(
+        dims=dims,
+        protocol=protocol,
+        wormhole=WormholeConfig(),
+        wave=wave,
+    )
+    net = Network(config)
+    builder = LocalityWorkloadBuilder(net.topology, reuse=10.0,
+                                      spatial_decay=0.6)
+    workload = builder.build(
+        MessageFactory(),
+        offered_load=LOAD,
+        length=LENGTH,
+        duration=DURATION,
+        rng=SimRandom(23),
+    )
+    result = Simulator(net, workload).run(400_000)
+    assert result.delivered == result.injected
+    return net.stats.mean_latency()
+
+
+def run_experiment():
+    rows = []
+    for dims in SIZES:
+        radix = dims[0]
+        wh = run_one(dims, "wormhole")
+        fixed = run_one(dims, "clrp", k=1)
+        scaled = run_one(dims, "clrp", k=SCALED_K[radix])
+        rows.append((f"{radix}x{radix}", wh, fixed, scaled,
+                     SCALED_K[radix]))
+    return rows
+
+
+def test_e10_scalability(benchmark):
+    rows = once(benchmark, run_experiment)
+    table = format_table(
+        ["machine", "wormhole latency", "CLRP k=1", "CLRP k scaled",
+         "scaled k"],
+        rows,
+    )
+    publish("E10", "scalability: wave switches per node grown with the "
+                   "machine (locality workload, load 0.2)", table)
+
+    first, last = rows[0], rows[-1]
+    # Scaled-k CLRP latency grows far slower than wormhole latency.
+    wh_growth = last[1] / first[1]
+    scaled_growth = last[3] / first[3]
+    assert scaled_growth < wh_growth
+    # At the largest machine, scaling k beats keeping k=1.
+    assert last[3] <= last[2]
+    # And circuits beat wormhole at every size.
+    for row in rows:
+        assert row[3] < row[1]

@@ -1,0 +1,104 @@
+"""E11 -- "how best to use the bisection bandwidth resource".
+
+Section 2 closes its multi-chip discussion with an open design question:
+"The interesting design question then becomes how best to use the
+bisection bandwidth resource that is determined by the packaging
+technology."
+
+We make the question runnable.  Three *equal-bisection* design points --
+the same aggregate wires across the cut, divided differently:
+
+* ``k=1`` full-width wave channels (one fat circuit per link),
+* ``k=2`` half-width channels (two circuits per link, half the rate each),
+* ``k=4`` quarter-width channels (four thin circuits per link),
+
+are run against two workload archetypes:
+
+* **few long streams** -- two node pairs across the machine exchanging
+  1024-flit messages: raw per-circuit bandwidth is everything;
+* **many short streams** -- every node streaming 48-flit messages to a
+  fixed partner: concurrent reservability is everything.
+
+Shape to reproduce: the winner *flips* -- full-width wins the few-long
+case outright, while splitting wins the many-short case (too thin and
+the per-circuit rate loss bites again, so the optimum is interior).
+That is the paper's conclusion rendered as data: the right split
+"depends on ... the applications".
+"""
+
+from repro.analysis.report import format_table
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.topology.base import bisection_links
+from repro.traffic.workloads import pair_stream_workload
+
+from benchmarks.common import once, publish
+
+DESIGN_POINTS = [(1, 1.0), (2, 0.5), (4, 0.25)]
+
+
+def build_workload(kind):
+    factory = MessageFactory()
+    if kind == "few_long":
+        pairs = [(0, 63), (7, 56)]
+        return pair_stream_workload(
+            factory, pairs, messages_per_pair=6, length=1024, gap=600
+        )
+    pairs = [(s, (s + 9) % 64) for s in range(64)]
+    return pair_stream_workload(
+        factory, pairs, messages_per_pair=6, length=48, gap=300
+    )
+
+
+def run_one(k, width, kind):
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol="clrp",
+        wave=WaveConfig(num_switches=k, channel_width_factor=width,
+                        window=512),
+    )
+    net = Network(config)
+    result = Simulator(net, build_workload(kind)).run(600_000)
+    assert result.delivered == result.injected
+    return net.stats.mean_latency()
+
+
+def run_experiment():
+    rows = []
+    for k, width in DESIGN_POINTS:
+        few = run_one(k, width, "few_long")
+        many = run_one(k, width, "many_short")
+        rows.append((f"k={k} width={width:g}", k * 4.0 * width, few, many))
+    return rows
+
+
+def test_e11_bisection_design_points(benchmark):
+    rows = once(benchmark, run_experiment)
+    table = format_table(
+        ["design point", "aggregate rate/link", "few-long latency",
+         "many-short latency"],
+        rows,
+    )
+    publish("E11", "equal-bisection design points: k wave switches x "
+                   "1/k channel width (8x8 mesh)", table)
+
+    # All design points offer identical aggregate bandwidth per link.
+    aggregates = {r[1] for r in rows}
+    assert len(aggregates) == 1
+
+    few = [r[2] for r in rows]
+    many = [r[3] for r in rows]
+    # Few long streams: the fat channel wins outright (monotone loss
+    # as channels thin).
+    assert few == sorted(few)
+    # Many short streams: splitting beats the fat channel...
+    assert min(many[1:]) < many[0]
+    # ...but the thinnest split is not the best either (interior optimum).
+    assert many[-1] > min(many)
+
+    # Context: the bisection itself, for the report.
+    from repro.topology import Mesh
+
+    assert bisection_links(Mesh((8, 8))) == 16

@@ -1,0 +1,63 @@
+"""E1 -- Zero-load latency vs message length: wave vs wormhole.
+
+Paper claim (section 1/5, citing [10]): "wave switching is able to reduce
+latency ... by a factor higher than three if messages are long enough
+(>= 128 flits), even if circuits are not reused."
+
+We send a single cold message (fresh circuit, no reuse) per length across
+the full 8x8 mesh diagonal and compare against the wormhole baseline.
+The shape to reproduce: wormhole wins for short messages (setup cost
+dominates), the curves cross in the tens-of-flits range, and the wave
+advantage grows towards ``wave_clock_ratio`` for long messages,
+surpassing 3x once messages are long enough.
+"""
+
+from repro.analysis.report import format_table
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.traffic.workloads import pair_stream_workload
+
+from benchmarks.common import clrp_config, fresh_factory, once, publish, wormhole_config
+
+LENGTHS = [8, 16, 32, 64, 128, 256, 512, 1024]
+SRC, DST = 0, 63  # full mesh diagonal: 14 hops
+
+
+def cold_latency(config, length) -> float:
+    net = Network(config)
+    workload = pair_stream_workload(
+        fresh_factory(), [(SRC, DST)], messages_per_pair=1, length=length, gap=1
+    )
+    Simulator(net, workload).run(200_000)
+    return net.stats.mean_latency()
+
+
+def run_experiment():
+    rows = []
+    for length in LENGTHS:
+        wh = cold_latency(wormhole_config(), length)
+        wave = cold_latency(clrp_config(), length)
+        rows.append((length, wh, wave, wh / wave))
+    return rows
+
+
+def test_e1_latency_vs_length(benchmark):
+    rows = once(benchmark, run_experiment)
+    table = format_table(
+        ["flits", "wormhole (cycles)", "wave cold (cycles)", "ratio"],
+        rows,
+    )
+    publish("E1", "zero-load latency vs message length (8x8 mesh, cold circuits)",
+            table)
+
+    by_len = {r[0]: r for r in rows}
+    # Short messages: wormhole wins (setup cost dominates).
+    assert by_len[8][3] < 1.0
+    # Crossover in the tens of flits.
+    assert by_len[64][3] > 1.0
+    # Long messages: >= 3x latency reduction, approaching the clock ratio.
+    assert by_len[512][3] >= 3.0
+    assert by_len[1024][3] >= 3.0
+    # Monotonically improving with length.
+    ratios = [r[3] for r in rows]
+    assert ratios == sorted(ratios)

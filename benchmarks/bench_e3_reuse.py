@@ -1,0 +1,82 @@
+"""E3 -- Short messages and circuit reuse.
+
+Paper claim (section 1, citing [10]): "For short messages, wave switching
+can only improve performance if circuits are reused."
+
+Sixteen-flit messages under the spatio-temporal locality workload, with
+both knobs swept: ``reuse`` (mean messages per partner before switching)
+and ``spatial_decay`` (1.0 = partners uniform over the machine, 0.3 =
+partners concentrated nearby, the regime good process mapping produces).
+
+Shape to reproduce: without locality and without reuse CLRP *loses* to
+wormhole (every short message pays a full circuit setup); as temporal
+reuse grows the circuit-cache hit rate climbs and CLRP pulls ahead,
+dramatically so when partners are also close (short circuits, little
+channel pressure).
+"""
+
+from repro.analysis.report import format_table
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic.locality import LocalityWorkloadBuilder
+
+from benchmarks.common import clrp_config, fresh_factory, once, publish, wormhole_config
+
+REUSES = [1, 4, 16, 64]
+DECAYS = [1.0, 0.3]
+LENGTH = 16
+LOAD = 0.15
+DURATION = 4000
+
+
+def run_one(config, reuse, decay):
+    net = Network(config)
+    builder = LocalityWorkloadBuilder(net.topology, reuse=reuse,
+                                      spatial_decay=decay)
+    workload = builder.build(
+        fresh_factory(),
+        offered_load=LOAD,
+        length=LENGTH,
+        duration=DURATION,
+        rng=SimRandom(8),
+    )
+    Simulator(net, workload).run(80_000)
+    total = len(net.stats.messages)
+    hits = net.stats.count("mode.circuit_hit")
+    return net.stats.mean_latency(), (hits / total if total else 0.0)
+
+
+def run_experiment():
+    rows = []
+    for decay in DECAYS:
+        for reuse in REUSES:
+            wh, _ = run_one(wormhole_config(), reuse, decay)
+            wave, hit_rate = run_one(clrp_config(), reuse, decay)
+            rows.append((decay, reuse, wh, wave, wh / wave, hit_rate))
+    return rows
+
+
+def test_e3_reuse_for_short_messages(benchmark):
+    rows = once(benchmark, run_experiment)
+    table = format_table(
+        ["spatial decay", "reuse", "wormhole lat", "wave lat", "ratio",
+         "cache hit rate"],
+        rows,
+    )
+    publish("E3", "circuit reuse for short (16-flit) messages (8x8 mesh)",
+            table)
+
+    cell = {(r[0], r[1]): r for r in rows}
+    # No spatial locality + no reuse: short messages are WORSE on circuits.
+    assert cell[(1.0, 1)][4] < 1.0
+    # Hit rate climbs with reuse in both regimes.
+    for decay in DECAYS:
+        hit_rates = [cell[(decay, r)][5] for r in REUSES]
+        assert hit_rates == sorted(hit_rates)
+        assert hit_rates[-1] > hit_rates[0] + 0.3
+    # Locality + reuse: decisive win for wave switching.
+    assert cell[(0.3, 64)][4] > 2.5
+    # The win grows with reuse under spatial locality.
+    ratios = [cell[(0.3, r)][4] for r in REUSES]
+    assert ratios == sorted(ratios)

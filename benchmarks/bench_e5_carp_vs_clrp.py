@@ -1,0 +1,172 @@
+"""E5 -- CARP vs CLRP vs wormhole on compiled locality workloads.
+
+Section 3.2: "We believe that the CARP protocol is able to achieve a
+higher performance because a circuit is only established when there is
+enough temporal communication locality ... In particular, the CARP
+protocol does not establish circuits for individual short messages."
+
+The same locality workload is run three ways: wormhole baseline, CLRP
+(circuits on demand), and CARP with directives emitted by the profile
+compiler (:mod:`repro.traffic.compiler`).  Shape to reproduce: both
+circuit protocols crush the wormhole baseline under locality; CARP at
+least matches CLRP while launching *fewer* probes (no circuits chased
+for cold pairs) and paying no setup on the critical path of hinted
+messages.
+"""
+
+from repro.analysis.report import format_table
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic.compiler import compile_directives
+from repro.traffic.locality import LocalityWorkloadBuilder
+
+from benchmarks.common import (
+    carp_config,
+    clrp_config,
+    fresh_factory,
+    once,
+    publish,
+    wormhole_config,
+)
+
+LOAD = 0.15
+LENGTH = 32
+DURATION = 4000
+
+
+def build_messages(topology):
+    builder = LocalityWorkloadBuilder(topology, reuse=16.0, spatial_decay=0.4)
+    return builder.build(
+        fresh_factory(),
+        offered_load=LOAD,
+        length=LENGTH,
+        duration=DURATION,
+        rng=SimRandom(12),
+    )
+
+
+def run_one(name):
+    if name == "wormhole":
+        config = wormhole_config()
+    elif name == "clrp":
+        config = clrp_config()
+    else:
+        config = carp_config()
+    net = Network(config)
+    msgs = build_messages(net.topology)
+    if name == "carp":
+        items, _report = compile_directives(
+            msgs, min_messages=3, min_flits=48, open_lead=60, close_lag=40
+        )
+    else:
+        items = msgs
+    Simulator(net, items).run(120_000)
+    stats = net.stats
+    hist = stats.latency_histogram()
+    delivered = stats.delivered_records()
+    mean_setup = (
+        sum(m.setup_cycles for m in delivered) / len(delivered)
+        if delivered else 0.0
+    )
+    return (
+        name,
+        stats.mean_latency(),
+        hist.percentile(95),
+        stats.count("probe.launched"),
+        mean_setup,
+        len(delivered),
+    )
+
+
+def run_experiment():
+    return [run_one(name) for name in ("wormhole", "clrp", "carp")]
+
+
+def test_e5_carp_vs_clrp(benchmark):
+    rows = once(benchmark, run_experiment)
+    table = format_table(
+        ["protocol", "mean latency", "p95 latency", "probes launched",
+         "mean setup on critical path", "delivered"],
+        rows,
+    )
+    publish("E5", "CARP vs CLRP vs wormhole "
+                  "(8x8 mesh, locality workload, compiled directives)", table)
+
+    by_name = {r[0]: r for r in rows}
+    wh, clrp, carp = by_name["wormhole"], by_name["clrp"], by_name["carp"]
+    # Everything delivered everywhere.
+    assert wh[5] == clrp[5] == carp[5]
+    # Both circuit protocols beat the wormhole baseline decisively.
+    assert clrp[1] < wh[1] * 0.6
+    assert carp[1] < wh[1] * 0.6
+    # CARP at least matches CLRP (the paper's conjecture), within noise.
+    assert carp[1] <= clrp[1] * 1.10
+    # CARP charges no setup to message critical paths (prefetched opens).
+    assert carp[4] == 0.0
+    assert clrp[4] > 0.0
+
+
+# -- E5b: end-point buffer allocation (section 2's software-overhead claim) --
+
+
+def buffered_run(protocol):
+    """Mixed-length trains per pair: CLRP guesses buffer sizes, CARP knows."""
+    from repro.sim.config import NetworkConfig, WaveConfig
+    from repro.traffic.workloads import merge_streams, pair_stream_workload
+
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol=protocol,
+        wave=WaveConfig(model_buffers=True, default_buffer_flits=64,
+                        buffer_realloc_penalty=200),
+    )
+    net = Network(config)
+    factory = fresh_factory()
+    streams = []
+    stream_rng = SimRandom(41).stream("pairs")
+    for src in range(0, 64, 2):
+        dst = (src + 9) % 64
+        # Short warm-up messages followed by occasional long ones: the
+        # worst case for guess-sized buffers.
+        streams.append(pair_stream_workload(
+            factory, [(src, dst)], messages_per_pair=6,
+            length=32, gap=300,
+        ))
+        streams.append(pair_stream_workload(
+            factory, [(src, dst)], messages_per_pair=2,
+            length=32 * (4 + stream_rng.randrange(12)), gap=900, start=150,
+        ))
+    msgs = merge_streams(*streams)
+    if protocol == "carp":
+        items, _ = compile_directives(msgs, min_messages=3, min_flits=48,
+                                      max_gap=3000)
+    else:
+        items = msgs
+    Simulator(net, items).run(400_000)
+    stats = net.stats
+    return (
+        protocol,
+        stats.mean_latency(),
+        stats.count("circuit.buffer_reallocs"),
+        len(stats.delivered_records()),
+    )
+
+
+def test_e5b_buffer_allocation(benchmark):
+    rows = once(benchmark, lambda: [buffered_run(p) for p in ("clrp", "carp")])
+    table = format_table(
+        ["protocol", "mean latency", "buffer re-allocations", "delivered"],
+        rows,
+    )
+    publish("E5b", "end-point buffer sizing: CLRP's guessed buffers vs "
+                   "CARP's compiler-sized buffers (mixed-length trains)",
+            table)
+    by_name = {r[0]: r for r in rows}
+    # CARP sizes buffers from the episode's longest message: no reallocs.
+    assert by_name["carp"][2] == 0
+    # CLRP's guessed default must re-allocate for the long messages...
+    assert by_name["clrp"][2] > 0
+    # ...which costs latency.
+    assert by_name["carp"][1] < by_name["clrp"][1]
+    assert by_name["clrp"][3] == by_name["carp"][3]

@@ -1,0 +1,288 @@
+"""E8 -- Ablations over the design parameters the paper calls out.
+
+Section 2/5: "Several parameters can be adjusted, including the number of
+fast switches, the number of virtual channels for wormhole switching, and
+the routing protocols ..."; section 2 also discusses the windowing
+protocol and channel splitting; section 3 leaves the replacement
+algorithm open.  Four sweeps:
+
+* **E8a** -- number of wave switches ``k`` under concurrent-circuit
+  pressure: more switches = more circuit channels per link = fewer Force
+  steals.
+* **E8b** -- wave clock ratio: the long-message latency advantage tracks
+  the achievable wave/base clock ratio (the Spice-model substitution knob
+  from DESIGN.md).
+* **E8c** -- end-to-end window: too small a window for the ack round trip
+  throttles circuits exactly as the paper's "deeper buffers" discussion
+  predicts.
+* **E8d** -- replacement algorithms: with a skewed working set one slot
+  short, recency/frequency policies beat FIFO/random.
+"""
+
+from repro.analysis.report import format_table
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic.workloads import pair_stream_workload
+
+from benchmarks.common import clrp_config, fresh_factory, once, publish
+
+DIAG = (0, 63)
+
+
+def zero_load_latency(config, length=512):
+    net = Network(config)
+    workload = pair_stream_workload(
+        fresh_factory(), [DIAG], messages_per_pair=1, length=length, gap=1
+    )
+    Simulator(net, workload).run(300_000)
+    return net.stats.mean_latency()
+
+
+# -- E8a: number of wave switches -------------------------------------------
+
+
+def working_set_run(k):
+    """Every node streams to 2 interleaved partners; count Force steals."""
+    config = clrp_config(num_switches=k, circuit_cache_size=4)
+    net = Network(config)
+    factory = fresh_factory()
+    stream = SimRandom(55).stream("p")
+    messages = []
+    for src in range(64):
+        partners = []
+        while len(partners) < 2:
+            cand = stream.randrange(64)
+            if cand != src and cand not in partners:
+                partners.append(cand)
+        for i in range(40):
+            messages.append(factory.make(src, partners[i % 2], 32, i * 150))
+    messages.sort(key=lambda m: (m.created, m.msg_id))
+    Simulator(net, messages).run(200_000)
+    total = len(net.stats.messages)
+    hits = net.stats.count("mode.circuit_hit")
+    return (
+        k,
+        net.stats.mean_latency(),
+        hits / total,
+        net.stats.count("clrp.victim_releases_requested"),
+        net.stats.count("clrp.phase3_fallbacks"),
+    )
+
+
+def test_e8a_number_of_wave_switches(benchmark):
+    rows = once(benchmark, lambda: [working_set_run(k) for k in (1, 2, 4)])
+    table = format_table(
+        ["k (wave switches)", "mean latency", "hit rate", "victim releases",
+         "phase-3 fallbacks"],
+        rows,
+    )
+    publish("E8a", "ablation: number of wave switches k "
+                   "(8x8 mesh, 2 concurrent partners per node)", table)
+    by_k = {r[0]: r for r in rows}
+    # More switches -> fewer forced steals and better reuse.
+    assert by_k[4][3] < by_k[1][3]
+    assert by_k[4][2] >= by_k[1][2]
+    assert by_k[4][1] <= by_k[1][1]
+
+
+# -- E8b: wave clock ratio ----------------------------------------------------
+
+
+def test_e8b_wave_clock_ratio(benchmark):
+    def sweep():
+        rows = []
+        for ratio in (1.0, 2.0, 4.0, 8.0):
+            lat = zero_load_latency(clrp_config(wave_clock_ratio=ratio))
+            rows.append((ratio, lat))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(["wave clock ratio", "512-flit latency (cycles)"], rows)
+    publish("E8b", "ablation: wave-pipelining clock ratio "
+                   "(zero-load 512-flit message over the mesh diagonal)",
+            table)
+    latencies = [r[1] for r in rows]
+    # Faster wave clock monotonically reduces long-message latency...
+    assert latencies == sorted(latencies, reverse=True)
+    # ...with diminishing returns (setup + pipeline fill do not scale).
+    gain_low = latencies[0] / latencies[1]
+    gain_high = latencies[2] / latencies[3]
+    assert gain_low > gain_high
+
+
+# -- E8c: end-to-end window ---------------------------------------------------
+
+
+def test_e8c_window_size(benchmark):
+    def sweep():
+        rows = []
+        for window in (8, 32, 128, 512):
+            lat = zero_load_latency(clrp_config(window=window))
+            rows.append((window, lat))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table = format_table(["window (flits)", "512-flit latency (cycles)"], rows)
+    publish("E8c", "ablation: end-to-end window vs ack round trip "
+                   "(zero-load 512-flit message, 14-hop circuit)", table)
+    by_window = {r[0]: r for r in rows}
+    # The diagonal circuit has rtt = 28 cycles at rate 4: windows below
+    # ~112 flits throttle the stream, deeper windows change nothing.
+    assert by_window[8][1] > by_window[128][1] * 2
+    assert abs(by_window[128][1] - by_window[512][1]) < 0.15 * by_window[512][1]
+
+
+# -- E8d: replacement algorithms ---------------------------------------------
+
+
+def replacement_run(policy):
+    """Skewed working set one slot over capacity: policies diverge."""
+    config = clrp_config(num_switches=4, circuit_cache_size=2,
+                         replacement=policy)
+    net = Network(config)
+    factory = fresh_factory()
+    stream = SimRandom(91).stream("d")
+    messages = []
+    for src in range(64):
+        partners = []
+        while len(partners) < 3:
+            cand = stream.randrange(64)
+            if cand != src and cand not in partners:
+                partners.append(cand)
+        hot = partners[0]
+        for i in range(60):
+            # 70% of traffic to the hot partner, the rest alternating.
+            if stream.random() < 0.7:
+                dst = hot
+            else:
+                dst = partners[1 + (i % 2)]
+            messages.append(factory.make(src, dst, 32, i * 120))
+    messages.sort(key=lambda m: (m.created, m.msg_id))
+    Simulator(net, messages).run(300_000)
+    total = len(net.stats.messages)
+    hits = net.stats.count("mode.circuit_hit")
+    return (
+        policy,
+        hits / total,
+        net.stats.count("clrp.cache_evictions"),
+        net.stats.mean_latency(),
+    )
+
+
+def test_e8d_replacement_policies(benchmark):
+    rows = once(
+        benchmark,
+        lambda: [replacement_run(p) for p in ("lru", "lfu", "fifo", "random")],
+    )
+    table = format_table(
+        ["policy", "hit rate", "evictions", "mean latency"], rows
+    )
+    publish("E8d", "ablation: Circuit Cache replacement algorithms "
+                   "(skewed 3-partner working set, 2-entry cache)", table)
+    by_policy = {r[0]: r for r in rows}
+    # Frequency-aware LFU must protect the hot partner at least as well
+    # as FIFO, which evicts it blindly by age.
+    assert by_policy["lfu"][1] >= by_policy["fifo"][1]
+    # All policies keep the network functional (sanity floor).
+    assert all(r[1] > 0.3 for r in rows)
+
+
+# -- E8e: CLRP protocol variants (section 3.1's simplification menu) ----------
+
+
+def variant_run(variant):
+    """Contended locality traffic: setup latency vs disruption trade-off."""
+    from repro.traffic.locality import LocalityWorkloadBuilder
+
+    config = clrp_config(num_switches=2, circuit_cache_size=4,
+                         clrp_variant=variant)
+    net = Network(config)
+    builder = LocalityWorkloadBuilder(net.topology, reuse=10.0,
+                                      spatial_decay=0.5)
+    workload = builder.build(
+        fresh_factory(),
+        offered_load=0.25,
+        length=32,
+        duration=4000,
+        rng=SimRandom(33),
+    )
+    Simulator(net, workload).run(300_000)
+    stats = net.stats
+    total = len(stats.messages)
+    return (
+        variant,
+        stats.mean_latency(),
+        stats.count("probe.launched"),
+        stats.count("probe.launched_forced"),
+        stats.count("clrp.victim_releases_requested"),
+        stats.count("mode.circuit_hit") / total,
+    )
+
+
+def test_e8e_clrp_variants(benchmark):
+    variants = ("standard", "eager_force", "single_switch", "immediate_force")
+    rows = once(benchmark, lambda: [variant_run(v) for v in variants])
+    table = format_table(
+        ["variant", "mean latency", "probes", "forced probes",
+         "victim releases", "hit rate"],
+        rows,
+    )
+    publish("E8e", "ablation: CLRP protocol variants (section 3.1 "
+                   "simplifications, contended locality traffic)", table)
+    by_variant = {r[0]: r for r in rows}
+    # Aggressive variants force more and disrupt more circuits.
+    assert (by_variant["immediate_force"][4]
+            >= by_variant["standard"][4])
+    assert (by_variant["immediate_force"][3]
+            > by_variant["standard"][3])
+    # Every variant still performs (they are all correct protocols).
+    for row in rows:
+        assert row[1] < 100  # sane latency on this workload
+
+
+# -- E8f: wormhole virtual channels (the paper's "w" parameter) ---------------
+
+
+def vc_run(w):
+    """Saturation throughput of the S0 baseline as w grows (Dally's
+    virtual-channel result, which the hybrid router inherits)."""
+    from repro.sim.config import NetworkConfig, WormholeConfig
+    from repro.traffic.patterns import UniformPattern
+    from repro.traffic.workloads import uniform_workload
+
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol="wormhole",
+        wave=None,
+        wormhole=WormholeConfig(vcs=w, buffer_depth=4),
+    )
+    net = Network(config)
+    duration = 3000
+    workload = uniform_workload(
+        fresh_factory(),
+        UniformPattern(64),
+        num_nodes=64,
+        offered_load=0.9,
+        length=32,
+        duration=duration,
+        rng=SimRandom(61),
+    )
+    Simulator(net, workload).run(duration)
+    throughput = net.stats.throughput_flits_per_cycle(800, duration) / 64
+    return (w, throughput, net.stats.mean_network_latency())
+
+
+def test_e8f_wormhole_virtual_channels(benchmark):
+    rows = once(benchmark, lambda: [vc_run(w) for w in (1, 2, 4, 8)])
+    table = format_table(
+        ["w (wormhole VCs)", "saturation throughput", "mean latency"], rows
+    )
+    publish("E8f", "ablation: wormhole virtual channels w "
+                   "(uniform traffic far past saturation)", table)
+    by_w = {r[0]: r for r in rows}
+    # Virtual channels raise the wormhole saturation point (Dally [7]).
+    assert by_w[2][1] > by_w[1][1]
+    assert by_w[4][1] > by_w[1][1]
+    # Diminishing returns: 8 VCs gain little over 4.
+    assert by_w[8][1] < by_w[4][1] * 1.3

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Distributed shared memory: remote-miss latency under wave switching.
+
+The paper's opening motivation (section 1): in DSM machines "messages are
+directly sent by the hardware, as a consequence of remote memory accesses
+or coherence commands. Reducing the network hardware latency and
+increasing network throughput is crucial to improve the performance of
+DSMs."  The messages are tiny -- one-flit requests, cache-line replies --
+so everything rides on circuit *reuse*, which page placement provides:
+each node's misses go to a small working set of nearby home nodes.
+
+This example simulates a miss storm on an 8x8 machine at three miss
+rates and reports the metric a DSM architect cares about: the mean and
+tail *round-trip* time of a miss (request out + line back).
+
+Run:  python examples/dsm_misses.py
+"""
+
+from repro import (
+    MessageFactory,
+    Network,
+    NetworkConfig,
+    SimRandom,
+    Simulator,
+    WaveConfig,
+    format_table,
+)
+from repro.traffic.workloads import dsm_workload
+
+LINE_FLITS = 16  # a 64-byte line over 4-byte phits
+HOMES = 3
+MISSES = 60
+
+
+def run(protocol: str, miss_gap: int):
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(num_switches=4),
+    )
+    net = Network(config)
+    msgs = dsm_workload(
+        MessageFactory(),
+        net.topology,
+        misses_per_node=MISSES,
+        request_length=1,
+        line_length=LINE_FLITS,
+        home_window=HOMES,
+        miss_gap=miss_gap,
+        memory_latency=30,
+        rng=SimRandom(11),
+    )
+    result = Simulator(net, msgs).run(2_000_000)
+    assert result.delivered == result.injected
+    # Miss round trip = request latency + memory + reply latency; requests
+    # and replies alternate in the stream (request = 1 flit).
+    records = sorted(net.stats.delivered_records(), key=lambda r: r.msg_id)
+    rtts = []
+    for req, reply in zip(records[0::2], records[1::2]):
+        assert req.length == 1 and reply.length == LINE_FLITS
+        rtts.append(req.latency + 30 + reply.latency)
+    rtts.sort()
+    hits = net.stats.count("mode.circuit_hit")
+    return {
+        "mean rtt": sum(rtts) / len(rtts),
+        "p95 rtt": rtts[int(len(rtts) * 0.95)],
+        "hit rate": hits / len(net.stats.messages) if protocol != "wormhole" else 0.0,
+    }
+
+
+def main() -> None:
+    print(f"DSM miss storm: {MISSES} misses/node, {LINE_FLITS}-flit lines, "
+          f"{HOMES}-home working sets, 8x8 machine\n")
+    rows = []
+    for miss_gap in (40, 16, 8):
+        wh = run("wormhole", miss_gap)
+        wv = run("clrp", miss_gap)
+        rows.append((
+            f"1/{miss_gap}",
+            wh["mean rtt"], wh["p95 rtt"],
+            wv["mean rtt"], wv["p95 rtt"],
+            f"{wv['hit rate']:.0%}",
+            wh["mean rtt"] / wv["mean rtt"],
+        ))
+        print(f"miss rate 1/{miss_gap}: wormhole {wh['mean rtt']:.0f}, "
+              f"wave {wv['mean rtt']:.0f} cycles mean rtt")
+    print()
+    print(format_table(
+        ["miss rate", "wh mean", "wh p95", "wave mean", "wave p95",
+         "wave hit rate", "speedup"],
+        rows,
+    ))
+    print(
+        "\nat low miss rates both are fine; as the miss rate climbs the "
+        "wormhole\nplane saturates while reused circuits keep the line "
+        "round trip flat --\nthe DSM case from the paper's introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Watching MB-m probes route circuits around broken links.
+
+Section 2 of the paper: the misrouting-backtracking probe protocol "is
+very resilient to static faults in the network".  This example breaks a
+batch of links on an 8x8 mesh, then asks CLRP for circuits across the
+damaged region and prints the paths the probes actually found -- detours,
+misroutes and all -- next to what a deterministic dimension-order path
+would have needed.
+
+Run:  python examples/fault_tolerant_setup.py
+"""
+
+from repro import (
+    FaultSet,
+    MessageFactory,
+    Network,
+    NetworkConfig,
+    SimRandom,
+    Simulator,
+    WaveConfig,
+    build_topology,
+    format_table,
+)
+from repro.wormhole.routing import DimensionOrderRouting, wormhole_path_available
+
+FAULT_FRACTION = 0.15
+PAIRS = [(0, 63), (7, 56), (0, 7), (56, 63), (24, 39)]
+
+
+def describe_path(topo, circuit) -> str:
+    nodes = [circuit.src]
+    for node, port in circuit.path:
+        nodes.append(topo.neighbor(node, port))
+    return " -> ".join(str(n) for n in nodes)
+
+
+def main() -> None:
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol="clrp",
+        wave=WaveConfig(num_switches=2, misroute_budget=4),
+    )
+    topo = build_topology(config.topology, config.dims)
+    faults = FaultSet(topo)
+    n_failed = faults.fail_random_links(FAULT_FRACTION, SimRandom(2024))
+    print(f"failed {n_failed} physical links ({FAULT_FRACTION:.0%}) on an 8x8 mesh\n")
+
+    net = Network(config, faults=faults)
+    factory = MessageFactory()
+    dor = DimensionOrderRouting(topo, 2)
+
+    rows = []
+    for src, dst in PAIRS:
+        net.inject(factory.make(src, dst, 64, net.cycle))
+        sim = Simulator(net, [])
+        sim.run(20_000)
+        rec = net.stats.messages[
+            max(net.stats.messages)
+        ]
+        entry = net.interfaces[src].engine.cache.lookup(dst)
+        minimal = topo.distance(src, dst)
+        dor_alive = wormhole_path_available(dor, src, dst, faults)
+        if entry is not None and entry.circuit is not None:
+            circuit = entry.circuit
+            rows.append(
+                (f"{src}->{dst}", minimal, circuit.length,
+                 "yes" if dor_alive else "NO", rec.mode.value)
+            )
+            print(f"circuit {src}->{dst}: {describe_path(topo, circuit)}")
+        else:
+            rows.append(
+                (f"{src}->{dst}", minimal, "-",
+                 "yes" if dor_alive else "NO", rec.mode.value)
+            )
+            print(f"circuit {src}->{dst}: no circuit (fell back)")
+    print()
+    print(
+        format_table(
+            ["pair", "minimal hops", "circuit hops", "DOR path intact",
+             "message mode"],
+            rows,
+        )
+    )
+    print(
+        "\nprobes detour around faults (circuit hops > minimal hops where "
+        "needed);\na deterministic dimension-order path marked 'NO' would "
+        "simply be unroutable."
+    )
+
+
+if __name__ == "__main__":
+    main()

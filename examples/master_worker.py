@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A master/worker task farm over wave switching.
+
+One master scatters task descriptors (short messages) and workers stream
+results back (long messages).  The traffic is asymmetric in exactly the
+way the paper's protocols care about:
+
+* master -> worker: short, frequent -- circuits pay off only because the
+  same pairs repeat (temporal locality);
+* worker -> master: long results converging on one hotspot -- the
+  master-side link is the scarce resource, and wormhole switching
+  serializes result worms head-of-line while circuits stream them at the
+  wave clock.
+
+The hotspot also demonstrates the *channel* limit on circuits: the master
+has only a handful of links, so at most a few worker->master circuits can
+exist at once -- the rest are established with the Force bit, stealing
+channels from each other (watch the "victim releases" column).  Even with
+that churn -- nearly every circuit is cold -- streaming results at the
+wave clock demolishes the wormhole baseline, whose result worms serialize
+head-of-line into the master.
+
+Run:  python examples/master_worker.py
+"""
+
+from repro import (
+    MessageFactory,
+    Network,
+    NetworkConfig,
+    Simulator,
+    WaveConfig,
+    format_table,
+)
+from repro.traffic.workloads import master_worker_workload
+
+MASTER = 0
+TASKS_PER_WORKER = 6
+TASK_FLITS = 8
+RESULT_FLITS = 192
+MASTER_CACHE = 8
+
+
+def run(protocol: str):
+    config = NetworkConfig(
+        dims=(8, 8),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(
+            num_switches=2, circuit_cache_size=MASTER_CACHE
+        ),
+    )
+    net = Network(config)
+    messages = master_worker_workload(
+        MessageFactory(),
+        config.num_nodes,
+        master=MASTER,
+        tasks_per_worker=TASKS_PER_WORKER,
+        task_length=TASK_FLITS,
+        result_length=RESULT_FLITS,
+        task_gap=40,
+        turnaround=120,
+    )
+    result = Simulator(net, messages).run(2_000_000)
+    assert result.delivered == result.injected
+    stats = net.stats
+    tasks = [m for m in stats.delivered_records() if m.src == MASTER]
+    results = [m for m in stats.delivered_records() if m.dst == MASTER]
+    makespan = max(m.delivered for m in stats.delivered_records())
+    return {
+        "protocol": protocol,
+        "task latency": sum(m.latency for m in tasks) / len(tasks),
+        "result latency": sum(m.latency for m in results) / len(results),
+        "makespan": makespan,
+        "forced circuits": stats.count("mode.circuit_forced"),
+        "victim releases": stats.count("clrp.victim_releases_requested"),
+    }
+
+
+def main() -> None:
+    n_workers = 63
+    print(
+        f"task farm: master node {MASTER}, {n_workers} workers, "
+        f"{TASKS_PER_WORKER} tasks each, {RESULT_FLITS}-flit results, "
+        f"master cache {MASTER_CACHE} circuits\n"
+    )
+    rows = []
+    for protocol in ("wormhole", "clrp"):
+        print(f"running {protocol} ...")
+        rows.append(run(protocol))
+    print()
+    print(format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+    wh, clrp = rows
+    print(
+        f"\nresult-stream speedup: "
+        f"{wh['result latency'] / clrp['result latency']:.2f}x; "
+        f"makespan speedup: {wh['makespan'] / clrp['makespan']:.2f}x"
+    )
+    print(
+        "the master's few links cap how many circuits can converge on it, "
+        "so most\ncircuits are established by Force-bit steals -- and wave "
+        "switching still wins\nbig, because even a cold circuit streams a "
+        "192-flit result in ~50 cycles while\nwormhole result worms "
+        "serialize head-of-line into the hotspot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Windowed time series of a running simulation.
+
+:class:`TimelineTracker` hooks a :class:`~repro.sim.engine.Simulator` (via
+``on_cycle``) and records, per fixed-width window:
+
+* accepted throughput (delivered payload flits / node / cycle),
+* mean latency of the messages delivered in the window,
+* outstanding message count at the window boundary.
+
+This is what turns a finite run into the familiar warmup / steady-state /
+drain picture, and provides a principled steady-state detector for
+measurement windows (used by tests; the benchmark harness uses fixed
+warmups for reproducibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+
+
+@dataclass
+class TimelineWindow:
+    start: int
+    end: int
+    delivered: int
+    flits: int
+    mean_latency: float
+    outstanding: int
+
+    @property
+    def throughput(self) -> float:
+        return self.flits / (self.end - self.start)
+
+
+@dataclass
+class TimelineTracker:
+    """Collects per-window delivery statistics during a run.
+
+    Usage::
+
+        tracker = TimelineTracker(window=500)
+        Simulator(net, workload, on_cycle=tracker.on_cycle).run(...)
+        for w in tracker.windows: ...
+    """
+
+    window: int = 500
+    windows: list[TimelineWindow] = field(default_factory=list)
+    _seen: set = field(default_factory=set)
+    _last_boundary: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+
+    def on_cycle(self, network: "Network") -> None:
+        if network.cycle - self._last_boundary < self.window:
+            return
+        start = self._last_boundary
+        end = network.cycle
+        self._last_boundary = end
+        new = [
+            m
+            for m in network.stats.messages.values()
+            if m.delivered >= 0 and m.msg_id not in self._seen
+        ]
+        for m in new:
+            self._seen.add(m.msg_id)
+        flits = sum(m.length for m in new)
+        mean_latency = (
+            sum(m.latency for m in new) / len(new) if new else float("nan")
+        )
+        self.windows.append(
+            TimelineWindow(
+                start=start,
+                end=end,
+                delivered=len(new),
+                flits=flits,
+                mean_latency=mean_latency,
+                outstanding=network.outstanding_messages(),
+            )
+        )
+
+    def finalize(self, network: "Network") -> None:
+        """Record the trailing partial window (call after the run ends)."""
+        if network.cycle > self._last_boundary:
+            saved = self.window
+            try:
+                self.window = network.cycle - self._last_boundary
+                self.on_cycle(network)
+            finally:
+                self.window = saved
+
+    # -- analysis helpers -------------------------------------------------
+
+    def steady_state_start(self, *, rel_tolerance: float = 0.25) -> int | None:
+        """First window boundary after which throughput stays within
+        ``rel_tolerance`` of the remaining windows' mean.
+
+        Returns the cycle, or None if the run never settles (fewer than
+        three windows, or persistent drift).
+        """
+        ws = self.windows
+        if len(ws) < 3:
+            return None
+        for i in range(len(ws) - 2):
+            tail = ws[i:]
+            mean = sum(w.throughput for w in tail) / len(tail)
+            if mean == 0:
+                continue
+            if all(
+                abs(w.throughput - mean) <= rel_tolerance * mean for w in tail
+            ):
+                return ws[i].start
+        return None
+
+    def peak_throughput(self) -> float:
+        return max((w.throughput for w in self.windows), default=0.0)

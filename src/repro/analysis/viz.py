@@ -1,0 +1,113 @@
+"""Terminal visualisation: mesh heat maps and link-load sketches.
+
+Pure-text rendering (no plotting dependencies) for quick looks at where
+traffic concentrates:
+
+* :func:`node_heatmap` -- a 2-D mesh coloured by any per-node scalar
+  (deliveries, injections, cache evictions...), rendered with a density
+  ramp;
+* :func:`link_loadmap` -- the mesh drawn with its horizontal/vertical
+  links weighted by utilization, exposing hot rows/columns at a glance.
+
+Used by the saturation example and handy in any interactive session.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+
+# Density ramp from cold to hot.
+RAMP = " .:-=+*#%@"
+
+
+def _bucket(value: float, top: float) -> str:
+    if top <= 0:
+        return RAMP[0]
+    idx = int(value / top * (len(RAMP) - 1) + 0.5)
+    return RAMP[max(0, min(idx, len(RAMP) - 1))]
+
+
+def node_heatmap(
+    network: "Network",
+    metric: Callable[[int], float],
+    *,
+    title: str = "",
+) -> str:
+    """Render a per-node scalar over a 2-D mesh/torus as a text heat map.
+
+    Args:
+        metric: maps a node id to its value (e.g.
+            ``lambda n: net.interfaces[n].messages_delivered``).
+    """
+    topo = network.topology
+    if topo.n_dims != 2:
+        raise ConfigError("node_heatmap needs a 2-D topology")
+    rows, cols = topo.dims
+    values = [[metric(topo.node_at((r, c))) for c in range(cols)]
+              for r in range(rows)]
+    top = max(max(row) for row in values)
+    lines = []
+    if title:
+        lines.append(f"{title} (max {top:g})")
+    for r in range(rows):
+        lines.append(" ".join(_bucket(v, top) for v in values[r]))
+    lines.append(f"ramp: '{RAMP}' = 0 .. max")
+    return "\n".join(lines)
+
+
+def link_loadmap(network: "Network", *, title: str = "") -> str:
+    """Sketch a 2-D mesh with links weighted by wormhole utilization.
+
+    Horizontal links render between node cells; vertical links on the
+    interleaving rows.  Each link shows the *busier direction* of the
+    pair.  Nodes render as ``o``.
+    """
+    topo = network.topology
+    if topo.n_dims != 2:
+        raise ConfigError("link_loadmap needs a 2-D topology")
+    from repro.analysis.utilization import measure_utilization
+
+    report = measure_utilization(network)
+    util = report.wormhole
+    rows, cols = topo.dims
+
+    def load(node: int, port: int) -> float:
+        a = util.get((node, port), 0.0)
+        nbr = topo.neighbor(node, port)
+        if nbr is None:
+            return a
+        b = util.get((nbr, topo.reverse_port(node, port)), 0.0)
+        return max(a, b)
+
+    top = max(util.values(), default=0.0)
+    lines = []
+    if title:
+        lines.append(f"{title} (max link utilization {top:.3f})")
+    for r in range(rows):
+        # Node row: o <h-link> o <h-link> o ...
+        cells = []
+        for c in range(cols):
+            node = topo.node_at((r, c))
+            cells.append("o")
+            if c + 1 < cols:
+                # Port along dimension 1 (columns) upward.
+                h = load(node, 2)  # dim 1 plus = port 2
+                cells.append(_bucket(h, top) * 3)
+        lines.append("".join(cells))
+        if r + 1 < rows:
+            # Vertical link row.
+            cells = []
+            for c in range(cols):
+                node = topo.node_at((r, c))
+                v = load(node, 0)  # dim 0 plus = port 0
+                cells.append(_bucket(v, top))
+                if c + 1 < cols:
+                    cells.append("   ")
+            lines.append("".join(cells))
+    lines.append(f"ramp: '{RAMP}'")
+    return "\n".join(lines)

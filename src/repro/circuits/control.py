@@ -1,0 +1,51 @@
+"""Control flits: acknowledgments, teardowns and release requests.
+
+Besides probes, three kinds of control flit travel the control channels:
+
+* **ACK** -- sent by the destination once a probe has reserved the whole
+  path; walks the path *backwards* via the Reverse Channel Mappings,
+  setting the Ack Returned bit at every hop; on reaching the source the
+  circuit becomes usable.
+* **TEARDOWN** -- sent by the source to dismantle a circuit; walks the
+  path *forwards*, freeing each (control, data) channel pair as it goes.
+* **RELEASE_REQ** -- sent by a node where a Force probe is blocked,
+  towards the source of the victim circuit, asking it to release the
+  circuit.  Per the deadlock proof, these channels are guaranteed free of
+  other source-bound traffic once the ack has returned.  If the circuit
+  is already being released the request is discarded at some intermediate
+  node (the proof's race case); duplicate requests are likewise
+  discarded.
+
+Each flit advances one hop per ``setup_hop_delay`` base cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ControlFlitKind(Enum):
+    ACK = "ack"
+    TEARDOWN = "teardown"
+    RELEASE_REQ = "release_req"
+
+
+@dataclass
+class ControlFlit:
+    """One in-flight control flit.
+
+    ``hop_index`` is the index into the circuit's path of the hop the flit
+    will process next: ACK flits walk from ``len(path) - 1`` down to 0;
+    TEARDOWN flits walk from 0 upward; RELEASE_REQ flits walk downward
+    (towards the source) starting from the hop whose *downstream* node the
+    request originated at.
+    """
+
+    kind: ControlFlitKind
+    circuit_id: int
+    hop_index: int
+    ready_at: int
+    # For RELEASE_REQ: the probe that asked, so stats can attribute it.
+    requester_probe: int | None = None
+    discarded: bool = False

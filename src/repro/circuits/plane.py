@@ -1,0 +1,525 @@
+"""The wave plane: probes, control flits and transfers advancing in time.
+
+:class:`WavePlane` owns the per-node PCS control units, the circuit table,
+all in-flight probes / control flits / wave transfers, and the small
+amount of arbitration glue between them (channel *claims*, which make the
+Theorem-3 progress argument concrete: a channel freed for a waiting Force
+probe is held for that probe rather than racing it against newcomers).
+
+The plane is deliberately ignorant of *policy*: which circuits to request,
+when to force, when to tear down -- all of that lives in the CLRP/CARP
+engines (:mod:`repro.core`), which the plane calls back into.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.circuits.circuit import Circuit, CircuitState, CircuitTable
+from repro.circuits.control import ControlFlit, ControlFlitKind
+from repro.circuits.pcs_unit import ChannelStatus, PCSControlUnit
+from repro.circuits.probe import Probe, ProbeStatus
+from repro.circuits.wave import WaveTransfer
+from repro.errors import ProtocolError
+from repro.sim.config import WaveConfig
+from repro.sim.events import EventKind, EventLog
+from repro.sim.stats import StatsCollector
+from repro.topology.base import Topology
+from repro.topology.faults import FaultSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.message import Message
+
+
+class CircuitOwnerEngine(Protocol):
+    """Callbacks a protocol engine must provide to the plane."""
+
+    def circuit_established(self, circuit: Circuit, cycle: int) -> None: ...
+
+    def probe_failed(self, probe: Probe, circuit: Circuit, cycle: int) -> None: ...
+
+    def release_requested(self, circuit: Circuit, cycle: int) -> None: ...
+
+    def circuit_released(self, circuit: Circuit, cycle: int) -> None: ...
+
+    def transfer_completed(self, transfer: WaveTransfer, cycle: int) -> None: ...
+
+
+ChannelKey = tuple[int, int, int]  # (node, out_port, switch)
+
+
+class WavePlane:
+    """Control and data plane for the wave-switched subsystem S1..Sk."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: WaveConfig,
+        stats: StatsCollector,
+        faults: FaultSet | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.stats = stats
+        self.faults = faults
+        self.units: list[PCSControlUnit] = [
+            PCSControlUnit(n, topology.num_ports, config.num_switches)
+            for n in range(topology.num_nodes)
+        ]
+        self.table = CircuitTable()
+        self.probes: list[Probe] = []
+        self.control_flits: list[ControlFlit] = []
+        self.transfers: list[WaveTransfer] = []
+        self._next_probe_id = 1
+        self._probes_by_id: dict[int, Probe] = {}
+        # Channel claims: freed-channel priority for waiting Force probes.
+        self.claims: dict[ChannelKey, int] = {}
+        self._probe_claims: dict[int, set[ChannelKey]] = {}
+        # Engine per node, registered by the network after construction.
+        self.engines: list[CircuitOwnerEngine | None] = [None] * topology.num_nodes
+        # Message delivery callback, set by the network.
+        self.deliver_message: Callable[["Message", int], None] | None = None
+        self.work_done = 0  # incremented by every state-changing event
+        # Optional protocol event trace (repro.sim.events).
+        self.log: EventLog | None = None
+
+    # -- registration -----------------------------------------------------
+
+    def register_engine(self, node: int, engine: CircuitOwnerEngine) -> None:
+        self.engines[node] = engine
+
+    def _engine(self, node: int) -> CircuitOwnerEngine:
+        engine = self.engines[node]
+        if engine is None:
+            raise ProtocolError(f"no protocol engine registered for node {node}")
+        return engine
+
+    # -- queries used by probes --------------------------------------------
+
+    def channel_faulty(self, node: int, port: int, switch: int) -> bool:
+        if self.units[node].status(port, switch) is ChannelStatus.FAULTY:
+            return True
+        return self.faults is not None and self.faults.is_faulty(node, port)
+
+    def first_free(
+        self, node: int, switch: int, ports: list[int], probe: Probe | None = None
+    ) -> int | None:
+        """First FREE candidate channel, honouring claims.
+
+        A channel claimed for some waiting probe is invisible to everyone
+        else, so a victim teardown cannot be raced by a newcomer.
+        """
+        unit = self.units[node]
+        pid = probe.probe_id if probe is not None else None
+        for port in ports:
+            if unit.status(port, switch) is not ChannelStatus.FREE:
+                continue
+            claimant = self.claims.get((node, port, switch))
+            if claimant is not None and claimant != pid:
+                continue
+            return port
+        return None
+
+    def victim_candidates(
+        self, node: int, switch: int, ports: list[int], probe: Probe
+    ) -> list[tuple[int, int]]:
+        """Requested channels owned by *established* circuits.
+
+        "Established" is judged exactly as the paper says: by the Ack
+        Returned bit of the local PCS control unit, not by any global view.
+        Channels claimed by *another* waiting probe are skipped; the
+        requester's own claims stay visible so a waiting probe keeps
+        waiting (its release is already in flight) instead of backtracking.
+        """
+        unit = self.units[node]
+        out = []
+        for port in ports:
+            if unit.status(port, switch) is not ChannelStatus.RESERVED:
+                continue
+            if not unit.ack_returned(port, switch):
+                continue
+            claimant = self.claims.get((node, port, switch))
+            owner = unit.owner(port, switch)
+            if owner is None:
+                continue
+            if claimant is not None and claimant != probe.probe_id:
+                continue
+            out.append((port, owner))
+        return out
+
+    # -- probe lifecycle ----------------------------------------------------
+
+    def launch_probe(
+        self,
+        src: int,
+        dst: int,
+        switch: int,
+        *,
+        force: bool,
+        cycle: int,
+    ) -> tuple[Circuit, Probe]:
+        """Create a fresh circuit attempt and send its probe.
+
+        Each attempt gets a new circuit id: reservations of an abandoned
+        attempt are fully unwound by backtracking, so ids are never reused.
+        """
+        if src == dst:
+            raise ProtocolError("circuits to self are meaningless")
+        if not 0 <= switch < self.config.num_switches:
+            raise ProtocolError(f"switch {switch} out of range")
+        circuit = self.table.create(src, dst, switch)
+        probe = Probe(
+            probe_id=self._next_probe_id,
+            circuit_id=circuit.circuit_id,
+            src=src,
+            dst=dst,
+            switch=switch,
+            force=force,
+            max_misroutes=self.config.misroute_budget,
+            ready_at=cycle + 1,
+        )
+        self._next_probe_id += 1
+        self.probes.append(probe)
+        self._probes_by_id[probe.probe_id] = probe
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PROBE_LAUNCH, src, probe.probe_id,
+                          circuit=circuit.circuit_id, dst=dst, switch=switch,
+                          force=force)
+        self.stats.bump("probe.launched")
+        if force:
+            self.stats.bump("probe.launched_forced")
+        return circuit, probe
+
+    def advance_probe(self, probe: Probe, port: int, cycle: int) -> None:
+        """Reserve the chosen channel and move the probe one hop forward."""
+        node = probe.at_node
+        unit = self.units[node]
+        unit.reserve(port, probe.switch, probe.circuit_id)
+        self._drop_claim(probe, (node, port, probe.switch))
+        circuit = self.table.get(probe.circuit_id)
+        # Record the through-mapping at this node (None in_key at source).
+        in_key = None
+        if circuit.path:
+            prev_node, prev_port = circuit.path[-1]
+            in_port = self.topology.reverse_port(prev_node, prev_port)
+            in_key = (in_port, probe.switch)
+        unit.map_through(in_key, (port, probe.switch))
+        circuit.path.append((node, port))
+        nxt = self.topology.neighbor(node, port)
+        assert nxt is not None
+        probe.at_node = nxt
+        probe.ready_at = cycle + self.config.setup_hop_delay
+        probe.hops += 1
+        probe.status = ProbeStatus.SEARCHING
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PROBE_HOP, node, probe.probe_id,
+                          circuit=probe.circuit_id, port=port, to=nxt)
+        self.stats.bump("probe.hops")
+        self.work_done += 1
+
+    def retreat_probe(
+        self, probe: Probe, prev_node: int, port: int, cycle: int
+    ) -> None:
+        """Backtrack one hop: release the reservation, record the search."""
+        unit = self.units[prev_node]
+        unit.unmap_through((port, probe.switch))
+        unit.release(port, probe.switch, probe.circuit_id)
+        unit.record_search(probe.probe_id, port)
+        circuit = self.table.get(probe.circuit_id)
+        circuit.path.pop()
+        probe.at_node = prev_node
+        probe.ready_at = cycle + self.config.setup_hop_delay
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PROBE_BACKTRACK, prev_node,
+                          probe.probe_id, circuit=probe.circuit_id, port=port)
+        self.work_done += 1
+
+    def probe_reached_destination(self, probe: Probe, cycle: int) -> None:
+        """The whole path is reserved; return the acknowledgment."""
+        circuit = self.table.get(probe.circuit_id)
+        if not circuit.path:
+            raise ProtocolError("probe reached destination with empty path")
+        probe.status = ProbeStatus.SUCCEEDED
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.CIRCUIT_RESERVED, probe.at_node,
+                          circuit.circuit_id, hops=len(circuit.path))
+        self._finish_probe(probe)
+        self.control_flits.append(
+            ControlFlit(
+                kind=ControlFlitKind.ACK,
+                circuit_id=circuit.circuit_id,
+                hop_index=len(circuit.path) - 1,
+                ready_at=cycle + self.config.setup_hop_delay,
+            )
+        )
+        self.stats.bump("probe.succeeded")
+        self.work_done += 1
+
+    def probe_failed(self, probe: Probe, cycle: int) -> None:
+        circuit = self.table.get(probe.circuit_id)
+        if circuit.path:
+            raise ProtocolError(
+                f"probe {probe.probe_id} failed with reservations outstanding"
+            )
+        probe.status = ProbeStatus.FAILED
+        circuit.state = CircuitState.DEAD
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PROBE_FAIL, probe.at_node,
+                          probe.probe_id, circuit=circuit.circuit_id,
+                          force=probe.force)
+        self._finish_probe(probe)
+        self.stats.bump("probe.failed")
+        self._engine(probe.src).probe_failed(probe, circuit, cycle)
+        self.work_done += 1
+
+    def _finish_probe(self, probe: Probe) -> None:
+        self.probes.remove(probe)
+        self._probes_by_id.pop(probe.probe_id, None)
+        for key in self._probe_claims.pop(probe.probe_id, ()):
+            self.claims.pop(key, None)
+        for unit in self.units:
+            unit.clear_history(probe.probe_id)
+
+    def _drop_claim(self, probe: Probe, key: ChannelKey) -> None:
+        if self.claims.get(key) == probe.probe_id:
+            del self.claims[key]
+            self._probe_claims.get(probe.probe_id, set()).discard(key)
+
+    def _wake_claimant(self, node: int, port: int, switch: int,
+                       cycle: int) -> None:
+        """A channel was freed: wake the probe that claimed it (dozing
+        waiters poll sparsely; this keeps their grab latency at one
+        cycle)."""
+        claimant = self.claims.get((node, port, switch))
+        if claimant is None:
+            return
+        probe = self._probes_by_id.get(claimant)
+        if probe is not None and probe.ready_at > cycle + 1:
+            probe.ready_at = cycle + 1
+
+    # -- victim release ------------------------------------------------------
+
+    def initiate_victim_release(
+        self, probe: Probe, circuit_id: int, cycle: int
+    ) -> None:
+        """A blocked Force probe asks for a victim circuit's release.
+
+        Claims the requested channel at the probe's node so the eventual
+        teardown benefits the requester, then either asks the local engine
+        (victim starts here) or sends a RELEASE_REQ control flit towards
+        the victim's source along the reverse control path.
+        """
+        victim = self.table.get(circuit_id)
+        node = probe.at_node
+        # Claim the victim's channel at this node for the waiting probe.
+        for hop_node, hop_port in victim.path:
+            if hop_node == node:
+                key = (hop_node, hop_port, victim.switch)
+                self.claims[key] = probe.probe_id
+                self._probe_claims.setdefault(probe.probe_id, set()).add(key)
+                break
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.RELEASE_REQUESTED, node,
+                          circuit_id, requester=probe.probe_id)
+        self.stats.bump("clrp.victim_releases_requested")
+        if victim.src == node:
+            self._engine(node).release_requested(victim, cycle)
+            self.work_done += 1
+            return
+        # Remote: walk backwards from this node's hop towards the source.
+        hop_index = None
+        for i, (hop_node, _port) in enumerate(victim.path):
+            if hop_node == node:
+                hop_index = i - 1
+                break
+        if hop_index is None:
+            raise ProtocolError(
+                f"victim circuit {circuit_id} does not cross node {node}"
+            )
+        self.control_flits.append(
+            ControlFlit(
+                kind=ControlFlitKind.RELEASE_REQ,
+                circuit_id=circuit_id,
+                hop_index=hop_index,
+                ready_at=cycle + self.config.setup_hop_delay,
+                requester_probe=probe.probe_id,
+            )
+        )
+        self.work_done += 1
+
+    def start_teardown(self, circuit: Circuit, cycle: int) -> None:
+        """Source-initiated teardown: a control flit frees hops in order."""
+        if circuit.state is not CircuitState.ESTABLISHED:
+            raise ProtocolError(
+                f"teardown of circuit {circuit.circuit_id} in state "
+                f"{circuit.state.value}"
+            )
+        if circuit.in_use:
+            raise ProtocolError(
+                f"teardown of in-use circuit {circuit.circuit_id}; the "
+                "In-use bit protects messages in transit"
+            )
+        circuit.state = CircuitState.RELEASING
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.TEARDOWN_START, circuit.src,
+                          circuit.circuit_id)
+        self.control_flits.append(
+            ControlFlit(
+                kind=ControlFlitKind.TEARDOWN,
+                circuit_id=circuit.circuit_id,
+                hop_index=0,
+                ready_at=cycle + self.config.setup_hop_delay,
+            )
+        )
+        self.stats.bump("circuit.teardowns")
+        self.work_done += 1
+
+    # -- transfers ------------------------------------------------------------
+
+    def start_transfer(
+        self, circuit: Circuit, message: "Message", cycle: int
+    ) -> WaveTransfer:
+        if circuit.state is not CircuitState.ESTABLISHED:
+            raise ProtocolError(
+                f"transfer on circuit {circuit.circuit_id} in state "
+                f"{circuit.state.value}"
+            )
+        if circuit.in_use:
+            raise ProtocolError(
+                f"circuit {circuit.circuit_id} already in use; messages "
+                "must serialize on the In-use bit"
+            )
+        circuit.in_use = True
+        transfer = WaveTransfer(
+            message=message,
+            circuit=circuit,
+            rate=self.config.flits_per_cycle,
+            window=self.config.window,
+            pipe_delay=circuit.length * self.config.wire_delay,
+            start_cycle=cycle,
+        )
+        self.transfers.append(transfer)
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.TRANSFER_START, circuit.src,
+                          circuit.circuit_id, msg=message.msg_id,
+                          flits=message.length)
+        self.stats.bump("wave.transfers_started")
+        self.work_done += 1
+        return transfer
+
+    # -- per-cycle advancement ---------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._step_control_flits(cycle)
+        self._step_probes(cycle)
+        self._step_transfers(cycle)
+
+    def _step_probes(self, cycle: int) -> None:
+        if not self.probes:
+            return
+        # Snapshot: a probe finishing mutates self.probes; a finished
+        # probe's status flips, so no membership re-scan is needed.
+        for probe in tuple(self.probes):
+            if probe.ready_at <= cycle and probe.status in (
+                ProbeStatus.SEARCHING, ProbeStatus.WAITING
+            ):
+                probe.step(self, cycle)
+
+    def _step_control_flits(self, cycle: int) -> None:
+        hop_delay = self.config.setup_hop_delay
+        finished: list[ControlFlit] = []
+        for flit in list(self.control_flits):
+            if flit.ready_at > cycle:
+                continue
+            circuit = self.table.get(flit.circuit_id)
+            if flit.kind is ControlFlitKind.ACK:
+                node, port = circuit.path[flit.hop_index]
+                self.units[node].set_ack_returned(port, circuit.switch,
+                                                  circuit.circuit_id)
+                flit.hop_index -= 1
+                flit.ready_at = cycle + hop_delay
+                self.work_done += 1
+                if flit.hop_index < 0:
+                    circuit.state = CircuitState.ESTABLISHED
+                    circuit.established_at = cycle
+                    finished.append(flit)
+                    if self.log is not None:
+                        self.log.emit(cycle, EventKind.CIRCUIT_ESTABLISHED,
+                                      circuit.src, circuit.circuit_id,
+                                      dst=circuit.dst, hops=circuit.length)
+                    self.stats.bump("circuit.established")
+                    self._engine(circuit.src).circuit_established(circuit, cycle)
+            elif flit.kind is ControlFlitKind.TEARDOWN:
+                node, port = circuit.path[flit.hop_index]
+                unit = self.units[node]
+                unit.unmap_through((port, circuit.switch))
+                unit.release(port, circuit.switch, circuit.circuit_id)
+                self._wake_claimant(node, port, circuit.switch, cycle)
+                flit.hop_index += 1
+                circuit.released_upto = flit.hop_index
+                flit.ready_at = cycle + hop_delay
+                self.work_done += 1
+                if flit.hop_index >= len(circuit.path):
+                    circuit.state = CircuitState.DEAD
+                    circuit.released_at = cycle
+                    finished.append(flit)
+                    if self.log is not None:
+                        self.log.emit(cycle, EventKind.CIRCUIT_RELEASED,
+                                      circuit.src, circuit.circuit_id,
+                                      uses=circuit.uses)
+                    self.stats.bump("circuit.released")
+                    self._engine(circuit.src).circuit_released(circuit, cycle)
+            elif flit.kind is ControlFlitKind.RELEASE_REQ:
+                # Discard if the circuit is already going away (race case
+                # from the Theorem 1 proof) -- a first request, or the
+                # teardown itself, has overtaken this one.  A circuit still
+                # SETTING_UP is fine: the Ack Returned bit was set at the
+                # requesting node, so the ack is strictly ahead of us on
+                # this same reverse path and the circuit will be
+                # established by the time we arrive.
+                if circuit.state in (CircuitState.RELEASING, CircuitState.DEAD):
+                    flit.discarded = True
+                    finished.append(flit)
+                    self.stats.bump("clrp.release_req_discarded")
+                    continue
+                flit.hop_index -= 1
+                flit.ready_at = cycle + hop_delay
+                self.work_done += 1
+                if flit.hop_index < 0:
+                    finished.append(flit)
+                    self._engine(circuit.src).release_requested(circuit, cycle)
+        for flit in finished:
+            self.control_flits.remove(flit)
+
+    def _step_transfers(self, cycle: int) -> None:
+        done: list[WaveTransfer] = []
+        for transfer in self.transfers:
+            self.work_done += transfer.advance(cycle)
+            if (
+                transfer.delivered_at >= 0
+                and not transfer.message.delivery_notified
+                and cycle >= transfer.delivered_at
+            ):
+                transfer.message.delivery_notified = True
+                if self.deliver_message is not None:
+                    self.deliver_message(transfer.message, transfer.delivered_at)
+                self.work_done += 1
+            if transfer.done:
+                done.append(transfer)
+        for transfer in done:
+            self.transfers.remove(transfer)
+            circuit = transfer.circuit
+            circuit.in_use = False
+            circuit.uses += 1
+            circuit.flits_streamed += transfer.length
+            if self.log is not None:
+                self.log.emit(cycle, EventKind.TRANSFER_COMPLETE, circuit.src,
+                              transfer.message.msg_id,
+                              circuit=circuit.circuit_id)
+            self.stats.bump("wave.transfers_completed")
+            self._engine(circuit.src).transfer_completed(transfer, cycle)
+
+    # -- idleness ---------------------------------------------------------------
+
+    def is_idle(self) -> bool:
+        return not self.probes and not self.control_flits and not self.transfers

@@ -1,0 +1,188 @@
+"""Routing probes (Fig. 4) and the MB-m misrouting-backtracking search.
+
+A probe is a single control flit that walks the control channels of one
+wave switch ``Si``, reserving the (control channel, data channel) pair at
+each hop.  The MB-m protocol (Gaughan & Yalamanchili [12]) governs the
+walk:
+
+* *profitable* links (on a minimal path to the destination) are preferred;
+* up to ``m`` *misroutes* over non-minimal links are allowed;
+* when no acceptable link is free the probe **backtracks**, releasing the
+  last reservation and recording the searched link in the previous node's
+  History Store so the same path is never searched twice;
+* a probe with the **Force** bit set (CLRP phase 2) does not backtrack on
+  channels held by *established* circuits -- it selects a victim and waits
+  for its release; it still backtracks when every requested channel
+  belongs to a circuit *being established* (waiting there would create the
+  cyclic channel dependencies Theorem 1 rules out).
+
+The walk logic lives here as pure decision methods; the
+:class:`~repro.circuits.plane.WavePlane` supplies channel state and moves
+probes in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.plane import WavePlane
+
+
+class ProbeStatus(Enum):
+    SEARCHING = "searching"
+    WAITING = "waiting"  # Force probe waiting on a victim circuit release
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class Probe:
+    """One routing probe (Fig. 4) plus its search bookkeeping.
+
+    The paper's fields map as: Header bit -- implicit in the type;
+    Backtrack bit -- :attr:`backtracking`; Misroute -- :attr:`misroutes`;
+    Force -- :attr:`force`; the Xi-offset fields -- derivable from
+    :attr:`at_node` and :attr:`dst`.
+    """
+
+    probe_id: int
+    circuit_id: int
+    src: int
+    dst: int
+    switch: int
+    force: bool
+    max_misroutes: int
+    at_node: int = -1
+    misroutes: int = 0
+    backtracking: bool = False
+    status: ProbeStatus = ProbeStatus.SEARCHING
+    ready_at: int = 0
+    # Channels whose circuits we have already asked to be released, so a
+    # waiting probe does not flood duplicate release requests.
+    requested_releases: set[int] = field(default_factory=set)
+    # Statistics.
+    hops: int = 0
+    backtracks: int = 0
+    waits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_node < 0:
+            self.at_node = self.src
+
+    # ------------------------------------------------------------------
+
+    def step(self, plane: "WavePlane", cycle: int) -> None:
+        """Perform one decision at the current node.
+
+        Called by the plane when ``ready_at <= cycle``.  Mutates probe and
+        channel state through ``plane``.
+        """
+        if self.status in (ProbeStatus.SUCCEEDED, ProbeStatus.FAILED):
+            raise ProtocolError(f"stepping finished probe {self.probe_id}")
+
+        if self.at_node == self.dst:
+            plane.probe_reached_destination(self, cycle)
+            return
+
+        unit = plane.units[self.at_node]
+        topo = plane.topology
+        minimal = set(topo.minimal_ports(self.at_node, self.dst))
+
+        # The port leading straight back over the hop we arrived on: a
+        # misroute there is a pure U-turn -- if the search below this node
+        # is exhausted the *backtrack* primitive handles it (releasing the
+        # reservation and recording history), so U-turn misroutes only
+        # burn budget and lengthen circuits.
+        back_port = None
+        path = plane.table.get(self.circuit_id).path
+        if path:
+            prev_node, prev_port = path[-1]
+            back_port = topo.reverse_port(prev_node, prev_port)
+
+        # Candidate output links in preference order: profitable first,
+        # then misroutes if budget remains.  History-searched and faulty
+        # links are never candidates.
+        profitable: list[int] = []
+        misroute: list[int] = []
+        for port in topo.connected_ports(self.at_node):
+            if unit.searched(self.probe_id, port):
+                continue
+            if plane.channel_faulty(self.at_node, port, self.switch):
+                continue
+            if port in minimal:
+                profitable.append(port)
+            elif self.misroutes < self.max_misroutes and port != back_port:
+                misroute.append(port)
+
+        free_choice = plane.first_free(self.at_node, self.switch, profitable, self)
+        took_misroute = False
+        if free_choice is None:
+            free_choice = plane.first_free(self.at_node, self.switch, misroute, self)
+            took_misroute = free_choice is not None
+
+        if free_choice is not None:
+            if took_misroute:
+                self.misroutes += 1
+                plane.stats.bump("probe.misroutes")
+            self.backtracking = False
+            plane.advance_probe(self, free_choice, cycle)
+            return
+
+        if self.force:
+            victims = plane.victim_candidates(
+                self.at_node, self.switch, profitable + misroute, self
+            )
+            if victims:
+                self._wait_on_victims(plane, victims, cycle)
+                return
+            # Every requested channel belongs to a circuit being
+            # established: the probe must backtrack even with Force set
+            # (waiting would close a cyclic channel dependency).
+            plane.stats.bump("probe.force_backtracks")
+
+        self._backtrack(plane, cycle)
+
+    # ------------------------------------------------------------------
+
+    def _wait_on_victims(
+        self, plane: "WavePlane", victims: list[tuple[int, int]], cycle: int
+    ) -> None:
+        """Request release of victim circuits and wait for a channel.
+
+        ``victims`` holds ``(port, circuit_id)`` for requested channels
+        owned by *established* circuits (Ack Returned set).
+        """
+        if self.status is not ProbeStatus.WAITING:
+            self.status = ProbeStatus.WAITING
+            self.waits += 1
+            plane.stats.bump("probe.waits")
+        for _port, circuit_id in victims:
+            if circuit_id in self.requested_releases:
+                continue
+            self.requested_releases.add(circuit_id)
+            plane.initiate_victim_release(self, circuit_id, cycle)
+            # One victim at a time is enough to guarantee progress; asking
+            # for more would evict working circuits needlessly.
+            break
+        # Doze: the plane wakes this probe the moment its claimed channel
+        # is released (wake_claimant), so polling sparsely costs nothing
+        # on the success path and saves a full candidate scan per cycle.
+        self.ready_at = cycle + 8
+
+    def _backtrack(self, plane: "WavePlane", cycle: int) -> None:
+        self.status = ProbeStatus.SEARCHING
+        circuit = plane.table.get(self.circuit_id)
+        if not circuit.path:
+            # At the source with nothing left to search: the probe failed.
+            plane.probe_failed(self, cycle)
+            return
+        prev_node, port = circuit.path[-1]
+        plane.retreat_probe(self, prev_node, port, cycle)
+        self.backtracking = True
+        self.backtracks += 1
+        plane.stats.bump("probe.backtracks")

@@ -1,0 +1,135 @@
+"""Wave-pipelined data transfers over established circuits.
+
+Once a circuit's acknowledgment has returned, messages stream over it
+*contention-free*: the paper removes the flit buffers from the circuit
+path entirely, so there is no link-level flow control and no possibility
+of blocking.  What remains is:
+
+* the **pipeline fill delay** -- wavefronts take ``wire_delay`` base
+  cycles per hop (synchronizers + wire), so the first flit arrives
+  ``hops * wire_delay`` cycles after it is injected;
+* the **streaming rate** -- ``wave_clock_ratio * channel_width_factor``
+  flits per base cycle (the wave clock can be up to 4x the base clock per
+  the authors' Spice studies, but splitting physical channels across the
+  ``k`` switches narrows each slice);
+* the **end-to-end windowing protocol** -- the source may have at most
+  ``window`` unacknowledged flits outstanding; acknowledgments ride the
+  reverse control path, so the round trip is twice the pipeline delay.
+  Too small a window for a long circuit throttles the stream exactly as
+  the paper warns ("this protocol requires deep delivery buffers").
+
+The transfer is advanced cycle by cycle with a fractional-rate
+accumulator; all arithmetic is integer-exact for rational rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.circuit import Circuit
+    from repro.network.message import Message
+
+
+@dataclass
+class WaveTransfer:
+    """One message streaming over one established circuit.
+
+    Lifecycle: created when the source NI wins the circuit's In-use bit;
+    :meth:`advance` is called every base cycle; ``delivered_at`` fires when
+    the last flit reaches the destination; ``completed_at`` (last ack back
+    at the source) is when the In-use bit clears and the circuit becomes
+    releasable again.
+    """
+
+    message: "Message"
+    circuit: "Circuit"
+    rate: float  # flits per base cycle
+    window: int
+    pipe_delay: int  # one-way pipeline fill, in base cycles
+    start_cycle: int
+    sent: int = 0
+    acked: int = 0
+    _budget: float = 0.0
+    # (cycle, cumulative flits sent by end of cycle) for ack computation.
+    _sent_log: deque = field(default_factory=deque)
+    last_sent_cycle: int = -1
+    delivered_at: int = -1
+    completed_at: int = -1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ProtocolError(f"transfer rate must be > 0, got {self.rate}")
+        if self.window < 1:
+            raise ProtocolError(f"window must be >= 1, got {self.window}")
+        if self.pipe_delay < 0:
+            raise ProtocolError(f"pipe_delay must be >= 0, got {self.pipe_delay}")
+
+    @property
+    def length(self) -> int:
+        return self.message.length
+
+    @property
+    def rtt(self) -> int:
+        """Ack round trip: pipeline down plus ack pipeline back."""
+        return 2 * self.pipe_delay
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at >= 0
+
+    def _acked_by(self, cycle: int) -> int:
+        """Cumulative flits whose end-to-end ack has arrived by ``cycle``."""
+        horizon = cycle - self.rtt
+        acked = self.acked
+        while self._sent_log and self._sent_log[0][0] <= horizon:
+            acked = self._sent_log.popleft()[1]
+        return acked
+
+    def advance(self, cycle: int) -> int:
+        """Advance one base cycle; returns flits sent this cycle."""
+        if self.done:
+            return 0
+        self.acked = self._acked_by(cycle)
+        moved = 0
+        if self.sent < self.length:
+            self._budget += self.rate
+            in_flight = self.sent - self.acked
+            can_send = min(
+                int(self._budget), self.window - in_flight, self.length - self.sent
+            )
+            if can_send > 0:
+                self.sent += can_send
+                self._budget -= can_send
+                self._sent_log.append((cycle, self.sent))
+                self.last_sent_cycle = cycle
+                moved = can_send
+        if self.sent == self.length:
+            if self.delivered_at < 0:
+                self.delivered_at = self.last_sent_cycle + self.pipe_delay
+            if cycle >= self.last_sent_cycle + self.rtt:
+                self.completed_at = cycle
+        return moved
+
+
+def recommended_window(topology, config) -> int:
+    """Smallest window that never throttles any circuit on this machine.
+
+    Section 2: "a windowing protocol with a longer window should be used.
+    A longer window also requires deeper buffers" -- the window must cover
+    the in-flight volume of the worst-case circuit, i.e. the ack round
+    trip of a diameter-length path at the full streaming rate.  A small
+    slack absorbs the per-cycle granularity of the accumulator.
+
+    Args:
+        topology: the machine's topology (for the diameter).
+        config: the :class:`~repro.sim.config.WaveConfig` in use.
+    """
+    import math
+
+    rtt = 2 * topology.diameter() * config.wire_delay
+    return int(math.ceil(config.flits_per_cycle * rtt)) + 4

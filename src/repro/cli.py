@@ -1,0 +1,291 @@
+"""Command-line front-end: run simulations without writing Python.
+
+Usage::
+
+    python -m repro run   --topology mesh --dims 8x8 --protocol clrp \
+                          --load 0.2 --length 64 --duration 5000
+    python -m repro sweep --protocol clrp --loads 0.1,0.3,0.6 --length 128
+    python -m repro compare --load 0.3 --length 128
+
+``run`` simulates one configuration and prints the delivery/latency/mode
+report; ``sweep`` produces a throughput-vs-load table for one protocol;
+``compare`` runs wormhole / CLRP / CARP side by side on the same traffic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.topology import FaultSet, build_topology
+from repro.traffic.compiler import compile_directives
+from repro.traffic.patterns import make_pattern
+from repro.traffic.workloads import uniform_workload
+
+
+def parse_dims(text: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise ConfigError(f"cannot parse dims {text!r}; expected e.g. 8x8")
+    if not dims:
+        raise ConfigError("dims must be non-empty")
+    return dims
+
+
+def build_config(args: argparse.Namespace, protocol: str | None = None) -> NetworkConfig:
+    protocol = protocol if protocol is not None else args.protocol
+    wave = None
+    if protocol != "wormhole":
+        wave = WaveConfig(
+            num_switches=args.wave_switches,
+            misroute_budget=args.misroute_budget,
+            wave_clock_ratio=args.wave_clock_ratio,
+            window=args.window,
+            circuit_cache_size=args.cache_size,
+            replacement=args.replacement,
+            clrp_variant=args.clrp_variant,
+        )
+    return NetworkConfig(
+        topology=args.topology,
+        dims=parse_dims(args.dims),
+        protocol=protocol,
+        wormhole=WormholeConfig(
+            vcs=args.vcs, buffer_depth=args.buffer_depth, routing=args.routing
+        ),
+        wave=wave,
+        seed=args.seed,
+    )
+
+
+def build_items(config: NetworkConfig, args: argparse.Namespace, load: float):
+    net_rng = SimRandom(args.seed)
+    topology = Network(config).topology  # cheap: only used for patterns
+    pattern = make_pattern(args.pattern, topology, net_rng.stream("pattern"))
+    msgs = uniform_workload(
+        MessageFactory(),
+        pattern,
+        num_nodes=config.num_nodes,
+        offered_load=load,
+        length=args.length,
+        duration=args.duration,
+        rng=net_rng,
+    )
+    if config.protocol == "carp":
+        items, _report = compile_directives(msgs)
+        return items
+    return msgs
+
+
+def build_faults(config: NetworkConfig, args: argparse.Namespace):
+    fraction = getattr(args, "fault_fraction", 0.0)
+    if not fraction:
+        return None
+    topo = build_topology(config.topology, parse_dims(args.dims))
+    faults = FaultSet(topo)
+    faults.fail_random_links(fraction, SimRandom(args.seed).fork("faults"))
+    return faults
+
+
+def simulate(config: NetworkConfig, items, args: argparse.Namespace):
+    net = Network(config, faults=build_faults(config, args))
+    sim = Simulator(
+        net,
+        items,
+        deadlock_check_interval=args.deadlock_check,
+        progress_timeout=args.progress_timeout,
+    )
+    result = sim.run(args.max_cycles)
+    return net, result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = build_config(args)
+    items = build_items(config, args, args.load)
+    net, result = simulate(config, items, args)
+    print(f"machine : {config.describe()}")
+    print(f"result  : {result.summary()}")
+    breakdown = net.stats.mode_breakdown()
+    if breakdown:
+        total = sum(breakdown.values())
+        print()
+        print(
+            format_table(
+                ["mode", "messages", "share"],
+                [(m, c, f"{c / total:.1%}") for m, c in sorted(breakdown.items())],
+            )
+        )
+    hist = net.stats.latency_histogram()
+    print()
+    print(
+        format_table(
+            ["latency metric", "cycles"],
+            [
+                ("mean", net.stats.mean_latency()),
+                ("p50", hist.percentile(50)),
+                ("p95", hist.percentile(95)),
+                ("max", hist.max),
+            ],
+        )
+    )
+    return 0 if result.delivered == result.injected else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    loads = [float(x) for x in args.loads.split(",")]
+    rows = []
+    for load in loads:
+        config = build_config(args)
+        items = build_items(config, args, load)
+        net, result = simulate(config, items, args)
+        nodes = config.num_nodes
+        throughput = net.stats.throughput_flits_per_cycle(
+            args.duration // 5, args.duration
+        ) / nodes
+        rows.append(
+            (load, throughput, net.stats.mean_latency(),
+             f"{result.delivered}/{result.injected}")
+        )
+        print(f"load {load:g}: throughput {throughput:.3f} flits/node/cycle")
+    print()
+    print(
+        format_table(
+            ["offered load", "accepted", "mean latency", "delivered"], rows
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for protocol in ("wormhole", "clrp", "carp"):
+        config = build_config(args, protocol=protocol)
+        items = build_items(config, args, args.load)
+        net, result = simulate(config, items, args)
+        rows.append(
+            (
+                protocol,
+                net.stats.mean_latency(),
+                net.stats.latency_histogram().percentile(95),
+                f"{result.delivered}/{result.injected}",
+            )
+        )
+        print(f"{protocol}: done ({result.cycles} cycles)")
+    print()
+    print(
+        format_table(
+            ["protocol", "mean latency", "p95 latency", "delivered"], rows
+        )
+    )
+    return 0
+
+
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    from repro.analysis.viz import link_loadmap, node_heatmap
+
+    config = build_config(args)
+    items = build_items(config, args, args.load)
+    net, result = simulate(config, items, args)
+    print(f"machine : {config.describe()}")
+    print(f"result  : {result.summary()}\n")
+    print(link_loadmap(net, title=f"link load at offered {args.load:g}"))
+    print()
+    print(node_heatmap(
+        net,
+        lambda n: float(net.interfaces[n].messages_delivered),
+        title="deliveries per node",
+    ))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wave-switching network simulator "
+                    "(Duato/Lopez/Yalamanchili, IPPS 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", default="mesh",
+                       choices=["mesh", "torus", "hypercube"])
+        p.add_argument("--dims", default="8x8", help="e.g. 8x8 or 2x2x2x2")
+        p.add_argument("--pattern", default="uniform",
+                       help="uniform|transpose|bit_reversal|bit_complement|"
+                            "neighbor|permutation|hotspot")
+        p.add_argument("--length", type=int, default=64, help="flits/message")
+        p.add_argument("--duration", type=int, default=5000,
+                       help="injection window (cycles)")
+        p.add_argument("--max-cycles", type=int, default=300_000)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--vcs", type=int, default=2)
+        p.add_argument("--buffer-depth", type=int, default=4)
+        p.add_argument("--routing", default="dor", choices=["dor", "adaptive"])
+        p.add_argument("--wave-switches", type=int, default=2)
+        p.add_argument("--misroute-budget", type=int, default=2)
+        p.add_argument("--wave-clock-ratio", type=float, default=4.0)
+        p.add_argument("--window", type=int, default=256)
+        p.add_argument("--cache-size", type=int, default=8)
+        p.add_argument("--replacement", default="lru",
+                       choices=["lru", "lfu", "fifo", "random"])
+        p.add_argument("--clrp-variant", default="standard",
+                       choices=["standard", "eager_force", "single_switch",
+                                "immediate_force"])
+        p.add_argument("--deadlock-check", type=int, default=0,
+                       help="check interval in cycles; 0 = off")
+        p.add_argument("--progress-timeout", type=int, default=0,
+                       help="livelock timeout in cycles; 0 = off")
+        p.add_argument("--fault-fraction", type=float, default=0.0,
+                       help="fraction of physical links to fail (static)")
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    add_common(run_p)
+    run_p.add_argument("--protocol", default="clrp",
+                       choices=["wormhole", "clrp", "carp"])
+    run_p.add_argument("--load", type=float, default=0.2,
+                       help="offered load (flits/node/cycle)")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="throughput vs offered load")
+    add_common(sweep_p)
+    sweep_p.add_argument("--protocol", default="clrp",
+                         choices=["wormhole", "clrp", "carp"])
+    sweep_p.add_argument("--loads", default="0.1,0.2,0.4,0.6",
+                         help="comma-separated offered loads")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    cmp_p = sub.add_parser("compare", help="wormhole vs CLRP vs CARP")
+    add_common(cmp_p)
+    cmp_p.add_argument("--load", type=float, default=0.2)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    heat_p = sub.add_parser("heatmap",
+                            help="link-load heat map of one run (2-D mesh)")
+    add_common(heat_p)
+    heat_p.add_argument("--protocol", default="wormhole",
+                        choices=["wormhole", "clrp", "carp"])
+    heat_p.add_argument("--load", type=float, default=0.3)
+    heat_p.set_defaults(func=cmd_heatmap)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Shared machinery of the per-node protocol engines.
+
+:class:`ProtocolEngine` is the interface the network interface and wave
+plane drive; :class:`CircuitEngineBase` adds the circuit lifecycle shared
+by CLRP and CARP: starting transfers when a circuit is free, serialising
+messages on the In-use bit, honouring release requests after the current
+message only (as the deadlock proof requires), and re-opening circuits
+for messages left queued by a victim teardown.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.circuits.circuit import Circuit, CircuitState
+from repro.circuits.plane import WavePlane
+from repro.circuits.probe import Probe
+from repro.circuits.wave import WaveTransfer
+from repro.core.circuit_cache import CacheEntryState, CircuitCache, CircuitCacheEntry
+from repro.errors import ProtocolError
+from repro.sim.config import SwitchingMode
+from repro.sim.events import EventKind, EventLog
+from repro.sim.stats import StatsCollector
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.interface import NetworkInterface
+    from repro.network.message import Message
+
+
+class ProtocolEngine:
+    """Interface every switching protocol implements at each node."""
+
+    def __init__(
+        self,
+        node: int,
+        interface: "NetworkInterface",
+        stats: StatsCollector,
+        topology: Topology,
+    ) -> None:
+        self.node = node
+        self.interface = interface
+        self.stats = stats
+        self.topology = topology
+        # Optional protocol event trace, shared with the wave plane.
+        self.log: EventLog | None = None
+
+    # -- driven by the network interface ---------------------------------
+
+    def on_message(self, msg: "Message", cycle: int) -> None:
+        raise NotImplementedError
+
+    def on_directive(self, directive, cycle: int) -> None:
+        raise ProtocolError(
+            f"{type(self).__name__} does not accept directives "
+            "(only CARP is compiler-aided)"
+        )
+
+    def on_cycle(self, cycle: int) -> None:
+        """Per-cycle hook; most engines need none."""
+
+    def pending_count(self) -> int:
+        """Messages held by this engine awaiting a circuit."""
+        return 0
+
+    # -- driven by the wave plane (no-ops for the wormhole baseline) ------
+
+    def circuit_established(self, circuit: Circuit, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no circuits")
+
+    def probe_failed(self, probe: Probe, circuit: Circuit, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no probes")
+
+    def release_requested(self, circuit: Circuit, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no circuits")
+
+    def circuit_released(self, circuit: Circuit, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no circuits")
+
+    def transfer_completed(self, transfer: WaveTransfer, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no transfers")
+
+
+class CircuitEngineBase(ProtocolEngine):
+    """Circuit lifecycle common to CLRP and CARP."""
+
+    def __init__(
+        self,
+        node: int,
+        interface: "NetworkInterface",
+        stats: StatsCollector,
+        topology: Topology,
+        plane: WavePlane,
+        cache: CircuitCache,
+    ) -> None:
+        super().__init__(node, interface, stats, topology)
+        self.plane = plane
+        self.cache = cache
+        self.num_switches = plane.config.num_switches
+        # Entries whose next transfer waits on a buffer re-allocation.
+        self._buffer_waits: dict[int, CircuitCacheEntry] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def initial_switch(self) -> int:
+        """The paper's suggestion generalised: neighbouring nodes start on
+        different switches, e.g. ``1 + (x + y) mod k`` on a 2D mesh."""
+        return sum(self.topology.coords(self.node)) % self.num_switches
+
+    def _record(self, msg: "Message"):
+        return self.stats.messages[msg.msg_id]
+
+    def _entry_for(self, circuit: Circuit) -> CircuitCacheEntry | None:
+        entry = self.cache.lookup(circuit.dst)
+        if entry is None:
+            return None
+        # Only match if the entry really tracks this circuit attempt (a
+        # newer attempt to the same dest would have a different circuit).
+        if entry.circuit is not None and entry.circuit is not circuit:
+            return None
+        return entry
+
+    def _fallback_mode(self) -> SwitchingMode:
+        return SwitchingMode.WORMHOLE_FALLBACK
+
+    def _send_wormhole(self, msg: "Message", mode: SwitchingMode, cycle: int) -> None:
+        self.interface.send_wormhole(msg, mode, cycle)
+
+    def _circuit_message_mode(
+        self, entry: CircuitCacheEntry, msg: "Message"
+    ) -> SwitchingMode:
+        """Per-message accounting of how the circuit was obtained."""
+        if msg.msg_id != entry.trigger_msg_id:
+            return SwitchingMode.CIRCUIT_HIT
+        if entry.forced:
+            return SwitchingMode.CIRCUIT_FORCED
+        return SwitchingMode.CIRCUIT_NEW
+
+    def _try_start_transfer(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        if (
+            entry.state is not CacheEntryState.ESTABLISHED
+            or entry.circuit is None
+            or entry.circuit.in_use
+            or not entry.queue
+        ):
+            return
+        if self.plane.config.model_buffers and not self._buffers_ready(
+            entry, cycle
+        ):
+            return
+        msg: "Message" = entry.queue.popleft()
+        transfer = self.plane.start_transfer(entry.circuit, msg, cycle)
+        self.cache.note_use(entry, cycle)
+        rec = self._record(msg)
+        rec.injected = cycle
+        rec.hops = entry.circuit.length
+        rec.mode = self._circuit_message_mode(entry, msg)
+        self.stats.bump(f"mode.{rec.mode.value}")
+        del transfer  # tracked by the plane
+
+    def _buffers_ready(self, entry: CircuitCacheEntry, cycle: int) -> bool:
+        """Section 2's end-point buffer discipline.
+
+        The buffers allocated when the circuit was established are reused
+        by every message; a message longer than the current allocation
+        forces a re-allocation costing ``buffer_realloc_penalty`` cycles
+        of messaging-layer work before the transfer can start.
+        """
+        if cycle < entry.buffer_ready_at:
+            self._buffer_waits[entry.dest] = entry
+            return False
+        head: "Message" = entry.queue[0]
+        if head.length > entry.buffer_flits:
+            entry.buffer_flits = head.length
+            if self.log is not None:
+                self.log.emit(cycle, EventKind.BUFFER_REALLOC, self.node,
+                              entry.dest, flits=head.length)
+            self.stats.bump("circuit.buffer_reallocs")
+            penalty = self.plane.config.buffer_realloc_penalty
+            if penalty == 0:
+                return True
+            entry.buffer_ready_at = cycle + penalty
+            self._buffer_waits[entry.dest] = entry
+            return False
+        return True
+
+    def on_cycle(self, cycle: int) -> None:
+        if not self._buffer_waits:
+            return
+        due = [
+            dest
+            for dest, entry in self._buffer_waits.items()
+            if cycle >= entry.buffer_ready_at
+        ]
+        for dest in due:
+            entry = self._buffer_waits.pop(dest)
+            if self.cache.lookup(dest) is entry:
+                self._try_start_transfer(entry, cycle)
+
+    def _release_entry(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        if entry.circuit is None or entry.state is not CacheEntryState.ESTABLISHED:
+            raise ProtocolError(
+                f"node {self.node}: cannot release entry for dest "
+                f"{entry.dest} in state {entry.state.value}"
+            )
+        entry.state = CacheEntryState.RELEASING
+        entry.pending_release = False
+        self.plane.start_teardown(entry.circuit, cycle)
+
+    # -- wave plane callbacks ------------------------------------------------
+
+    def circuit_established(self, circuit: Circuit, cycle: int) -> None:
+        entry = self.cache.lookup(circuit.dst)
+        if entry is None or entry.state is not CacheEntryState.SETTING_UP:
+            # Nobody wants this circuit any more; tear it straight down.
+            self.plane.start_teardown(circuit, cycle)
+            self.stats.bump("circuit.orphan_teardowns")
+            return
+        entry.circuit = circuit
+        entry.state = CacheEntryState.ESTABLISHED
+        entry.created_at = cycle
+        entry.last_used = cycle
+        if self.plane.config.model_buffers and entry.buffer_flits == 0:
+            # "A reasonably large buffer can be allocated" -- CLRP does
+            # not know the longest message yet; CARP pre-sizes from its
+            # directive and never reaches this default.
+            entry.buffer_flits = self.plane.config.default_buffer_flits
+        if entry.trigger_msg_id >= 0:
+            rec = self.stats.messages.get(entry.trigger_msg_id)
+            if rec is not None:
+                rec.setup_cycles = cycle - entry.setup_started
+        self.stats.bump(
+            "circuit.established_forced" if entry.forced else
+            "circuit.established_free"
+        )
+        self._try_start_transfer(entry, cycle)
+        if entry.pending_release and not entry.in_use and not entry.queue:
+            self._release_entry(entry, cycle)
+
+    def release_requested(self, circuit: Circuit, cycle: int) -> None:
+        if circuit.state is CircuitState.SETTING_UP:
+            # The request overtook the establishment callback (possible
+            # only under exotic timing); honour it once the ack lands.
+            entry = self.cache.lookup(circuit.dst)
+            if entry is not None and entry.state is CacheEntryState.SETTING_UP:
+                entry.pending_release = True
+            return
+        if circuit.state is not CircuitState.ESTABLISHED:
+            return  # already releasing or dead: duplicate request, ignore
+        entry = self._entry_for(circuit)
+        if entry is None:
+            # Circuit no longer tracked (shouldn't happen, but releasing is
+            # always safe if it's idle).
+            if not circuit.in_use:
+                self.plane.start_teardown(circuit, cycle)
+            return
+        if entry.state is CacheEntryState.RELEASING:
+            return
+        if entry.in_use:
+            # Tear down right after the message in transit completes --
+            # exactly the In-use discipline of the proof.  Messages still
+            # queued will re-open a circuit afterwards.
+            entry.pending_release = True
+            self.stats.bump("clrp.release_deferred_in_use")
+        else:
+            self._release_entry(entry, cycle)
+
+    def transfer_completed(self, transfer: WaveTransfer, cycle: int) -> None:
+        circuit = transfer.circuit
+        entry = self._entry_for(circuit)
+        if entry is None:
+            if circuit.state is CircuitState.ESTABLISHED and not circuit.in_use:
+                self.plane.start_teardown(circuit, cycle)
+            return
+        if entry.pending_release:
+            self._release_entry(entry, cycle)
+            return
+        self._try_start_transfer(entry, cycle)
+
+    def circuit_released(self, circuit: Circuit, cycle: int) -> None:
+        entry = self.cache.lookup(circuit.dst)
+        if entry is None or entry.circuit is not circuit:
+            return
+        entry.circuit = None
+        if entry.queue:
+            self._reopen_entry(entry, cycle)
+        else:
+            self.cache.remove(entry.dest)
+            self._on_slot_freed(cycle)
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _fresh_setup_phase(self) -> int:
+        """Phase a brand-new establishment starts in (CLRP variants
+        may skip phase 1 and probe with Force immediately)."""
+        return 1
+
+    def _reopen_entry(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        """A victimised circuit still had queued messages: set up afresh."""
+        entry.state = CacheEntryState.SETTING_UP
+        entry.circuit = None
+        entry.phase = self._fresh_setup_phase()
+        entry.forced = entry.phase >= 2
+        entry.switch = entry.initial_switch
+        entry.switches_tried = 1
+        entry.setup_started = cycle
+        entry.pending_release = False
+        entry.trigger_msg_id = entry.queue[0].msg_id
+        self.stats.bump("clrp.reopens")
+        self.plane.launch_probe(
+            self.node, entry.dest, entry.switch, force=entry.phase >= 2,
+            cycle=cycle
+        )
+
+    def _on_slot_freed(self, cycle: int) -> None:
+        """A cache slot became free; subclasses may admit waiting work."""
+
+    def pending_count(self) -> int:
+        return self.cache.pending_messages()

@@ -1,0 +1,23 @@
+"""The wormhole-only baseline engine.
+
+Every message uses S0.  This is the machine the paper's companion work
+compares wave switching against; every benchmark sweeps it alongside CLRP
+and CARP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.base import ProtocolEngine
+from repro.sim.config import SwitchingMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.message import Message
+
+
+class WormholeOnlyEngine(ProtocolEngine):
+    """Sends everything through the wormhole subsystem."""
+
+    def on_message(self, msg: "Message", cycle: int) -> None:
+        self.interface.send_wormhole(msg, SwitchingMode.WORMHOLE, cycle)

@@ -1,0 +1,213 @@
+"""CARP: the Compiler Aided Routing Protocol (section 3.2 of the paper).
+
+The compiler (or programmer) decides when a circuit is worth having and
+emits explicit directives:
+
+* :class:`CircuitOpen` -- establish a circuit to a destination *before*
+  the messages need it (the paper's analogue of cache prefetching);
+* :class:`CircuitClose` -- tear it down when the communication phase ends.
+
+Probes carry the Force bit **clear** -- CARP never tears down other
+circuits.  If a circuit cannot be established across any switch (after
+``max_setup_retries`` full sweeps), the affected messages simply use
+wormhole switching through S0, as do all messages the compiler never
+asked a circuit for.
+
+The "compiler" itself -- a static analyser that scans a workload's message
+stream and emits directives -- lives in :mod:`repro.traffic.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.probe import Probe
+from repro.core.base import CircuitEngineBase
+from repro.core.circuit_cache import CacheEntryState, CircuitCacheEntry
+from repro.errors import ProtocolError
+from repro.sim.config import SwitchingMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.message import Message
+
+
+@dataclass
+class CircuitOpen:
+    """Directive: establish a circuit ``node -> dst`` at cycle ``created``.
+
+    ``buffer_flits`` carries the compiler's knowledge of the longest
+    message of the set (section 2: "buffer size is determined by the
+    longest message of the set"), so CARP end-point buffers never need
+    re-allocation.
+    """
+
+    node: int
+    dst: int
+    created: int
+    buffer_flits: int | None = None
+
+
+@dataclass
+class CircuitClose:
+    """Directive: tear down the circuit ``node -> dst`` at cycle ``created``."""
+
+    node: int
+    dst: int
+    created: int
+
+
+Directive = Union[CircuitOpen, CircuitClose]
+
+
+class CARPEngine(CircuitEngineBase):
+    """Per-node CARP state machine."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.max_setup_retries = self.plane.config.max_setup_retries
+        # (dst, buffer_flits) opens waiting for an eviction to finish.
+        self._pending_opens: list[tuple[int, int | None]] = []
+
+    # -- directives -------------------------------------------------------
+
+    def on_directive(self, directive: Directive, cycle: int) -> None:
+        if directive.node != self.node:
+            raise ProtocolError(
+                f"directive for node {directive.node} delivered to {self.node}"
+            )
+        if isinstance(directive, CircuitOpen):
+            self._open(directive.dst, cycle, directive.buffer_flits)
+        elif isinstance(directive, CircuitClose):
+            self._close(directive.dst, cycle)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown directive {directive!r}")
+
+    def _open(
+        self, dst: int, cycle: int, buffer_flits: int | None = None
+    ) -> None:
+        if self.cache.lookup(dst) is not None:
+            self.stats.bump("carp.open_already_present")
+            return
+        if self.cache.full:
+            victim = self.cache.pick_victim(cycle)
+            if victim is None:
+                # Nothing evictable: drop the open; messages fall back to
+                # wormhole, which is always available.
+                self.stats.bump("carp.open_dropped_cache_full")
+                return
+            self.stats.bump("carp.open_evictions")
+            self._release_entry(victim, cycle)
+            # The slot frees when the teardown completes; remember to open.
+            self._pending_opens.append((dst, buffer_flits))
+            return
+        switch = self.initial_switch()
+        entry = CircuitCacheEntry(
+            dest=dst,
+            initial_switch=switch,
+            switch=switch,
+            setup_started=cycle,
+            created_at=cycle,
+        )
+        if buffer_flits is not None:
+            entry.buffer_flits = buffer_flits
+        # sweeps_done counts full all-switches passes (CARP retry knob).
+        entry.phase = 1
+        self.cache.insert(entry)
+        self.stats.bump("carp.opens")
+        self.plane.launch_probe(self.node, dst, switch, force=False, cycle=cycle)
+
+    def _close(self, dst: int, cycle: int) -> None:
+        entry = self.cache.lookup(dst)
+        if entry is None:
+            self.stats.bump("carp.close_no_entry")
+            return
+        self.stats.bump("carp.closes")
+        if entry.state is CacheEntryState.SETTING_UP:
+            # Close overtook the setup; release as soon as it establishes.
+            entry.pending_release = True
+            return
+        if entry.state is CacheEntryState.RELEASING:
+            return
+        if entry.in_use or entry.queue:
+            entry.pending_release = True
+        else:
+            self._release_entry(entry, cycle)
+
+    # -- messages ---------------------------------------------------------
+
+    def on_message(self, msg: "Message", cycle: int) -> None:
+        entry = self.cache.lookup(msg.dst)
+        if entry is not None and entry.state is not CacheEntryState.RELEASING:
+            entry.queue.append(msg)
+            self.stats.bump("carp.circuit_sends")
+            if entry.state is CacheEntryState.ESTABLISHED:
+                self._try_start_transfer(entry, cycle)
+            return
+        if msg.circuit_hint:
+            # The compiler expected a circuit but none is open (setup
+            # failed, closed early, or the open was dropped).
+            self.stats.bump("carp.hinted_fallback")
+            self._send_wormhole(msg, SwitchingMode.WORMHOLE_FALLBACK, cycle)
+        else:
+            self._send_wormhole(msg, SwitchingMode.WORMHOLE, cycle)
+
+    def _circuit_message_mode(
+        self, entry: CircuitCacheEntry, msg: "Message"
+    ) -> SwitchingMode:
+        # Under CARP every circuit message rides a prefetched circuit; the
+        # establishment was never triggered by a message.
+        return SwitchingMode.CIRCUIT_HIT
+
+    # -- establishment outcome ------------------------------------------------
+
+    def probe_failed(self, probe: Probe, circuit: Circuit, cycle: int) -> None:
+        entry = self.cache.lookup(circuit.dst)
+        if entry is None or entry.state is not CacheEntryState.SETTING_UP:
+            raise ProtocolError(
+                f"node {self.node}: CARP probe failure for dest {circuit.dst} "
+                "without a setting-up cache entry"
+            )
+        if entry.switches_tried < self.num_switches:
+            entry.switch = (entry.switch + 1) % self.num_switches
+            entry.switches_tried += 1
+            self.plane.launch_probe(
+                self.node, entry.dest, entry.switch, force=False, cycle=cycle
+            )
+            return
+        if entry.phase < self.max_setup_retries:
+            # Another full sweep over all switches.
+            entry.phase += 1
+            entry.switch = entry.initial_switch
+            entry.switches_tried = 1
+            self.stats.bump("carp.setup_retries")
+            self.plane.launch_probe(
+                self.node, entry.dest, entry.switch, force=False, cycle=cycle
+            )
+            return
+        # Give up: queued messages use wormhole switching.
+        self.stats.bump("carp.setup_failed")
+        while entry.queue:
+            queued = entry.queue.popleft()
+            self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
+        self.cache.remove(entry.dest)
+        self._on_slot_freed(cycle)
+
+    # -- slot recycling ---------------------------------------------------
+
+    def _on_slot_freed(self, cycle: int) -> None:
+        while self._pending_opens and not self.cache.full:
+            dst, buffer_flits = self._pending_opens.pop(0)
+            if self.cache.lookup(dst) is None:
+                self._open(dst, cycle, buffer_flits)
+
+    def _reopen_entry(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        # A CARP circuit with queued messages was torn down (eviction or a
+        # close racing sends).  CARP does not chase circuits: the queued
+        # messages take wormhole switching instead.
+        while entry.queue:
+            queued = entry.queue.popleft()
+            self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
+        self.cache.remove(entry.dest)
+        self._on_slot_freed(cycle)

@@ -1,0 +1,163 @@
+"""The Circuit Cache registers (Fig. 5), one per network interface.
+
+Each entry records, exactly as the paper lists them:
+
+* **Initial Switch** -- the first wave switch tried, so a retrying probe
+  never searches the same switch twice;
+* **Switch** -- the switch currently being searched / in use;
+* **Channel** -- the output channel used at the source node;
+* **Dest** -- the destination node of the circuit;
+* **Ack Returned** -- the circuit is ready to be used;
+* **In-use** -- a message is in transit (protects against teardown);
+* **Replace** -- accounting for the replacement algorithm (here
+  ``last_used`` / ``use_count`` / ``created_at``, covering LRU, LFU and
+  FIFO).
+
+On top of the registers the entry carries the simulation-side state the
+CLRP/CARP engines drive: the establishment phase, queued messages, and
+pending-release flags.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ProtocolError
+from repro.core.replacement import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.circuit import Circuit
+    from repro.network.message import Message
+
+
+class CacheEntryState(Enum):
+    SETTING_UP = "setting_up"
+    ESTABLISHED = "established"
+    RELEASING = "releasing"
+
+
+@dataclass
+class CircuitCacheEntry:
+    """One Circuit Cache register set (Fig. 5) plus engine state."""
+
+    dest: int
+    initial_switch: int
+    switch: int
+    state: CacheEntryState = CacheEntryState.SETTING_UP
+    circuit: "Circuit | None" = None
+    # Engine bookkeeping.
+    phase: int = 1  # CLRP phase (1/2) or CARP sweep count
+    forced: bool = False  # establishment used a Force-bit probe (CLRP ph. 2)
+    switches_tried: int = 1
+    setup_started: int = 0
+    pending_release: bool = False
+    queue: deque = field(default_factory=deque)  # Messages awaiting the circuit
+    # The message whose arrival triggered this establishment (for per-
+    # message mode accounting: it is *not* a cache hit).
+    trigger_msg_id: int = -1
+    # Replace field accounting.
+    created_at: int = 0
+    last_used: int = 0
+    use_count: int = 0
+    # End-point message buffers (section 2), used when the WaveConfig has
+    # model_buffers on: current allocation and when a re-allocation in
+    # progress completes.
+    buffer_flits: int = 0
+    buffer_ready_at: int = 0
+
+    # -- Fig. 5 register views -------------------------------------------
+
+    @property
+    def ack_returned(self) -> bool:
+        """The Ack Returned bit: circuit confirmed usable."""
+        return self.state is CacheEntryState.ESTABLISHED
+
+    @property
+    def in_use(self) -> bool:
+        """The In-use bit, mirrored from the circuit."""
+        return self.circuit is not None and self.circuit.in_use
+
+    @property
+    def channel(self) -> int | None:
+        """The Channel field: output port used at the source node."""
+        if self.circuit is None or not self.circuit.path:
+            return None
+        return self.circuit.path[0][1]
+
+    def evictable(self) -> bool:
+        """May the replacement algorithm victimise this entry right now?
+
+        Only an established, idle, queue-free circuit can be torn down
+        without violating the In-use protection or abandoning a setup in
+        flight.
+        """
+        return (
+            self.state is CacheEntryState.ESTABLISHED
+            and not self.in_use
+            and not self.queue
+            and not self.pending_release
+        )
+
+
+class CircuitCache:
+    """Fixed-capacity map ``dest -> CircuitCacheEntry`` with replacement.
+
+    The cache never holds two entries for the same destination: the paper
+    establishes (at most) one circuit per communicating pair per source.
+    """
+
+    def __init__(self, capacity: int, policy: ReplacementPolicy) -> None:
+        if capacity < 1:
+            raise ProtocolError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.entries: dict[int, CircuitCacheEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def lookup(self, dest: int) -> CircuitCacheEntry | None:
+        return self.entries.get(dest)
+
+    def insert(self, entry: CircuitCacheEntry) -> None:
+        if entry.dest in self.entries:
+            raise ProtocolError(f"duplicate cache entry for dest {entry.dest}")
+        if self.full:
+            raise ProtocolError("cache full; evict before inserting")
+        self.entries[entry.dest] = entry
+
+    def remove(self, dest: int) -> CircuitCacheEntry:
+        try:
+            return self.entries.pop(dest)
+        except KeyError:
+            raise ProtocolError(f"no cache entry for dest {dest}") from None
+
+    def evictable_entries(self) -> list[CircuitCacheEntry]:
+        return [e for e in self.entries.values() if e.evictable()]
+
+    def pick_victim(self, cycle: int) -> CircuitCacheEntry | None:
+        """Replacement decision; None when nothing can be evicted."""
+        candidates = self.evictable_entries()
+        if not candidates:
+            return None
+        return self.policy.select_victim(candidates, cycle)
+
+    def note_use(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        self.policy.on_use(entry, cycle)
+
+    def pending_messages(self) -> int:
+        """Messages queued across all entries (for idleness checks)."""
+        return sum(len(e.queue) for e in self.entries.values())
+
+    def find_by_circuit(self, circuit_id: int) -> CircuitCacheEntry | None:
+        for entry in self.entries.values():
+            if entry.circuit is not None and entry.circuit.circuit_id == circuit_id:
+                return entry
+        return None

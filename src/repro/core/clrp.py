@@ -1,0 +1,195 @@
+"""CLRP: the Cache-Like Routing Protocol (section 3.1 of the paper).
+
+The network is handled as a cache of circuits.  On a message to a
+destination with no cached circuit, the source establishes one in up to
+three phases:
+
+1. **Force clear** -- a probe with the Force bit reset searches each wave
+   switch in turn (starting from the node's Initial Switch and cycling
+   modulo ``k``), backtracking off busy channels (MB-m);
+2. **Force set** -- the probe is re-sent with the Force bit set: blocked
+   channels held by *established* circuits trigger a victim teardown
+   (local circuits torn down directly, crossing circuits released via a
+   control flit to their source); channels held by circuits *being
+   established* still force a backtrack;
+3. **Wormhole fallback** -- the message is simply sent through S0.
+
+Messages arriving while a circuit exists ride it (circuit hits).  Cache
+capacity pressure evicts a victim chosen by the replacement algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.probe import Probe
+from repro.core.base import CircuitEngineBase
+from repro.core.circuit_cache import CacheEntryState, CircuitCacheEntry
+from repro.errors import ProtocolError
+from repro.sim.config import SwitchingMode
+from repro.sim.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.message import Message
+
+
+class CLRPEngine(CircuitEngineBase):
+    """Per-node CLRP state machine."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Messages whose destination needs a cache slot that is being
+        # freed by an eviction in flight.
+        self._waiting_for_slot: deque["Message"] = deque()
+        self.variant = self.plane.config.clrp_variant
+
+    # -- section 3.1's simplification menu ---------------------------------
+
+    def _phase1_switch_budget(self) -> int:
+        """Switches phase 1 sweeps before setting the Force bit."""
+        if self.variant in ("eager_force", "single_switch"):
+            return 1
+        return self.num_switches
+
+    def _phase2_switch_budget(self) -> int:
+        """Switches phase 2 sweeps before falling back to wormhole."""
+        if self.variant == "single_switch":
+            return 1
+        return self.num_switches
+
+    # -- message admission ----------------------------------------------
+
+    def on_message(self, msg: "Message", cycle: int) -> None:
+        entry = self.cache.lookup(msg.dst)
+        if entry is not None:
+            entry.queue.append(msg)
+            self.stats.bump("clrp.lookup_hit")
+            if entry.state is CacheEntryState.ESTABLISHED:
+                self._try_start_transfer(entry, cycle)
+            # SETTING_UP: the message flows once the ack returns.
+            # RELEASING: circuit_released() re-opens for the queue.
+            return
+        self.stats.bump("clrp.lookup_miss")
+        self._miss(msg, cycle)
+
+    def _miss(self, msg: "Message", cycle: int) -> None:
+        if not self.cache.full:
+            self._open_entry(msg, cycle)
+            return
+        victim = self.cache.pick_victim(cycle)
+        if victim is not None:
+            if self.log is not None:
+                self.log.emit(cycle, EventKind.CACHE_EVICT, self.node,
+                              victim.dest, for_dest=msg.dst)
+            self.stats.bump("clrp.cache_evictions")
+            self._waiting_for_slot.append(msg)
+            self._release_entry(victim, cycle)
+            return
+        # Every entry is busy (in use, queued or setting up): nothing can
+        # be evicted without waiting, so this message takes S0 instead of
+        # stalling behind an unbounded eviction chain.
+        self.stats.bump("clrp.cache_full_fallback")
+        self._send_wormhole(msg, SwitchingMode.WORMHOLE_FALLBACK, cycle)
+
+    def _open_entry(self, msg: "Message", cycle: int) -> None:
+        switch = self.initial_switch()
+        entry = CircuitCacheEntry(
+            dest=msg.dst,
+            initial_switch=switch,
+            switch=switch,
+            setup_started=cycle,
+            created_at=cycle,
+            trigger_msg_id=msg.msg_id,
+        )
+        entry.queue.append(msg)
+        entry.phase = self._fresh_setup_phase()
+        entry.forced = entry.phase >= 2  # "immediate_force" skips phase 1
+        self.cache.insert(entry)
+        self.plane.launch_probe(
+            self.node, msg.dst, switch, force=entry.phase == 2, cycle=cycle
+        )
+
+    # -- establishment phases ------------------------------------------------
+
+    def probe_failed(self, probe: Probe, circuit: Circuit, cycle: int) -> None:
+        entry = self.cache.lookup(circuit.dst)
+        if entry is None or entry.state is not CacheEntryState.SETTING_UP:
+            raise ProtocolError(
+                f"node {self.node}: probe failure for dest {circuit.dst} "
+                "without a setting-up cache entry"
+            )
+        budget = (
+            self._phase1_switch_budget()
+            if entry.phase == 1
+            else self._phase2_switch_budget()
+        )
+        if entry.switches_tried < budget:
+            # Try the next switch modulo k; Initial Switch guarantees we
+            # stop after one full cycle.
+            entry.switch = (entry.switch + 1) % self.num_switches
+            entry.switches_tried += 1
+            self.plane.launch_probe(
+                self.node, entry.dest, entry.switch, force=probe.force, cycle=cycle
+            )
+            return
+        if entry.phase == 1:
+            # Phase 2: Force bit set, restart from the Initial Switch.
+            entry.phase = 2
+            entry.forced = True
+            entry.switch = entry.initial_switch
+            entry.switches_tried = 1
+            if self.log is not None:
+                self.log.emit(cycle, EventKind.PHASE_CHANGE, self.node,
+                              entry.dest, phase=2)
+            self.stats.bump("clrp.phase2_entered")
+            self.plane.launch_probe(
+                self.node, entry.dest, entry.switch, force=True, cycle=cycle
+            )
+            return
+        # Phase 3: wormhole fallback for everything queued.
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PHASE_CHANGE, self.node,
+                          entry.dest, phase=3)
+        self.stats.bump("clrp.phase3_fallbacks")
+        while entry.queue:
+            queued = entry.queue.popleft()
+            self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
+        self.cache.remove(entry.dest)
+        self._on_slot_freed(cycle)
+
+    def _fresh_setup_phase(self) -> int:
+        return 2 if self.variant == "immediate_force" else 1
+
+    # -- slot recycling ------------------------------------------------------
+
+    def _reopen_entry(self, entry: CircuitCacheEntry, cycle: int) -> None:
+        super()._reopen_entry(entry, cycle)
+        # The teardown this engine triggered to free a slot was overtaken
+        # by new traffic to the victim's destination: the slot is gone.
+        # Re-dispatch the waiting messages -- _miss will pick another
+        # victim or fall back to wormhole, so nobody waits on a slot that
+        # will never free.
+        if self._waiting_for_slot:
+            self._redispatch_waiting(cycle)
+
+    def _redispatch_waiting(self, cycle: int) -> None:
+        waiting = list(self._waiting_for_slot)
+        self._waiting_for_slot.clear()
+        for msg in waiting:
+            entry = self.cache.lookup(msg.dst)
+            if entry is not None:
+                entry.queue.append(msg)
+                if entry.state is CacheEntryState.ESTABLISHED:
+                    self._try_start_transfer(entry, cycle)
+            elif not self.cache.full:
+                self._open_entry(msg, cycle)
+            else:
+                self._miss(msg, cycle)
+
+    def _on_slot_freed(self, cycle: int) -> None:
+        self._redispatch_waiting(cycle)
+
+    def pending_count(self) -> int:
+        return super().pending_count() + len(self._waiting_for_slot)

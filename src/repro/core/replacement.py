@@ -1,0 +1,96 @@
+"""Replacement algorithms for the Circuit Cache.
+
+The paper says only that "a replacement algorithm selects the circuit to
+be torn down" and that the Replace field "stores accounting information
+regarding the use of the circuit. The meaning of this field depends on the
+replacement algorithm."  We provide the classic menu -- LRU, LFU, FIFO and
+random -- and an ablation benchmark (E8) compares them.
+
+A policy sees only a list of *evictable* cache entries (established, not
+in use, nothing queued) and each entry's Replace accounting; it returns
+the victim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.rng import SimRandom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.circuit_cache import CircuitCacheEntry
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim among evictable Circuit Cache entries."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select_victim(
+        self, entries: Sequence["CircuitCacheEntry"], cycle: int
+    ) -> "CircuitCacheEntry":
+        """Return the entry to evict.  ``entries`` is non-empty."""
+
+    def on_use(self, entry: "CircuitCacheEntry", cycle: int) -> None:
+        """Update the entry's Replace accounting on every circuit use."""
+        entry.last_used = cycle
+        entry.use_count += 1
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Least recently used: evict the coldest circuit."""
+
+    name = "lru"
+
+    def select_victim(self, entries, cycle):
+        return min(entries, key=lambda e: (e.last_used, e.dest))
+
+
+class LFUReplacement(ReplacementPolicy):
+    """Least frequently used: evict the least popular circuit.
+
+    Ties break on recency (then dest for determinism), so a brand-new
+    circuit is not immediately victimised over an equally-counted old one.
+    """
+
+    name = "lfu"
+
+    def select_victim(self, entries, cycle):
+        return min(entries, key=lambda e: (e.use_count, e.last_used, e.dest))
+
+
+class FIFOReplacement(ReplacementPolicy):
+    """First-in first-out: evict the oldest-established circuit."""
+
+    name = "fifo"
+
+    def select_victim(self, entries, cycle):
+        return min(entries, key=lambda e: (e.created_at, e.dest))
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniform random eviction (the zero-information baseline)."""
+
+    name = "random"
+
+    def __init__(self, rng: SimRandom) -> None:
+        self._stream = rng.stream("replacement")
+
+    def select_victim(self, entries, cycle):
+        return entries[self._stream.randrange(len(entries))]
+
+
+def make_replacement(name: str, rng: SimRandom) -> ReplacementPolicy:
+    """Build a policy from its configuration name."""
+    if name == "lru":
+        return LRUReplacement()
+    if name == "lfu":
+        return LFUReplacement()
+    if name == "fifo":
+        return FIFOReplacement()
+    if name == "random":
+        return RandomReplacement(rng)
+    raise ConfigError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,68 @@
+"""The hybrid wave router of Fig. 2, as a structural composition.
+
+A wave router bundles, per node:
+
+* switch **S0** with its wormhole routing control unit -- our
+  :class:`~repro.wormhole.router.WormholeRouter`;
+* switches **S1..Sk** implementing circuit switching with wave pipelining
+  -- represented by the reserved-channel state of the node's
+  :class:`~repro.circuits.pcs_unit.PCSControlUnit` (a circuit-switched
+  crossbar holds no flits, so its entire observable state *is* which
+  input maps to which output);
+* the **PCS routing control unit** -- the same
+  :class:`~repro.circuits.pcs_unit.PCSControlUnit`, which owns the
+  control channels, status registers and History Store.
+
+Each physical channel of S0 is split into ``k + w`` virtual channels:
+``k`` single-flit control channels (handled by the PCS unit) plus ``w``
+wormhole data channels (handled by the wormhole unit) -- this class
+exposes that accounting, which test F2 checks against the figure.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.pcs_unit import PCSControlUnit
+from repro.wormhole.router import WormholeRouter
+
+
+class WaveRouter:
+    """One node's complete router: S0 plus the wave-switched side."""
+
+    def __init__(self, wormhole: WormholeRouter, pcs: PCSControlUnit) -> None:
+        if wormhole.node != pcs.node:
+            raise ValueError(
+                f"mismatched composition: S0 at node {wormhole.node}, "
+                f"PCS unit at node {pcs.node}"
+            )
+        self.node = wormhole.node
+        self.wormhole = wormhole
+        self.pcs = pcs
+
+    @property
+    def num_wave_switches(self) -> int:
+        """The paper's ``k``: wave-pipelined switches S1..Sk."""
+        return self.pcs.num_switches
+
+    @property
+    def num_wormhole_vcs(self) -> int:
+        """The paper's ``w``: virtual channels handled by S0."""
+        return self.wormhole.config.vcs
+
+    @property
+    def virtual_channels_per_physical_channel(self) -> int:
+        """Fig. 2: each S0 physical channel splits into ``k + w`` VCs
+        (``k`` control channels + ``w`` wormhole channels)."""
+        return self.num_wave_switches + self.num_wormhole_vcs
+
+    def circuit_switch_state(self, switch: int) -> dict[tuple[int, int], tuple[int, int]]:
+        """Input->output mapping currently configured in switch ``Si``.
+
+        A wave-pipelined crossbar is stateless except for its configured
+        connections; this reconstructs them from the Direct Channel
+        Mappings restricted to ``switch``.
+        """
+        return {
+            in_key: out_key
+            for in_key, out_key in self.pcs.direct_map.items()
+            if in_key[1] == switch
+        }

@@ -1,0 +1,14 @@
+"""Network assembly: messages, network interfaces and the Network itself.
+
+:class:`~repro.network.network.Network` glues one topology, one wormhole
+router per node, one network interface (NI) per node and -- unless running
+the wormhole-only baseline -- one shared
+:class:`~repro.circuits.plane.WavePlane` into a steppable machine, which
+:class:`~repro.sim.engine.Simulator` then drives.
+"""
+
+from repro.network.interface import NetworkInterface
+from repro.network.message import Message, MessageFactory
+from repro.network.network import Network
+
+__all__ = ["Message", "MessageFactory", "Network", "NetworkInterface"]

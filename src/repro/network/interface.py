@@ -1,0 +1,189 @@
+"""Network interface (NI): where the local processor meets the network.
+
+Per node, the NI owns:
+
+* the **wormhole injection queues** -- worms waiting to stream into the
+  router's injection virtual channels (the "from local processor" path of
+  Fig. 1/2), paced by buffer space;
+* the **delivery side** -- flits ejected by S0 and messages arriving over
+  circuits both land here and are recorded as delivered;
+* the node's **protocol engine** (CLRP / CARP / baseline), which it
+  drives every cycle, and -- through the engine -- the Circuit Cache
+  ("those registers are located in the network interface of every node",
+  section 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.sim.config import SwitchingMode
+from repro.sim.stats import StatsCollector
+from repro.wormhole.flit import Flit, make_worm
+from repro.wormhole.router import WormholeRouter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import ProtocolEngine
+    from repro.network.message import Message
+
+
+class _PendingWorm:
+    """A message's flits queued for one injection VC."""
+
+    __slots__ = ("message", "flits", "next_index")
+
+    def __init__(self, message: "Message", flits: list[Flit]) -> None:
+        self.message = message
+        self.flits = flits
+        self.next_index = 0
+
+    @property
+    def done(self) -> bool:
+        return self.next_index >= len(self.flits)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.flits) - self.next_index
+
+
+class NetworkInterface:
+    """One node's NI: injection, delivery and the protocol engine."""
+
+    def __init__(
+        self,
+        node: int,
+        router: WormholeRouter,
+        stats: StatsCollector,
+        distance_fn,
+    ) -> None:
+        self.node = node
+        self.router = router
+        self.stats = stats
+        self.distance = distance_fn
+        self.engine: "ProtocolEngine | None" = None
+        w = router.config.vcs
+        self._queues: list[deque[_PendingWorm]] = [deque() for _ in range(w)]
+        self.flits_delivered = 0
+        self.messages_delivered = 0
+        router.deliver = self.on_flit_delivered
+
+    # -- protocol glue -----------------------------------------------------
+
+    def set_engine(self, engine: "ProtocolEngine") -> None:
+        self.engine = engine
+
+    def on_message(self, msg: "Message", cycle: int) -> None:
+        if self.engine is None:
+            raise ProtocolError(f"node {self.node} has no protocol engine")
+        self.engine.on_message(msg, cycle)
+
+    def on_directive(self, directive, cycle: int) -> None:
+        if self.engine is None:
+            raise ProtocolError(f"node {self.node} has no protocol engine")
+        self.engine.on_directive(directive, cycle)
+
+    # -- wormhole sending ----------------------------------------------------
+
+    def send_wormhole(self, msg: "Message", mode: SwitchingMode, cycle: int) -> None:
+        """Queue a message for injection through S0.
+
+        If static faults sever every S0 path to the destination the
+        message is *dropped* and counted (deterministic wormhole routing
+        is not fault-tolerant; wedging the injection queue forever would
+        just hide that fact from the experiment).
+        """
+        from repro.wormhole.routing import wormhole_path_available
+
+        rec = self.stats.messages[msg.msg_id]
+        if not wormhole_path_available(
+            self.router.routing, msg.src, msg.dst, self.router.faults
+        ):
+            rec.mode = SwitchingMode.DROPPED
+            self.stats.bump("wormhole.undeliverable_dropped")
+            self.stats.bump(f"mode.{SwitchingMode.DROPPED.value}")
+            return
+        rec.mode = mode
+        rec.hops = self.distance(msg.src, msg.dst)
+        self.stats.bump(f"mode.{mode.value}")
+        flits = make_worm(msg.msg_id, msg.dst, msg.length)
+        # Shortest queue (by flits) keeps head-of-line blocking down.
+        vc = min(
+            range(len(self._queues)),
+            key=lambda v: sum(p.remaining for p in self._queues[v]),
+        )
+        self._queues[vc].append(_PendingWorm(msg, flits))
+
+    def _pump_injection(self, cycle: int) -> int:
+        pushed = 0
+        for vc, queue in enumerate(self._queues):
+            while queue:
+                worm = queue[0]
+                space = self.router.injection_space(vc)
+                if space <= 0:
+                    break
+                while space > 0 and not worm.done:
+                    flit = worm.flits[worm.next_index]
+                    if worm.next_index == 0:
+                        rec = self.stats.messages[worm.message.msg_id]
+                        rec.injected = cycle
+                    self.router.inject_flit(flit, vc, cycle)
+                    worm.next_index += 1
+                    space -= 1
+                    pushed += 1
+                if worm.done:
+                    queue.popleft()
+                else:
+                    break
+        return pushed
+
+    # -- per-cycle -------------------------------------------------------------
+
+    def pre_cycle(self, cycle: int) -> int:
+        """Engine hook plus injection pumping; returns flits injected."""
+        if self.engine is not None:
+            self.engine.on_cycle(cycle)
+        return self._pump_injection(cycle)
+
+    # -- delivery ---------------------------------------------------------------
+
+    def on_flit_delivered(self, flit: Flit, cycle: int) -> None:
+        """Ejection callback from the S0 router."""
+        self.flits_delivered += 1
+        if flit.dst != self.node:
+            raise ProtocolError(
+                f"flit for node {flit.dst} ejected at node {self.node}"
+            )
+        if flit.is_tail:
+            rec = self.stats.messages[flit.msg_id]
+            if rec.delivered >= 0:
+                raise ProtocolError(f"message {flit.msg_id} delivered twice")
+            rec.delivered = cycle
+            self.messages_delivered += 1
+
+    def on_circuit_delivery(self, msg: "Message", cycle: int) -> None:
+        """A wave transfer's last flit arrived here."""
+        if msg.dst != self.node:
+            raise ProtocolError(
+                f"circuit message for node {msg.dst} delivered at {self.node}"
+            )
+        rec = self.stats.messages[msg.msg_id]
+        if rec.delivered >= 0:
+            raise ProtocolError(f"message {msg.msg_id} delivered twice")
+        rec.delivered = cycle
+        self.messages_delivered += 1
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending_wormhole_flits(self) -> int:
+        return sum(p.remaining for q in self._queues for p in q)
+
+    def pending_engine_messages(self) -> int:
+        return self.engine.pending_count() if self.engine is not None else 0
+
+    def is_idle(self) -> bool:
+        return (
+            self.pending_wormhole_flits() == 0
+            and self.pending_engine_messages() == 0
+        )

@@ -1,0 +1,66 @@
+"""Messages: what workloads produce and the network delivers.
+
+A message is a unit of end-to-end communication: ``length`` flits
+(including the header flit, matching how the paper counts "128-flit
+messages") from ``src`` to ``dst``, created by the workload at cycle
+``created``.
+
+Which switching path carries the message is *not* a property of the
+message -- it is decided by the protocol engine at the source NI (CLRP
+decides automatically; CARP follows compiler directives; the baseline
+always uses wormhole).  ``circuit_hint`` carries the CARP compiler's
+advice when present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    msg_id: int
+    src: int
+    dst: int
+    length: int
+    created: int
+    # CARP compiler advice: True = expect a circuit, False = wormhole,
+    # None = no advice (CLRP and the baseline ignore this field).
+    circuit_hint: bool | None = None
+    # Set by the wave plane when the delivery notification has fired, so
+    # a transfer lingering until its last ack cannot deliver twice.
+    delivery_notified: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"message length must be >= 1 flit, got {self.length}")
+        if self.src == self.dst:
+            raise ValueError(f"self-message at node {self.src}")
+        if self.created < 0:
+            raise ValueError(f"created must be >= 0, got {self.created}")
+
+
+class MessageFactory:
+    """Allocates unique message ids for a run's workloads."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def make(
+        self,
+        src: int,
+        dst: int,
+        length: int,
+        created: int,
+        circuit_hint: bool | None = None,
+    ) -> Message:
+        msg = Message(
+            msg_id=self._next,
+            src=src,
+            dst=dst,
+            length=length,
+            created=created,
+            circuit_hint=circuit_hint,
+        )
+        self._next += 1
+        return msg

@@ -1,0 +1,194 @@
+"""The Network: topology + routers + NIs + wave plane, steppable by cycle.
+
+``Network.step()`` advances one base-clock cycle:
+
+1. every NI runs its protocol engine and pumps wormhole injection;
+2. the wave plane advances control flits, probes and transfers;
+3. every S0 router routes eligible headers (RC/VA);
+4. every S0 router moves flits (SA/ST/LT) with credit return.
+
+The per-cycle ordering is fixed and documented so runs are exactly
+reproducible; all intra-cycle interactions are pipelined by the
+"arrived this cycle may not move this cycle" rule in the router.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.circuits.plane import WavePlane
+from repro.core.baseline import WormholeOnlyEngine
+from repro.core.carp import CARPEngine, CircuitClose, CircuitOpen
+from repro.core.circuit_cache import CircuitCache
+from repro.core.clrp import CLRPEngine
+from repro.core.replacement import make_replacement
+from repro.core.wave_router import WaveRouter
+from repro.errors import ConfigError
+from repro.network.interface import NetworkInterface
+from repro.network.message import Message
+from repro.sim.config import NetworkConfig
+from repro.sim.rng import SimRandom
+from repro.sim.stats import MessageRecord, StatsCollector
+from repro.topology import build_topology
+from repro.topology.faults import FaultSet
+from repro.wormhole.router import WormholeRouter
+from repro.wormhole.routing import make_routing
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class Network:
+    """A complete simulated machine."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        faults: FaultSet | None = None,
+        rng: SimRandom | None = None,
+    ) -> None:
+        self.config = config
+        self.stats = StatsCollector()
+        self.rng = rng if rng is not None else SimRandom(config.seed)
+        self.topology = build_topology(config.topology, config.dims)
+        self.faults = faults
+        self.cycle = 0
+        self.work_counter = 0
+
+        routing = make_routing(
+            config.wormhole.routing, self.topology, config.wormhole.vcs
+        )
+        # Routers first (delivery callbacks are rebound by the NIs).
+        self.routers: list[WormholeRouter] = [
+            WormholeRouter(
+                node=n,
+                topology=self.topology,
+                config=config.wormhole,
+                routing=routing,
+                stats=self.stats,
+                deliver=lambda flit, cycle: None,  # NI rebinds below
+                faults=faults,
+            )
+            for n in range(self.topology.num_nodes)
+        ]
+        for node in range(self.topology.num_nodes):
+            for port in self.topology.connected_ports(node):
+                nbr = self.topology.neighbor(node, port)
+                assert nbr is not None
+                self.routers[node].connect(
+                    port, self.routers[nbr], self.topology.reverse_port(node, port)
+                )
+
+        self.interfaces: list[NetworkInterface] = [
+            NetworkInterface(n, self.routers[n], self.stats, self.topology.distance)
+            for n in range(self.topology.num_nodes)
+        ]
+
+        # Wave plane and protocol engines.
+        self.plane: WavePlane | None = None
+        self.wave_routers: list[WaveRouter] = []
+        if config.protocol == "wormhole":
+            for ni in self.interfaces:
+                ni.set_engine(
+                    WormholeOnlyEngine(ni.node, ni, self.stats, self.topology)
+                )
+        else:
+            wave = config.wave
+            if wave is None:  # pragma: no cover - guarded by NetworkConfig
+                raise ConfigError("wave protocols need a WaveConfig")
+            self.plane = WavePlane(self.topology, wave, self.stats, faults)
+            self.plane.deliver_message = self._deliver_circuit_message
+            engine_cls = CLRPEngine if config.protocol == "clrp" else CARPEngine
+            for ni in self.interfaces:
+                cache = CircuitCache(
+                    wave.circuit_cache_size,
+                    make_replacement(wave.replacement, self.rng.fork(f"repl{ni.node}")),
+                )
+                engine = engine_cls(
+                    ni.node, ni, self.stats, self.topology, self.plane, cache
+                )
+                ni.set_engine(engine)
+                self.plane.register_engine(ni.node, engine)
+            self.wave_routers = [
+                WaveRouter(self.routers[n], self.plane.units[n])
+                for n in range(self.topology.num_nodes)
+            ]
+
+    def attach_event_log(self, log) -> None:
+        """Enable protocol event tracing (:mod:`repro.sim.events`)."""
+        if self.plane is not None:
+            self.plane.log = log
+        for ni in self.interfaces:
+            if ni.engine is not None:
+                ni.engine.log = log
+
+    # -- injection -------------------------------------------------------
+
+    def inject(self, item) -> None:
+        """Feed one workload item (message or CARP directive) in."""
+        if isinstance(item, Message):
+            self.stats.new_message(
+                MessageRecord(
+                    msg_id=item.msg_id,
+                    src=item.src,
+                    dst=item.dst,
+                    length=item.length,
+                    created=item.created,
+                )
+            )
+            self.interfaces[item.src].on_message(item, self.cycle)
+        elif isinstance(item, (CircuitOpen, CircuitClose)):
+            self.interfaces[item.node].on_directive(item, self.cycle)
+        else:
+            raise ConfigError(f"cannot inject {type(item).__name__}")
+
+    def _deliver_circuit_message(self, msg: Message, cycle: int) -> None:
+        self.interfaces[msg.dst].on_circuit_delivery(msg, cycle)
+
+    # -- time ---------------------------------------------------------------
+
+    def step(self) -> None:
+        cycle = self.cycle
+        work = 0
+        for ni in self.interfaces:
+            work += ni.pre_cycle(cycle)
+        if self.plane is not None:
+            before = self.plane.work_done
+            self.plane.step(cycle)
+            work += self.plane.work_done - before
+        for router in self.routers:
+            if router.busy():
+                router.route_phase(cycle)
+        for router in self.routers:
+            if router.busy():
+                work += router.traversal_phase(cycle)
+        self.work_counter += work
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Convenience: step ``cycles`` times (tests and examples)."""
+        for _ in range(cycles):
+            self.step()
+
+    # -- state queries ------------------------------------------------------
+
+    def is_idle(self) -> bool:
+        if any(r.busy() for r in self.routers):
+            return False
+        if any(not ni.is_idle() for ni in self.interfaces):
+            return False
+        if self.plane is not None and not self.plane.is_idle():
+            return False
+        return True
+
+    def outstanding_messages(self) -> int:
+        return sum(
+            1 for m in self.stats.messages.values() if m.delivered < 0
+        )
+
+    def check_deadlock(self) -> None:
+        """Raise :class:`~repro.errors.DeadlockError` on a wait-for cycle."""
+        from repro.verify.deadlock import assert_no_deadlock
+
+        assert_no_deadlock(self)

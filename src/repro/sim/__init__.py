@@ -1,0 +1,52 @@
+"""Simulation kernel: configuration, RNG, statistics and the cycle engine.
+
+The whole reproduction is a *cycle-driven* simulation clocked at the
+wormhole router frequency (the paper's "base clock").  Wave-pipelined
+circuits run at a configurable multiple of this clock; they are advanced
+with per-cycle flit accumulators so the single global loop stays simple.
+
+Public surface:
+
+* :class:`~repro.sim.config.WormholeConfig`,
+  :class:`~repro.sim.config.WaveConfig`,
+  :class:`~repro.sim.config.NetworkConfig` -- declarative configuration.
+* :class:`~repro.sim.rng.SimRandom` -- deterministic seeded randomness.
+* :class:`~repro.sim.stats.StatsCollector`,
+  :class:`~repro.sim.stats.Histogram` -- measurement.
+* :class:`~repro.sim.engine.Simulator` -- the run loop with progress and
+  deadlock hooks.
+"""
+
+from repro.sim.config import (
+    NetworkConfig,
+    ReplacementPolicyName,
+    RoutingName,
+    SwitchingMode,
+    TopologyName,
+    WaveConfig,
+    WormholeConfig,
+)
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.events import Event, EventKind, EventLog
+from repro.sim.rng import SimRandom
+from repro.sim.stats import Histogram, MessageRecord, StatsCollector, TimeSeries
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventLog",
+    "Histogram",
+    "MessageRecord",
+    "NetworkConfig",
+    "ReplacementPolicyName",
+    "RoutingName",
+    "SimRandom",
+    "SimulationResult",
+    "Simulator",
+    "StatsCollector",
+    "SwitchingMode",
+    "TimeSeries",
+    "TopologyName",
+    "WaveConfig",
+    "WormholeConfig",
+]

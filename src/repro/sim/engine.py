@@ -1,0 +1,171 @@
+"""The simulation run loop.
+
+:class:`Simulator` drives a network object cycle by cycle, feeding it
+messages from a workload, and optionally running the deadlock detector and
+livelock (progress) monitor from :mod:`repro.verify`.
+
+The engine is deliberately thin: all switching semantics live in the
+network; all traffic semantics live in the workload.  The engine only owns
+*time* and *stopping conditions*, which keeps it reusable across every
+experiment in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.errors import LivelockError, SimulationError
+from repro.sim.stats import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.network.message import Message
+    from repro.network.network import Network
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`Simulator.run` call."""
+
+    cycles: int
+    stats: StatsCollector
+    completed: bool  # True iff workload exhausted and network drained
+    injected: int = 0
+    delivered: int = 0
+    config_summary: str = ""
+
+    @property
+    def undelivered(self) -> int:
+        return self.injected - self.delivered
+
+    def summary(self) -> str:
+        state = "drained" if self.completed else "cut off"
+        return (
+            f"{self.cycles} cycles ({state}): {self.delivered}/{self.injected}"
+            f" messages delivered, mean latency "
+            f"{self.stats.mean_latency():.1f} cycles"
+        )
+
+
+class Simulator:
+    """Cycle-driven driver for a :class:`~repro.network.network.Network`.
+
+    Args:
+        network: the machine under test.
+        workload: an iterable of :class:`~repro.network.message.Message`
+            objects ordered by non-decreasing ``created`` time.  ``None``
+            means the caller injects messages manually before/between runs.
+        deadlock_check_interval: if > 0, run the wait-for-graph cycle check
+            every that many cycles (raises
+            :class:`~repro.errors.DeadlockError` on a cycle).
+        progress_timeout: if > 0, raise
+            :class:`~repro.errors.LivelockError` when the network performs
+            no work for that many consecutive cycles while messages are
+            outstanding.  This is the executable form of "every message
+            reaches its destination in finite time".
+        on_cycle: optional callback invoked after every simulated cycle,
+            for custom probes in tests and benches.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        workload: Iterable["Message"] | None = None,
+        *,
+        deadlock_check_interval: int = 0,
+        progress_timeout: int = 0,
+        on_cycle: Callable[["Network"], None] | None = None,
+    ) -> None:
+        self.network = network
+        self._pending: Iterator["Message"] | None = (
+            iter(workload) if workload is not None else None
+        )
+        self._next_msg: "Message | None" = None
+        self.deadlock_check_interval = deadlock_check_interval
+        self.progress_timeout = progress_timeout
+        self.on_cycle = on_cycle
+        self._finished = False
+        self._last_progress_cycle = 0
+        self._last_work_counter = -1
+
+    # ------------------------------------------------------------------
+
+    def _pump_workload(self) -> bool:
+        """Inject all messages whose creation time has arrived.
+
+        Returns True while the workload may still produce messages.
+        """
+        if self._pending is None:
+            return False
+        cycle = self.network.cycle
+        while True:
+            if self._next_msg is None:
+                try:
+                    self._next_msg = next(self._pending)
+                except StopIteration:
+                    self._pending = None
+                    return False
+            if self._next_msg.created > cycle:
+                return True
+            self.network.inject(self._next_msg)
+            self._next_msg = None
+
+    def _check_progress(self) -> None:
+        counter = self.network.work_counter
+        if counter != self._last_work_counter:
+            self._last_work_counter = counter
+            self._last_progress_cycle = self.network.cycle
+            return
+        stalled_for = self.network.cycle - self._last_progress_cycle
+        if stalled_for >= self.progress_timeout and not self.network.is_idle():
+            raise LivelockError(
+                f"no work performed for {stalled_for} cycles with "
+                f"{self.network.outstanding_messages()} messages outstanding "
+                f"at cycle {self.network.cycle}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int) -> SimulationResult:
+        """Advance the network up to ``max_cycles`` cycles.
+
+        Stops early once the workload is exhausted and the network has
+        drained.  May be called repeatedly to continue a run in slices.
+        """
+        if max_cycles < 0:
+            raise SimulationError(f"max_cycles must be >= 0, got {max_cycles}")
+        if self._finished:
+            raise SimulationError("simulation already drained; create a new one")
+
+        net = self.network
+        deadline = net.cycle + max_cycles
+        more_traffic = True
+        while net.cycle < deadline:
+            more_traffic = self._pump_workload()
+            if not more_traffic and net.is_idle():
+                self._finished = True
+                break
+            net.step()
+            if (
+                self.deadlock_check_interval
+                and net.cycle % self.deadlock_check_interval == 0
+            ):
+                net.check_deadlock()
+            if self.progress_timeout:
+                self._check_progress()
+            if self.on_cycle is not None:
+                self.on_cycle(net)
+        else:
+            # Deadline hit; a fully drained idle network still counts done.
+            if not self._pump_workload() and net.is_idle():
+                self._finished = True
+
+        stats = net.stats
+        return SimulationResult(
+            cycles=net.cycle,
+            stats=stats,
+            completed=self._finished,
+            injected=len(stats.messages),
+            delivered=len(stats.delivered_records()),
+            config_summary=net.config.describe(),
+        )

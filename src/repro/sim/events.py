@@ -1,0 +1,126 @@
+"""Protocol event tracing.
+
+When enabled, the wave plane and protocol engines emit a structured event
+per protocol action -- probe hops, reservations, backtracks, victim
+requests, acks, teardowns, transfers -- giving a complete, replayable
+story of every circuit's life.  Disabled (the default) it is a handful of
+``if`` checks per event site, so simulations pay nothing for it.
+
+Usage::
+
+    net = Network(config)
+    log = EventLog()
+    net.attach_event_log(log)
+    ... run ...
+    for ev in log.for_circuit(circuit_id):
+        print(ev)
+
+Events are plain tuples wrapped in :class:`Event` for cheap creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+
+class EventKind(Enum):
+    PROBE_LAUNCH = "probe_launch"
+    PROBE_HOP = "probe_hop"
+    PROBE_BACKTRACK = "probe_backtrack"
+    PROBE_WAIT = "probe_wait"
+    PROBE_FAIL = "probe_fail"
+    CIRCUIT_RESERVED = "circuit_reserved"  # probe reached the destination
+    ACK_HOP = "ack_hop"
+    CIRCUIT_ESTABLISHED = "circuit_established"
+    RELEASE_REQUESTED = "release_requested"
+    TEARDOWN_START = "teardown_start"
+    CIRCUIT_RELEASED = "circuit_released"
+    TRANSFER_START = "transfer_start"
+    TRANSFER_DELIVERED = "transfer_delivered"
+    TRANSFER_COMPLETE = "transfer_complete"
+    PHASE_CHANGE = "phase_change"  # CLRP entered phase 2 / 3
+    CACHE_EVICT = "cache_evict"
+    BUFFER_REALLOC = "buffer_realloc"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One protocol event.
+
+    ``subject`` is the circuit id for circuit-lifecycle events, the probe
+    id for probe events (its circuit id rides in ``detail['circuit']``),
+    or the message id for transfer events.
+    """
+
+    cycle: int
+    kind: EventKind
+    node: int
+    subject: int
+    detail: dict
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"[{self.cycle:>6}] {self.kind.value:<20} node={self.node:<3} "
+            f"#{self.subject} {extra}"
+        )
+
+
+class EventLog:
+    """Append-only event sink with simple query helpers."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: list[Event] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def emit(self, cycle: int, kind: EventKind, node: int, subject: int,
+             **detail) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(Event(cycle, kind, node, subject, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_circuit(self, circuit_id: int) -> list[Event]:
+        """Every event touching one circuit, in time order."""
+        out = []
+        for e in self.events:
+            if e.kind in (
+                EventKind.PROBE_LAUNCH,
+                EventKind.PROBE_HOP,
+                EventKind.PROBE_BACKTRACK,
+                EventKind.PROBE_WAIT,
+                EventKind.PROBE_FAIL,
+            ):
+                if e.detail.get("circuit") == circuit_id:
+                    out.append(e)
+            elif e.subject == circuit_id and e.kind in (
+                EventKind.CIRCUIT_RESERVED,
+                EventKind.ACK_HOP,
+                EventKind.CIRCUIT_ESTABLISHED,
+                EventKind.RELEASE_REQUESTED,
+                EventKind.TEARDOWN_START,
+                EventKind.CIRCUIT_RELEASED,
+                EventKind.TRANSFER_START,
+            ):
+                out.append(e)
+        return out
+
+    def between(self, start: int, end: int) -> list[Event]:
+        return [e for e in self.events if start <= e.cycle < end]
+
+    def render(self, events: Iterable[Event] | None = None) -> str:
+        """Human-readable multi-line rendering."""
+        src = self.events if events is None else list(events)
+        return "\n".join(str(e) for e in src)

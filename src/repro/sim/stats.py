@@ -1,0 +1,237 @@
+"""Measurement infrastructure: counters, histograms, time series, message log.
+
+Everything the benchmark harness reports flows through
+:class:`StatsCollector`.  Message-level records keep the raw material for
+latency distributions; counters keep protocol-event tallies (probe
+backtracks, forced teardowns, phase outcomes, ...) that the CLRP/CARP
+analyses in the paper reason about qualitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.config import SwitchingMode
+
+
+@dataclass
+class MessageRecord:
+    """Lifetime record of one message, written as it moves through the sim.
+
+    Times are base-clock cycles.  ``created`` is when the workload produced
+    the message, ``injected`` when its first flit (or probe) entered the
+    network, ``delivered`` when its last flit reached the destination NI.
+    ``mode`` records which switching path it ultimately took.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    length: int
+    created: int
+    injected: int = -1
+    delivered: int = -1
+    mode: SwitchingMode | None = None
+    hops: int = 0
+    setup_cycles: int = 0  # cycles spent establishing a circuit (if any)
+    probe_hops: int = 0  # total control-flit hops charged to this message
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency (creation to delivery), -1 if undelivered."""
+        if self.delivered < 0:
+            return -1
+        return self.delivered - self.created
+
+    @property
+    def network_latency(self) -> int:
+        """Injection-to-delivery latency, excluding source queueing."""
+        if self.delivered < 0 or self.injected < 0:
+            return -1
+        return self.delivered - self.injected
+
+
+class Histogram:
+    """A fixed-bin histogram with running mean/min/max.
+
+    Bins are uniform over ``[lo, hi)`` with overflow/underflow buckets, which
+    is all that latency distributions here need, and keeps per-sample cost
+    to a couple of integer ops.
+    """
+
+    def __init__(self, lo: float, hi: float, bins: int = 64) -> None:
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi})")
+        if bins < 1:
+            raise ValueError(f"need bins >= 1, got {bins}")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self._width = (hi - lo) / bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.lo) / self._width)] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        if self.n < 2:
+            return math.nan
+        m = self.mean
+        return max(0.0, self.total_sq / self.n - m * m)
+
+    @property
+    def stddev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bin midpoints (q in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.n == 0:
+            return math.nan
+        target = self.n * q / 100.0
+        seen = self.underflow
+        if seen >= target and self.underflow:
+            return self.lo
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                return self.lo + (i + 0.5) * self._width
+        return self.max
+
+
+class TimeSeries:
+    """Windowed samples of a scalar over simulated time.
+
+    ``record(cycle, value)`` appends; used for accepted-throughput traces
+    and saturation detection in the load sweeps.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[int] = []
+        self.values: list[float] = []
+
+    def record(self, cycle: int, value: float) -> None:
+        self.times.append(cycle)
+        self.values.append(value)
+
+    def mean_after(self, cycle: int) -> float:
+        """Mean of samples at or after ``cycle`` (warmup exclusion)."""
+        vals = [v for t, v in zip(self.times, self.values) if t >= cycle]
+        return sum(vals) / len(vals) if vals else math.nan
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+@dataclass
+class StatsCollector:
+    """Central sink for everything a run measures.
+
+    Counters are created on first use; prefer dotted names grouped by
+    subsystem (``clrp.phase1_success``, ``probe.backtracks``,
+    ``wormhole.flits_moved``...).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    messages: dict[int, MessageRecord] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def new_message(self, record: MessageRecord) -> MessageRecord:
+        self.messages[record.msg_id] = record
+        return record
+
+    def get_series(self, name: str) -> TimeSeries:
+        got = self.series.get(name)
+        if got is None:
+            got = TimeSeries(name)
+            self.series[name] = got
+        return got
+
+    # Aggregations used by the analysis layer. ---------------------------
+
+    def delivered_records(self) -> list[MessageRecord]:
+        return [m for m in self.messages.values() if m.delivered >= 0]
+
+    def undelivered_records(self) -> list[MessageRecord]:
+        return [m for m in self.messages.values() if m.delivered < 0]
+
+    def latency_histogram(
+        self, hi: float | None = None, bins: int = 64
+    ) -> Histogram:
+        delivered = self.delivered_records()
+        if not delivered:
+            return Histogram(0.0, 1.0, 1)
+        top = hi if hi is not None else max(m.latency for m in delivered) + 1.0
+        h = Histogram(0.0, max(top, 1.0), bins)
+        h.extend(float(m.latency) for m in delivered)
+        return h
+
+    def mean_latency(self) -> float:
+        delivered = self.delivered_records()
+        if not delivered:
+            return math.nan
+        return sum(m.latency for m in delivered) / len(delivered)
+
+    def mean_network_latency(self) -> float:
+        delivered = self.delivered_records()
+        if not delivered:
+            return math.nan
+        return sum(m.network_latency for m in delivered) / len(delivered)
+
+    def throughput_flits_per_cycle(self, start: int, end: int) -> float:
+        """Accepted throughput: delivered payload flits per cycle in window."""
+        if end <= start:
+            return math.nan
+        flits = sum(
+            m.length
+            for m in self.messages.values()
+            if start <= m.delivered < end
+        )
+        return flits / (end - start)
+
+    def mode_breakdown(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for m in self.messages.values():
+            if m.mode is not None:
+                key = m.mode.value
+                out[key] = out.get(key, 0) + 1
+        return out

@@ -1,0 +1,46 @@
+"""Network topologies: k-ary n-meshes, k-ary n-cubes (tori) and hypercubes.
+
+Nodes are integers ``0..N-1`` laid out row-major over the configured
+dimension radices.  Each node exposes numbered *ports*; directed physical
+links are ``(node, port)`` pairs.  Port numbering is uniform across the
+package: for dimension ``d``, port ``2d`` steps the coordinate up ("plus")
+and port ``2d + 1`` steps it down ("minus"); the hypercube collapses the
+pair onto port ``2d`` since radix-2 has a single neighbour per dimension.
+
+:class:`~repro.topology.faults.FaultSet` injects static link faults, which
+the MB-m probe protocol of the paper is designed to tolerate (experiment
+E7 in DESIGN.md).
+"""
+
+from repro.topology.base import Topology, reverse_direction
+from repro.topology.faults import FaultSet
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+
+def build_topology(name: str, dims: tuple[int, ...]) -> Topology:
+    """Construct a topology by configuration name.
+
+    Args:
+        name: ``"mesh"``, ``"torus"`` or ``"hypercube"``.
+        dims: radix per dimension.
+    """
+    if name == "mesh":
+        return Mesh(dims)
+    if name == "torus":
+        return Torus(dims)
+    if name == "hypercube":
+        return Hypercube(len(dims))
+    raise ValueError(f"unknown topology {name!r}")
+
+
+__all__ = [
+    "FaultSet",
+    "Hypercube",
+    "Mesh",
+    "Topology",
+    "Torus",
+    "build_topology",
+    "reverse_direction",
+]

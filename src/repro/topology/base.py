@@ -1,0 +1,178 @@
+"""Abstract topology interface shared by mesh, torus and hypercube.
+
+The interface is small on purpose: routers and probes only ever need
+"who is over this port", "which ports make progress towards dst" and
+"what is the dimension-order port".  Everything is precomputed where cheap
+because these queries sit on the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import reduce
+from operator import mul
+
+from repro.errors import TopologyError
+
+
+def reverse_direction(port: int) -> int:
+    """Return the opposite-direction port index for the 2-ports-per-dim scheme.
+
+    Port ``2d`` (plus) pairs with ``2d + 1`` (minus) and vice versa.
+    """
+    return port ^ 1
+
+
+class Topology(ABC):
+    """Base class for all topologies.
+
+    Subclasses fill in neighbour structure; the base provides coordinate
+    arithmetic and common validation.
+    """
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        if not dims or any(d < 2 for d in dims):
+            raise TopologyError(f"invalid dims {dims!r}")
+        self.dims = tuple(dims)
+        self.n_dims = len(dims)
+        self.num_nodes = reduce(mul, dims, 1)
+        # Row-major strides: coordinate d advances by _strides[d] node ids.
+        strides = []
+        acc = 1
+        for d in reversed(dims):
+            strides.append(acc)
+            acc *= d
+        self._strides = tuple(reversed(strides))
+        self._coords: list[tuple[int, ...]] = [
+            self._compute_coords(n) for n in range(self.num_nodes)
+        ]
+
+    # -- coordinates ----------------------------------------------------
+
+    def _compute_coords(self, node: int) -> tuple[int, ...]:
+        out = []
+        for d in range(self.n_dims):
+            out.append((node // self._strides[d]) % self.dims[d])
+        return tuple(out)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Coordinates of a node (row-major layout)."""
+        self.check_node(node)
+        return self._coords[node]
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        """Node id at the given coordinates."""
+        if len(coords) != self.n_dims:
+            raise TopologyError(
+                f"expected {self.n_dims} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for d, (c, radix) in enumerate(zip(coords, self.dims)):
+            if not 0 <= c < radix:
+                raise TopologyError(f"coordinate {c} out of range for dim {d}")
+            node += c * self._strides[d]
+        return node
+
+    def check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_ports(self) -> int:
+        """Number of port slots per node (some may be unconnected)."""
+
+    @abstractmethod
+    def neighbor(self, node: int, port: int) -> int | None:
+        """Node on the far side of ``port``, or None if unconnected."""
+
+    @abstractmethod
+    def reverse_port(self, node: int, port: int) -> int:
+        """The port at ``neighbor(node, port)`` that leads back to ``node``."""
+
+    @abstractmethod
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        """All ports at ``node`` lying on some minimal path to ``dst``."""
+
+    @abstractmethod
+    def dor_port(self, node: int, dst: int) -> int:
+        """The unique dimension-order-routing port towards ``dst``.
+
+        Raises :class:`TopologyError` if ``node == dst``.
+        """
+
+    @abstractmethod
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count between two nodes."""
+
+    # -- derived helpers ------------------------------------------------
+
+    def connected_ports(self, node: int) -> list[int]:
+        """Ports of ``node`` that have a neighbour."""
+        return [
+            p for p in range(self.num_ports) if self.neighbor(node, p) is not None
+        ]
+
+    def links(self) -> list[tuple[int, int]]:
+        """All directed links as ``(node, port)`` pairs."""
+        out = []
+        for node in range(self.num_nodes):
+            for port in self.connected_ports(node):
+                out.append((node, port))
+        return out
+
+    def diameter(self) -> int:
+        """Maximum minimal distance over all node pairs.
+
+        Computed from per-dimension extremes rather than all-pairs search;
+        valid for all product topologies in this package.
+        """
+        return self.distance(0, self._farthest_from_zero())
+
+    def _farthest_from_zero(self) -> int:
+        coords = tuple(
+            (d // 2) if self._wraps(dim) else (d - 1)
+            for dim, d in enumerate(self.dims)
+        )
+        return self.node_at(coords)
+
+    def _wraps(self, dim: int) -> bool:
+        """Whether the given dimension has wrap-around links."""
+        return False
+
+    def port_dimension(self, port: int) -> int:
+        """Dimension a port belongs to under the 2-per-dim scheme."""
+        return port // 2
+
+    def port_is_plus(self, port: int) -> bool:
+        """True if the port steps its coordinate upward."""
+        return port % 2 == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "x".join(str(d) for d in self.dims)
+        return f"{type(self).__name__}({shape})"
+
+
+def bisection_links(topology: "Topology") -> int:
+    """Directed links crossing the canonical bisection of the machine.
+
+    The bisection cuts dimension 0 at half its radix (the standard worst
+    cut for k-ary n-cubes).  The paper's multi-chip discussion turns on
+    this number: splitting each physical channel across ``k`` wave
+    switches keeps the *aggregate* bisection bandwidth constant while
+    multiplying the number of independently-reservable channels by ``k``.
+    """
+    half = topology.dims[0] // 2
+    crossing = 0
+    for node in range(topology.num_nodes):
+        side = topology.coords(node)[0] < half
+        for port in topology.connected_ports(node):
+            nbr = topology.neighbor(node, port)
+            assert nbr is not None
+            if (topology.coords(nbr)[0] < half) != side:
+                crossing += 1
+    return crossing

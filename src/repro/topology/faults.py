@@ -1,0 +1,99 @@
+"""Static link-fault injection.
+
+The paper highlights that the MB-m probe protocol "is very resilient to
+static faults in the network" (section 2, citing Gaughan & Yalamanchili).
+Experiment E7 reproduces that: a :class:`FaultSet` marks directed links as
+dead; probes treat them exactly like busy channels (and search around
+them), while deterministic wormhole routing simply cannot use them.
+
+Faults are *static*: fixed before the run, never healed, never growing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TopologyError
+from repro.sim.rng import SimRandom
+from repro.topology.base import Topology
+
+
+class FaultSet:
+    """A set of faulty directed links ``(node, port)``.
+
+    Faults are injected symmetrically by default (both directions of the
+    physical link die together), matching a severed cable or dead
+    transceiver pair.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._faulty: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._faulty)
+
+    def __contains__(self, link: tuple[int, int]) -> bool:
+        return link in self._faulty
+
+    def is_faulty(self, node: int, port: int) -> bool:
+        return (node, port) in self._faulty
+
+    def fail_link(self, node: int, port: int, *, bidirectional: bool = True) -> None:
+        """Mark a link faulty; with ``bidirectional`` also kill the reverse."""
+        nbr = self.topology.neighbor(node, port)
+        if nbr is None:
+            raise TopologyError(f"({node}, {port}) is not a connected link")
+        self._faulty.add((node, port))
+        if bidirectional:
+            self._faulty.add((nbr, self.topology.reverse_port(node, port)))
+
+    def fail_random_links(
+        self, fraction: float, rng: SimRandom, *, keep_connected: bool = True
+    ) -> int:
+        """Fail a fraction of the physical (bidirectional) links at random.
+
+        Args:
+            fraction: share of physical links to kill, in [0, 1).
+            rng: randomness source (stream ``"faults"``).
+            keep_connected: refuse fault choices that would isolate a node
+                completely (every message to it would be undeliverable,
+                which makes liveness experiments meaningless).
+
+        Returns:
+            Number of physical links actually failed.
+        """
+        if not 0 <= fraction < 1:
+            raise TopologyError(f"fraction must be in [0, 1), got {fraction}")
+        topo = self.topology
+        # Physical links counted once: keep (node, port) with node < nbr,
+        # or the canonical side for asymmetric orderings.
+        physical = []
+        for node, port in topo.links():
+            nbr = topo.neighbor(node, port)
+            assert nbr is not None
+            if (node, port) < (nbr, topo.reverse_port(node, port)):
+                physical.append((node, port))
+        target = int(len(physical) * fraction)
+        stream = rng.stream("faults")
+        stream.shuffle(physical)
+        failed = 0
+        degree = {
+            n: len(topo.connected_ports(n)) for n in range(topo.num_nodes)
+        }
+        for node, port in physical:
+            if failed >= target:
+                break
+            nbr = topo.neighbor(node, port)
+            assert nbr is not None
+            if keep_connected and (degree[node] <= 1 or degree[nbr] <= 1):
+                continue
+            self.fail_link(node, port)
+            degree[node] -= 1
+            degree[nbr] -= 1
+            failed += 1
+        return failed
+
+    def healthy_ports(self, node: int, ports: Iterable[int]) -> list[int]:
+        """Filter an iterable of ports down to the non-faulty ones."""
+        return [p for p in ports if (node, p) not in self._faulty]

@@ -1,0 +1,71 @@
+"""Binary n-cube (hypercube).
+
+Each node has one neighbour per dimension (coordinate flip), so we use one
+port per dimension: port ``2d`` connects to ``node XOR (1 << d)`` and the
+odd port slots are unconnected.  Keeping the 2-slots-per-dimension
+numbering means every routing function can use
+:meth:`~repro.topology.base.Topology.port_dimension` uniformly across
+topologies.
+
+E-cube routing (resolve the lowest differing bit first) is deadlock-free
+with a single virtual channel class, as for the mesh.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+
+class Hypercube(Topology):
+    """n-dimensional binary hypercube with 2**n nodes."""
+
+    def __init__(self, n_dims: int) -> None:
+        if n_dims < 1:
+            raise TopologyError(f"hypercube needs >= 1 dimension, got {n_dims}")
+        super().__init__((2,) * n_dims)
+        self._num_ports = 2 * n_dims  # odd slots unconnected
+
+    @property
+    def num_ports(self) -> int:
+        return self._num_ports
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        self.check_node(node)
+        if not 0 <= port < self._num_ports:
+            raise TopologyError(f"port {port} out of range")
+        if port % 2 == 1:
+            return None
+        d = port // 2
+        # Row-major layout over (2,)*n means dimension d has stride
+        # 2**(n-1-d); flipping coordinate d is an XOR on that stride.
+        return node ^ self._strides[d]
+
+    def reverse_port(self, node: int, port: int) -> int:
+        if self.neighbor(node, port) is None:
+            raise TopologyError(f"port {port} of node {node} is unconnected")
+        return port  # the flip link is symmetric
+
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        self.check_node(dst)
+        diff = node ^ dst
+        out = []
+        for d in range(self.n_dims):
+            if diff & self._strides[d]:
+                out.append(2 * d)
+        return out
+
+    def dor_port(self, node: int, dst: int) -> int:
+        """E-cube: fix the lowest-index differing dimension first."""
+        diff = node ^ dst
+        if diff == 0:
+            raise TopologyError(f"dor_port called with node == dst == {node}")
+        for d in range(self.n_dims):
+            if diff & self._strides[d]:
+                return 2 * d
+        raise TopologyError("unreachable")  # pragma: no cover
+
+    def distance(self, a: int, b: int) -> int:
+        self.check_node(a)
+        self.check_node(b)
+        return (a ^ b).bit_count()

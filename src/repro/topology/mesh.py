@@ -1,0 +1,75 @@
+"""k-ary n-dimensional mesh (no wrap-around links).
+
+Dimension-order routing on a mesh is deadlock-free with a single virtual
+channel class because the channel dependency graph is acyclic (Dally &
+Seitz 1987, reference [5] of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology, reverse_direction
+
+
+class Mesh(Topology):
+    """k-ary n-mesh with 2 ports per dimension (plus / minus)."""
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        super().__init__(dims)
+        self._num_ports = 2 * self.n_dims
+        # Precompute neighbour table: _nbr[node][port] -> node | None.
+        self._nbr: list[list[int | None]] = []
+        for node in range(self.num_nodes):
+            coords = self.coords(node)
+            row: list[int | None] = []
+            for port in range(self._num_ports):
+                d = port // 2
+                step = 1 if port % 2 == 0 else -1
+                c = coords[d] + step
+                if 0 <= c < self.dims[d]:
+                    row.append(node + step * self._strides[d])
+                else:
+                    row.append(None)
+            self._nbr.append(row)
+
+    @property
+    def num_ports(self) -> int:
+        return self._num_ports
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        self.check_node(node)
+        if not 0 <= port < self._num_ports:
+            raise TopologyError(f"port {port} out of range")
+        return self._nbr[node][port]
+
+    def reverse_port(self, node: int, port: int) -> int:
+        if self.neighbor(node, port) is None:
+            raise TopologyError(f"port {port} of node {node} is unconnected")
+        return reverse_direction(port)
+
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        self.check_node(dst)
+        a = self.coords(node)
+        b = self.coords(dst)
+        out = []
+        for d in range(self.n_dims):
+            if b[d] > a[d]:
+                out.append(2 * d)
+            elif b[d] < a[d]:
+                out.append(2 * d + 1)
+        return out
+
+    def dor_port(self, node: int, dst: int) -> int:
+        a = self.coords(node)
+        b = self.coords(dst)
+        for d in range(self.n_dims):
+            if b[d] > a[d]:
+                return 2 * d
+            if b[d] < a[d]:
+                return 2 * d + 1
+        raise TopologyError(f"dor_port called with node == dst == {node}")
+
+    def distance(self, a: int, b: int) -> int:
+        ca = self.coords(a)
+        cb = self.coords(b)
+        return sum(abs(x - y) for x, y in zip(ca, cb))

@@ -1,0 +1,112 @@
+"""k-ary n-cube (torus): mesh plus wrap-around links.
+
+Wrap links close rings in every dimension, so dimension-order routing
+needs the classic *dateline* discipline to stay deadlock-free: a message
+starts each dimension on virtual-channel class 0 and moves to class 1
+after crossing that dimension's dateline (we place the dateline on the
+wrap link).  :meth:`Torus.crosses_dateline` exposes the predicate the
+routing function needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology, reverse_direction
+
+
+class Torus(Topology):
+    """k-ary n-cube with 2 ports per dimension and wrap-around links."""
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        super().__init__(dims)
+        self._num_ports = 2 * self.n_dims
+        self._nbr: list[list[int]] = []
+        for node in range(self.num_nodes):
+            coords = self.coords(node)
+            row: list[int] = []
+            for port in range(self._num_ports):
+                d = port // 2
+                step = 1 if port % 2 == 0 else -1
+                c = (coords[d] + step) % self.dims[d]
+                new_coords = list(coords)
+                new_coords[d] = c
+                row.append(self.node_at(tuple(new_coords)))
+            self._nbr.append(row)
+
+    def _wraps(self, dim: int) -> bool:
+        return True
+
+    @property
+    def num_ports(self) -> int:
+        return self._num_ports
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        self.check_node(node)
+        if not 0 <= port < self._num_ports:
+            raise TopologyError(f"port {port} out of range")
+        nbr = self._nbr[node][port]
+        # A radix-2 ring would make plus and minus the same physical link;
+        # keep both ports distinct but valid (parallel links), as radix-2
+        # tori are normally expressed as hypercubes instead.
+        return nbr
+
+    def reverse_port(self, node: int, port: int) -> int:
+        return reverse_direction(port)
+
+    def crosses_dateline(self, node: int, port: int) -> bool:
+        """True if taking ``port`` at ``node`` traverses the wrap link.
+
+        The dateline of dimension ``d`` sits between coordinates
+        ``radix - 1`` and ``0``.
+        """
+        d = port // 2
+        c = self.coords(node)[d]
+        if port % 2 == 0:  # plus direction
+            return c == self.dims[d] - 1
+        return c == 0
+
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        self.check_node(dst)
+        a = self.coords(node)
+        b = self.coords(dst)
+        out = []
+        for d in range(self.n_dims):
+            delta = (b[d] - a[d]) % self.dims[d]
+            if delta == 0:
+                continue
+            radix = self.dims[d]
+            if delta * 2 < radix:
+                out.append(2 * d)
+            elif delta * 2 > radix:
+                out.append(2 * d + 1)
+            else:  # exactly half-way: both directions are minimal
+                out.append(2 * d)
+                out.append(2 * d + 1)
+        return out
+
+    def dor_port(self, node: int, dst: int) -> int:
+        """Deterministic DOR port: lowest unresolved dimension, shortest way.
+
+        Half-way ties break towards plus so the path is a function of
+        (node, dst) only -- a requirement for deterministic routing.
+        """
+        a = self.coords(node)
+        b = self.coords(dst)
+        for d in range(self.n_dims):
+            delta = (b[d] - a[d]) % self.dims[d]
+            if delta == 0:
+                continue
+            radix = self.dims[d]
+            if delta * 2 <= radix:
+                return 2 * d
+            return 2 * d + 1
+        raise TopologyError(f"dor_port called with node == dst == {node}")
+
+    def distance(self, a: int, b: int) -> int:
+        ca = self.coords(a)
+        cb = self.coords(b)
+        total = 0
+        for d in range(self.n_dims):
+            delta = abs(ca[d] - cb[d])
+            total += min(delta, self.dims[d] - delta)
+        return total

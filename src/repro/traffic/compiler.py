@@ -1,0 +1,116 @@
+"""The CARP "compiler": static circuit-placement analysis.
+
+The paper leaves CARP's decision procedure to future compilers
+("developing a suitable compiler support ... may take several years").
+As DESIGN.md's substitution table records, we stand in a *profile-based
+analyser*: given the full message stream of a workload (what a compiler
+would know statically for regular codes, or a profile run would supply),
+it emits :class:`~repro.core.carp.CircuitOpen` /
+:class:`~repro.core.carp.CircuitClose` directives for source-destination
+pairs with enough temporal locality, and tags the covered messages with
+``circuit_hint=True``.
+
+Heuristic (the paper's own criterion, made concrete): a circuit is worth
+establishing when a pair exchanges at least ``min_messages`` messages
+whose total payload is at least ``min_flits`` flits within one *episode*
+(a maximal run of messages between the pair with gaps below
+``max_gap``).  Opens are emitted ``open_lead`` cycles early -- the
+prefetching analogy of section 3 -- and closes ``close_lag`` cycles after
+the episode's last message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.carp import CircuitClose, CircuitOpen, Directive
+from repro.errors import ConfigError
+from repro.network.message import Message
+from repro.traffic.workloads import merge_streams
+
+
+@dataclass
+class CompilerReport:
+    """What the analyser decided, for tests and experiment logs."""
+
+    episodes_found: int = 0
+    episodes_circuit: int = 0
+    messages_total: int = 0
+    messages_hinted: int = 0
+    directives: list[Directive] = field(default_factory=list)
+
+    @property
+    def hint_fraction(self) -> float:
+        if self.messages_total == 0:
+            return 0.0
+        return self.messages_hinted / self.messages_total
+
+
+def compile_directives(
+    messages: list[Message],
+    *,
+    min_messages: int = 4,
+    min_flits: int = 64,
+    max_gap: int = 2000,
+    open_lead: int = 50,
+    close_lag: int = 20,
+) -> tuple[list, CompilerReport]:
+    """Analyse a stream and weave in CARP directives.
+
+    Returns ``(items, report)`` where ``items`` is the merged, sorted
+    stream of messages and directives ready for the simulator.  Messages
+    covered by a circuit episode get ``circuit_hint=True`` (mutated in
+    place); all others get ``circuit_hint=False``.
+    """
+    if min_messages < 1:
+        raise ConfigError("min_messages must be >= 1")
+    if open_lead < 0 or close_lag < 0:
+        raise ConfigError("open_lead/close_lag must be >= 0")
+
+    report = CompilerReport(messages_total=len(messages))
+    by_pair: dict[tuple[int, int], list[Message]] = {}
+    for msg in messages:
+        msg.circuit_hint = False
+        by_pair.setdefault((msg.src, msg.dst), []).append(msg)
+
+    directives: list[Directive] = []
+    for (src, dst), group in by_pair.items():
+        group.sort(key=lambda m: m.created)
+        # Split the pair's history into episodes by max_gap.
+        episode: list[Message] = []
+        episodes: list[list[Message]] = []
+        for msg in group:
+            if episode and msg.created - episode[-1].created > max_gap:
+                episodes.append(episode)
+                episode = []
+            episode.append(msg)
+        if episode:
+            episodes.append(episode)
+        for ep in episodes:
+            report.episodes_found += 1
+            flits = sum(m.length for m in ep)
+            if len(ep) < min_messages or flits < min_flits:
+                continue
+            report.episodes_circuit += 1
+            report.messages_hinted += len(ep)
+            for m in ep:
+                m.circuit_hint = True
+            open_at = max(0, ep[0].created - open_lead)
+            close_at = ep[-1].created + close_lag
+            directives.append(
+                CircuitOpen(
+                    node=src,
+                    dst=dst,
+                    created=open_at,
+                    # Section 2: the compiler knows the longest message of
+                    # the set, so buffers are sized once, never re-allocated.
+                    buffer_flits=max(m.length for m in ep),
+                )
+            )
+            directives.append(CircuitClose(node=src, dst=dst, created=close_at))
+
+    directives.sort(key=lambda d: d.created)
+    report.directives = directives
+    # Directives first so a same-cycle CircuitOpen precedes its messages.
+    items = merge_streams(directives, messages)
+    return items, report

@@ -1,0 +1,113 @@
+"""The spatio-temporal locality workload.
+
+The paper argues wave switching pays off when communication has *spatial*
+locality (partners are close, so circuits are short) and *temporal*
+locality (the same pair communicates repeatedly, so circuits are reused).
+Real systems get this from process placement and application structure;
+the paper defers quantitative tuning to "traces from real applications",
+which we do not have.  This generator is the documented substitute
+(DESIGN.md, substitution table): both localities are explicit knobs, so
+experiments can sweep the whole regime real traces occupy.
+
+Model, per source node:
+
+* communication proceeds in **bursts**: pick a partner, exchange a
+  geometrically-distributed number of messages with it (mean
+  ``reuse``), then pick a new partner -- ``reuse`` is the temporal
+  locality knob (1 = no reuse, every message a new partner);
+* partners are drawn with probability proportional to
+  ``spatial_decay ** distance`` -- the spatial locality knob
+  (1.0 = uniform, 0.5 = strongly neighbour-biased);
+* message arrivals are Bernoulli at the configured offered load.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.network.message import Message, MessageFactory
+from repro.sim.rng import SimRandom
+from repro.topology.base import Topology
+from repro.traffic.workloads import _geometric_gaps
+
+
+class LocalityWorkloadBuilder:
+    """Builds message streams with tunable spatial/temporal locality."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        reuse: float,
+        spatial_decay: float = 1.0,
+    ) -> None:
+        if reuse < 1:
+            raise ConfigError(f"reuse must be >= 1, got {reuse}")
+        if not 0 < spatial_decay <= 1:
+            raise ConfigError(
+                f"spatial_decay must be in (0, 1], got {spatial_decay}"
+            )
+        self.topology = topology
+        self.reuse = reuse
+        self.spatial_decay = spatial_decay
+        # Per-source cumulative partner distributions.
+        self._partner_tables: dict[int, tuple[list[int], list[float]]] = {}
+
+    def _partners(self, src: int) -> tuple[list[int], list[float]]:
+        got = self._partner_tables.get(src)
+        if got is not None:
+            return got
+        topo = self.topology
+        nodes = []
+        weights = []
+        acc = 0.0
+        for dst in range(topo.num_nodes):
+            if dst == src:
+                continue
+            w = self.spatial_decay ** topo.distance(src, dst)
+            acc += w
+            nodes.append(dst)
+            weights.append(acc)
+        self._partner_tables[src] = (nodes, weights)
+        return nodes, weights
+
+    def _pick_partner(self, src: int, stream) -> int:
+        nodes, cum = self._partners(src)
+        x = stream.random() * cum[-1]
+        # Binary search over the cumulative weights.
+        lo, hi = 0, len(cum) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cum[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return nodes[lo]
+
+    def build(
+        self,
+        factory: MessageFactory,
+        *,
+        offered_load: float,
+        length: int,
+        duration: int,
+        rng: SimRandom,
+        start: int = 0,
+    ) -> list[Message]:
+        """Generate the stream (same rate semantics as uniform_workload)."""
+        if offered_load <= 0:
+            raise ConfigError(f"offered_load must be > 0, got {offered_load}")
+        p = offered_load / length
+        if p > 1:
+            raise ConfigError("load too high for one message/node/cycle")
+        messages: list[Message] = []
+        switch_p = 1.0 / self.reuse
+        for src in range(self.topology.num_nodes):
+            arrivals = rng.stream(f"locality.arrivals.{src}")
+            picks = rng.stream(f"locality.picks.{src}")
+            partner = self._pick_partner(src, picks)
+            for t in _geometric_gaps(arrivals, p, start + duration, start):
+                messages.append(factory.make(src, partner, length, t))
+                if picks.random() < switch_p:
+                    partner = self._pick_partner(src, picks)
+        messages.sort(key=lambda m: (m.created, m.msg_id))
+        return messages

@@ -1,0 +1,140 @@
+"""Process-to-processor mappings.
+
+Section 1 of the paper: "Latency can also be reduced by using an
+appropriate mapping of processes to processors, exploiting spatial
+locality in communications."  Wave switching then converts that spatial
+locality into short circuits (cheap to establish, few channels held).
+
+A :class:`ProcessMapping` is a bijection from logical *ranks* (what the
+application numbers its processes with) to physical *nodes*;
+:func:`remap_workload` rewrites a message stream generated in rank space
+into node space.  Three mappings cover the experimental range:
+
+* :class:`IdentityMapping` -- rank ``i`` on node ``i``; for workloads
+  generated over the physical topology (e.g. the stencil builder) this is
+  the locality-preserving placement;
+* :class:`RandomMapping` -- a seeded random permutation: the
+  worst-practice placement that destroys spatial locality while keeping
+  the logical communication graph identical;
+* :class:`BlockMapping` -- folds a logical 1-D rank sequence into
+  contiguous blocks of a 2-D mesh (the classic row-block placement for
+  rank-linear applications).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+from repro.network.message import Message
+from repro.sim.rng import SimRandom
+from repro.topology.base import Topology
+
+
+class ProcessMapping(ABC):
+    """A bijection rank -> node over ``num_nodes`` ranks."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def place(self, rank: int) -> int:
+        """Physical node hosting the given logical rank."""
+
+    def check_bijection(self) -> None:
+        """Sanity helper for tests: every node hosts exactly one rank."""
+        image = {self.place(r) for r in range(self.num_nodes)}
+        if len(image) != self.num_nodes:
+            raise ConfigError(f"{type(self).__name__} is not a bijection")
+
+
+class IdentityMapping(ProcessMapping):
+    """Rank ``i`` lives on node ``i``."""
+
+    def place(self, rank: int) -> int:
+        if not 0 <= rank < self.num_nodes:
+            raise ConfigError(f"rank {rank} out of range")
+        return rank
+
+
+class RandomMapping(ProcessMapping):
+    """A seeded random permutation of ranks onto nodes."""
+
+    def __init__(self, num_nodes: int, rng: SimRandom) -> None:
+        super().__init__(num_nodes)
+        perm = list(range(num_nodes))
+        rng.stream("mapping").shuffle(perm)
+        self._perm = perm
+
+    def place(self, rank: int) -> int:
+        return self._perm[rank]
+
+
+class BlockMapping(ProcessMapping):
+    """Linear ranks folded into rectangular blocks of a 2-D mesh.
+
+    Ranks are assigned block by block: block ``b`` covers a
+    ``block_rows x block_cols`` rectangle of the mesh, and ranks fill
+    blocks in row-major order.  Neighbouring ranks land in the same block
+    with high probability, turning rank-linear communication into short
+    physical paths.
+    """
+
+    def __init__(self, topology: Topology, block_rows: int, block_cols: int) -> None:
+        super().__init__(topology.num_nodes)
+        if topology.n_dims != 2:
+            raise ConfigError("BlockMapping needs a 2-D topology")
+        rows, cols = topology.dims
+        if rows % block_rows or cols % block_cols:
+            raise ConfigError(
+                f"blocks {block_rows}x{block_cols} do not tile {rows}x{cols}"
+            )
+        self.topology = topology
+        order = []
+        for block_r in range(0, rows, block_rows):
+            for block_c in range(0, cols, block_cols):
+                for r in range(block_r, block_r + block_rows):
+                    for c in range(block_c, block_c + block_cols):
+                        order.append(topology.node_at((r, c)))
+        self._order = order
+
+    def place(self, rank: int) -> int:
+        if not 0 <= rank < self.num_nodes:
+            raise ConfigError(f"rank {rank} out of range")
+        return self._order[rank]
+
+
+def remap_workload(
+    messages: list[Message], mapping: ProcessMapping
+) -> list[Message]:
+    """Rewrite a rank-space message stream into node space.
+
+    Returns new :class:`Message` objects (ids preserved) sorted by
+    creation time; the input list is left untouched.
+    """
+    out = [
+        Message(
+            msg_id=m.msg_id,
+            src=mapping.place(m.src),
+            dst=mapping.place(m.dst),
+            length=m.length,
+            created=m.created,
+            circuit_hint=m.circuit_hint,
+        )
+        for m in messages
+    ]
+    out.sort(key=lambda m: (m.created, m.msg_id))
+    return out
+
+
+def mean_communication_distance(
+    messages: list[Message], topology: Topology
+) -> float:
+    """Average physical hop distance of a (node-space) message stream."""
+    if not messages:
+        return 0.0
+    return sum(
+        topology.distance(m.src, m.dst) for m in messages
+    ) / len(messages)

@@ -1,0 +1,173 @@
+"""Destination patterns: who talks to whom.
+
+Each pattern maps a source node to a destination, possibly randomly.
+Deterministic patterns (transpose, bit-reversal, bit-complement,
+permutation) model the structured communication of parallel algorithms;
+uniform and hotspot model unstructured load.  A pattern never returns the
+source itself -- fixed points are remapped to the next node.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+from repro.topology.base import Topology
+
+
+def _avoid_self(src: int, dst: int, num_nodes: int) -> int:
+    return dst if dst != src else (src + 1) % num_nodes
+
+
+class TrafficPattern(ABC):
+    """Maps a source to a destination node."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ConfigError(f"patterns need >= 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def pick(self, src: int, stream: random.Random) -> int:
+        """Destination for one message from ``src`` (never ``src``)."""
+
+
+class UniformPattern(TrafficPattern):
+    """Uniformly random destination -- the classic baseline load."""
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        dst = stream.randrange(self.num_nodes - 1)
+        return dst if dst < src else dst + 1
+
+
+class TransposePattern(TrafficPattern):
+    """Matrix transpose on a 2D layout: (x, y) -> (y, x)."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology.num_nodes)
+        if topology.n_dims != 2 or topology.dims[0] != topology.dims[1]:
+            raise ConfigError("transpose needs a square 2D topology")
+        self.topology = topology
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        x, y = self.topology.coords(src)
+        return _avoid_self(src, self.topology.node_at((y, x)), self.num_nodes)
+
+
+class BitReversalPattern(TrafficPattern):
+    """Reverse the bits of the node id (FFT-style permutation)."""
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        if num_nodes & (num_nodes - 1):
+            raise ConfigError("bit reversal needs a power-of-two node count")
+        self.bits = num_nodes.bit_length() - 1
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        rev = 0
+        x = src
+        for _ in range(self.bits):
+            rev = (rev << 1) | (x & 1)
+            x >>= 1
+        return _avoid_self(src, rev, self.num_nodes)
+
+
+class BitComplementPattern(TrafficPattern):
+    """Complement the node id: maximal-distance structured traffic."""
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        if num_nodes & (num_nodes - 1):
+            raise ConfigError("bit complement needs a power-of-two node count")
+        self.mask = num_nodes - 1
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        return _avoid_self(src, src ^ self.mask, self.num_nodes)
+
+
+class HotspotPattern(TrafficPattern):
+    """A fraction of traffic converges on a few hot nodes.
+
+    With probability ``fraction`` the destination is a uniformly chosen
+    hotspot; otherwise the base pattern applies.
+    """
+
+    def __init__(
+        self,
+        base: TrafficPattern,
+        hotspots: list[int],
+        fraction: float,
+    ) -> None:
+        super().__init__(base.num_nodes)
+        if not hotspots:
+            raise ConfigError("need at least one hotspot")
+        if not 0 < fraction <= 1:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        for h in hotspots:
+            if not 0 <= h < base.num_nodes:
+                raise ConfigError(f"hotspot {h} out of range")
+        self.base = base
+        self.hotspots = hotspots
+        self.fraction = fraction
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        if stream.random() < self.fraction:
+            dst = self.hotspots[stream.randrange(len(self.hotspots))]
+            return _avoid_self(src, dst, self.num_nodes)
+        return self.base.pick(src, stream)
+
+
+class NearestNeighborPattern(TrafficPattern):
+    """Uniformly one of the source's direct neighbours (stencil-like)."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology.num_nodes)
+        self.topology = topology
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        ports = self.topology.connected_ports(src)
+        port = ports[stream.randrange(len(ports))]
+        nbr = self.topology.neighbor(src, port)
+        assert nbr is not None
+        return nbr
+
+
+class PermutationPattern(TrafficPattern):
+    """A fixed random permutation, drawn once (seeded) and then static."""
+
+    def __init__(self, num_nodes: int, stream: random.Random) -> None:
+        super().__init__(num_nodes)
+        perm = list(range(num_nodes))
+        # Derangement by rejection: retry until no fixed points (fast for
+        # n >= 2; expected ~e retries).
+        while True:
+            stream.shuffle(perm)
+            if all(perm[i] != i for i in range(num_nodes)):
+                break
+        self.perm = perm
+
+    def pick(self, src: int, stream: random.Random) -> int:
+        return self.perm[src]
+
+
+def make_pattern(
+    name: str, topology: Topology, stream: random.Random
+) -> TrafficPattern:
+    """Build a pattern by name (benchmark configuration convenience)."""
+    n = topology.num_nodes
+    if name == "uniform":
+        return UniformPattern(n)
+    if name == "transpose":
+        return TransposePattern(topology)
+    if name == "bit_reversal":
+        return BitReversalPattern(n)
+    if name == "bit_complement":
+        return BitComplementPattern(n)
+    if name == "neighbor":
+        return NearestNeighborPattern(topology)
+    if name == "permutation":
+        return PermutationPattern(n, stream)
+    if name == "hotspot":
+        return HotspotPattern(UniformPattern(n), [n // 2], 0.2)
+    raise ConfigError(f"unknown traffic pattern {name!r}")

@@ -1,0 +1,32 @@
+"""Executable forms of the paper's Theorems 1-4.
+
+* :mod:`repro.verify.waitgraph` -- builds the worm-level wait-for graph of
+  the wormhole plane (OR-wait semantics: a worm blocked on several
+  alternatives deadlocks only if *every* alternative is transitively
+  stuck).
+* :mod:`repro.verify.deadlock` -- the runtime deadlock detector
+  (Theorems 1 and 2: no such stuck set may ever exist).
+* :mod:`repro.verify.progress` -- livelock monitors (Theorems 3 and 4:
+  probes do bounded work; message ages are bounded under finite load).
+* :mod:`repro.verify.invariants` -- structural invariants tying the
+  distributed register state (PCS units, Circuit Caches) to the global
+  circuit table; run by tests after every scenario.
+"""
+
+from repro.verify.deadlock import assert_no_deadlock, find_deadlocked_worms
+from repro.verify.invariants import check_all_invariants
+from repro.verify.ordering import OrderingReport, check_in_order_delivery
+from repro.verify.progress import ProbeWorkMonitor, max_message_age
+from repro.verify.waitgraph import WaitGraph, build_wait_graph
+
+__all__ = [
+    "OrderingReport",
+    "ProbeWorkMonitor",
+    "check_in_order_delivery",
+    "WaitGraph",
+    "assert_no_deadlock",
+    "build_wait_graph",
+    "check_all_invariants",
+    "find_deadlocked_worms",
+    "max_message_age",
+]

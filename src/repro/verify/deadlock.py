@@ -1,0 +1,62 @@
+"""Runtime deadlock detection (Theorems 1 and 2, executable).
+
+Under OR-wait semantics a worm is *eventually movable* if any of its
+alternatives is free or blocked by an eventually-movable worm.  The
+complement -- worms all of whose alternatives point back into the stuck
+set -- is a true deadlock in this cycle-driven system (nothing outside
+the wormhole plane can free a wormhole resource: circuits and probes use
+disjoint channels, exactly the resource-separation argument of the
+proofs).
+
+The detector is *sound*: any ambiguity (transient states, self-blocking)
+is resolved towards "movable", so a reported deadlock is real.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import DeadlockError
+from repro.verify.waitgraph import build_wait_graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+
+
+def find_deadlocked_worms(network: "Network") -> list[int]:
+    """Return msg ids of worms that can never move again ([] if none)."""
+    graph = build_wait_graph(network)
+    movable: set[int] = {
+        e.msg_id for e in graph.entries.values() if e.free or not e.blockers
+    }
+    # A worm whose blockers include someone *not tracked* in the graph is
+    # treated as movable (that worm is mid-flight, hence making progress).
+    changed = True
+    while changed:
+        changed = False
+        for entry in graph.entries.values():
+            if entry.msg_id in movable:
+                continue
+            for blocker in entry.blockers:
+                if blocker in movable or blocker not in graph.entries:
+                    movable.add(entry.msg_id)
+                    changed = True
+                    break
+    return sorted(set(graph.entries) - movable)
+
+
+def assert_no_deadlock(network: "Network") -> None:
+    """Raise :class:`~repro.errors.DeadlockError` if a stuck set exists."""
+    stuck = find_deadlocked_worms(network)
+    if stuck:
+        graph = build_wait_graph(network)
+        detail = [
+            (m, graph.entries[m].node, graph.entries[m].reason,
+             sorted(graph.entries[m].blockers))
+            for m in stuck
+        ]
+        raise DeadlockError(
+            f"deadlock among {len(stuck)} worms at cycle {network.cycle}: "
+            f"{detail[:8]}",
+            cycle=stuck,
+        )

@@ -1,0 +1,32 @@
+"""Wormhole switching substrate: the S0 subsystem of the wave router.
+
+This is a flit-level, cycle-accurate model of the classic wormhole router
+of Fig. 1 in the paper: input-queued virtual channels, credit-based flow
+control, a crossbar arbitrated per output physical channel, and either
+deterministic dimension-order routing or Duato-style minimal adaptive
+routing with escape channels.
+
+Blocked worms hold their buffers and stall in place -- the contention
+behaviour whose cost motivates wave switching in the first place.
+"""
+
+from repro.wormhole.flit import EJECT_PORT, Flit
+from repro.wormhole.router import InputVC, OutputVC, WormholeRouter
+from repro.wormhole.routing import (
+    AdaptiveRouting,
+    DimensionOrderRouting,
+    RoutingFunction,
+    make_routing,
+)
+
+__all__ = [
+    "AdaptiveRouting",
+    "DimensionOrderRouting",
+    "EJECT_PORT",
+    "Flit",
+    "InputVC",
+    "OutputVC",
+    "RoutingFunction",
+    "WormholeRouter",
+    "make_routing",
+]

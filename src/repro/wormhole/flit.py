@@ -1,0 +1,80 @@
+"""Flits: the flow-control units of wormhole switching.
+
+A message travelling through S0 is a *worm* of flits: one header carrying
+the routing information, zero or more body flits, and a tail that releases
+the channels the worm holds.  Single-flit messages are their own header
+and tail.
+
+The header carries a small amount of mutable routing state
+(``dateline_bits``), mirroring real header phits that record which torus
+datelines the worm has crossed so far; the dateline discipline that makes
+torus routing deadlock-free reads those bits (see
+:mod:`repro.wormhole.routing`).
+"""
+
+from __future__ import annotations
+
+# Sentinel output-port index meaning "deliver to the local node" (the
+# "from/to local processor" path in Fig. 1).  Used as a port index one past
+# the last physical port; routers translate it per topology.
+EJECT_PORT = -1
+
+# Sentinel input-port index for flits entering from the local injection
+# queue rather than from a neighbour.
+INJECT_PORT = -2
+
+
+class Flit:
+    """One flit of a wormhole message.
+
+    Attributes:
+        msg_id: id of the owning message.
+        index: position within the message (0 = header).
+        is_head: True for the header flit.
+        is_tail: True for the last flit (a 1-flit message is both).
+        dst: destination node (meaningful on the header; copied to all
+            flits for cheap invariant checks).
+        arrival: cycle at which the flit was enqueued into its current
+            buffer.  A flit may not advance in the cycle it arrived.
+        dateline_bits: bitmask over dimensions, set when the worm crosses
+            the corresponding dateline (headers only; body flits keep 0).
+    """
+
+    __slots__ = ("msg_id", "index", "is_head", "is_tail", "dst", "arrival",
+                 "dateline_bits")
+
+    def __init__(
+        self,
+        msg_id: int,
+        index: int,
+        is_head: bool,
+        is_tail: bool,
+        dst: int,
+    ) -> None:
+        self.msg_id = msg_id
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.dst = dst
+        self.arrival = -1
+        self.dateline_bits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        if self.is_head and self.is_tail:
+            kind = "HT"
+        return f"Flit(msg={self.msg_id}, #{self.index}{kind}, dst={self.dst})"
+
+
+def make_worm(msg_id: int, dst: int, length: int) -> list[Flit]:
+    """Build the flit sequence for a message of ``length`` flits.
+
+    ``length`` counts all flits including the header, matching how the
+    paper quotes message lengths ("128 flits").
+    """
+    if length < 1:
+        raise ValueError(f"message length must be >= 1 flit, got {length}")
+    return [
+        Flit(msg_id, i, is_head=(i == 0), is_tail=(i == length - 1), dst=dst)
+        for i in range(length)
+    ]

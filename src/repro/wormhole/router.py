@@ -1,0 +1,354 @@
+"""The S0 wormhole router: input VC queues, crossbar, credit flow control.
+
+Faithful to Fig. 1 of the paper at flit granularity:
+
+* every physical input channel is split into ``w`` virtual channels, each
+  with its own flit buffer (``buffer_depth`` flits);
+* routing happens once per worm, on the header, at the head of its input
+  VC; body flits inherit the header's (output port, output VC);
+* the crossbar moves at most one flit per *input* physical channel and one
+  flit per *output* physical channel per cycle (virtual channels
+  time-multiplex the physical link as in Dally's virtual-channel flow
+  control [7]);
+* credit-based backpressure: a flit may only be sent when the downstream
+  input VC has a free buffer slot; blocked worms sit in place holding
+  their channels -- the wormhole contention that wave switching's circuits
+  bypass.
+
+Timing: a flit enqueued at cycle ``t`` may move again at ``t + 1``
+(1 cycle/hop pipelining); a header may be *routed* from cycle
+``t + router_delay`` on, so ``router_delay > 1`` charges extra per-hop
+latency to headers only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ProtocolError
+from repro.sim.config import WormholeConfig
+from repro.sim.stats import StatsCollector
+from repro.topology.base import Topology
+from repro.topology.faults import FaultSet
+from repro.wormhole.flit import EJECT_PORT, Flit
+from repro.wormhole.routing import RoutingFunction
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class InputVC:
+    """One input virtual channel: a flit FIFO plus the worm's route."""
+
+    __slots__ = ("port", "vc", "buffer", "route")
+
+    def __init__(self, port: int, vc: int) -> None:
+        self.port = port
+        self.vc = vc
+        self.buffer: deque[Flit] = deque()
+        # (out_port, out_vc) of the worm currently at the buffer head;
+        # None when the head flit is an unrouted header (or buffer empty).
+        self.route: tuple[int, int] | None = None
+
+    def head(self) -> Flit | None:
+        return self.buffer[0] if self.buffer else None
+
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+
+class OutputVC:
+    """Output-side virtual channel state: ownership and credits."""
+
+    __slots__ = ("port", "vc", "owner", "credits", "max_credits")
+
+    def __init__(self, port: int, vc: int, credits: int) -> None:
+        self.port = port
+        self.vc = vc
+        # (in_port, in_vc) of the worm that holds this output VC, or None.
+        self.owner: tuple[int, int] | None = None
+        self.credits = credits
+        self.max_credits = credits
+
+
+class WormholeRouter:
+    """One node's S0 router.
+
+    The network wires routers together after construction via
+    :meth:`connect`; the local processor side is reached through
+    :meth:`inject_flit` (injection queue) and the ``deliver`` callback
+    (ejection channel).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        topology: Topology,
+        config: WormholeConfig,
+        routing: RoutingFunction,
+        stats: StatsCollector,
+        deliver: Callable[[Flit, int], None],
+        faults: FaultSet | None = None,
+    ) -> None:
+        self.node = node
+        self.topology = topology
+        self.config = config
+        self.routing = routing
+        self.stats = stats
+        self.deliver = deliver
+        self.faults = faults
+        w = config.vcs
+        ports = topology.num_ports
+        self.inject_port = ports  # input-side index of the injection queue
+        # Input VCs: physical ports 0..ports-1 plus the injection port.
+        self.inputs: list[list[InputVC]] = [
+            [InputVC(p, v) for v in range(w)] for p in range(ports + 1)
+        ]
+        # Output VCs for physical ports; ejection tracked separately below.
+        self.outputs: list[list[OutputVC]] = [
+            [OutputVC(p, v, config.buffer_depth) for v in range(w)]
+            for p in range(ports)
+        ]
+        # Ejection: one physical delivery channel, w VCs, no credit limit
+        # (the NI always consumes -- the standard consumption assumption).
+        self.eject_owner: list[tuple[int, int] | None] = [None] * w
+        # Wiring: downstream[port] = (router, its input port) or None.
+        self.downstream: list[tuple["WormholeRouter", int] | None] = [None] * ports
+        # Upstream credit targets: for each input (port, vc), the upstream
+        # OutputVC to credit when a flit leaves the buffer.
+        self.upstream: list[list[OutputVC | None]] = [
+            [None] * w for _ in range(ports + 1)
+        ]
+        self._active: set[tuple[int, int]] = set()  # input VCs with flits
+        self._rr: dict[int, int] = {}  # per-out-port round-robin pointer
+        self._va_rr = 0  # VC-allocation rotation for adaptive fairness
+        # Flits transmitted per output physical port (link utilization).
+        self.link_flits: list[int] = [0] * ports
+
+    # -- wiring ----------------------------------------------------------
+
+    def connect(self, port: int, downstream: "WormholeRouter", their_port: int) -> None:
+        """Attach this router's output ``port`` to a neighbour's input port."""
+        self.downstream[port] = (downstream, their_port)
+        for vc in range(self.config.vcs):
+            downstream.upstream[their_port][vc] = self.outputs[port][vc]
+
+    # -- local processor interface ----------------------------------------
+
+    def injection_space(self, vc: int) -> int:
+        """Free flit slots in injection VC ``vc``."""
+        return self.config.buffer_depth - self.inputs[self.inject_port][vc].occupancy()
+
+    def inject_flit(self, flit: Flit, vc: int, cycle: int) -> None:
+        """Enqueue one flit from the local NI into the injection queue."""
+        if self.injection_space(vc) <= 0:
+            raise ProtocolError(
+                f"injection VC {vc} full at node {self.node}; "
+                "caller must respect injection_space()"
+            )
+        self._enqueue(flit, self.inject_port, vc, cycle)
+
+    # -- internals ---------------------------------------------------------
+
+    def _enqueue(self, flit: Flit, port: int, vc: int, cycle: int) -> None:
+        flit.arrival = cycle
+        self.inputs[port][vc].buffer.append(flit)
+        self._active.add((port, vc))
+
+    def _free_output_vc(
+        self, options: list[tuple[int, tuple[int, ...]]]
+    ) -> tuple[int, int] | None:
+        """Pick a free output VC among candidate options.
+
+        Prefers, among free VCs, the one with the most credits (helps
+        adaptive routing spread load); breaks ties by a rotating offset so
+        no port is systematically favoured.
+        """
+        best: tuple[int, int] | None = None
+        best_key = -1
+        n = len(options)
+        if n == 0:
+            return None
+        start = self._va_rr % n
+        for i in range(n):
+            port, vcs = options[(start + i) % n]
+            if self.faults is not None and self.faults.is_faulty(self.node, port):
+                continue
+            if self.downstream[port] is None:
+                continue
+            for vc in vcs:
+                out = self.outputs[port][vc]
+                if out.owner is None and out.credits > best_key:
+                    best = (port, vc)
+                    best_key = out.credits
+        return best
+
+    def route_phase(self, cycle: int) -> None:
+        """Route-compute + VC-allocate every eligible header (RC/VA)."""
+        delay = self.config.router_delay
+        for key in list(self._active):
+            port, vc = key
+            ivc = self.inputs[port][vc]
+            head = ivc.head()
+            if head is None or not head.is_head or ivc.route is not None:
+                continue
+            if cycle < head.arrival + delay:
+                continue
+            if head.dst == self.node:
+                # Claim an ejection VC (worm atomicity on the delivery path).
+                granted = None
+                for ev in range(self.config.vcs):
+                    if self.eject_owner[ev] is None:
+                        granted = ev
+                        break
+                if granted is None:
+                    self.stats.bump("wormhole.eject_vc_stall")
+                    continue
+                self.eject_owner[granted] = key
+                ivc.route = (EJECT_PORT, granted)
+                continue
+            tiers = self.routing.candidates(self.node, head.dst, head)
+            choice = None
+            for tier in tiers:
+                choice = self._free_output_vc(tier)
+                if choice is not None:
+                    break
+            if choice is None:
+                self.stats.bump("wormhole.va_stall")
+                continue
+            out_port, out_vc = choice
+            self.outputs[out_port][out_vc].owner = key
+            ivc.route = (out_port, out_vc)
+            self._va_rr += 1
+            self.stats.bump("wormhole.headers_routed")
+
+    def traversal_phase(self, cycle: int) -> int:
+        """Switch + link traversal: move at most one flit per in/out port.
+
+        Returns the number of flits moved (the network's progress signal).
+        """
+        if not self._active:
+            return 0
+        # Gather requests per output port.
+        requests: dict[int, list[tuple[int, int]]] = {}
+        for key in self._active:
+            port, vc = key
+            ivc = self.inputs[port][vc]
+            if ivc.route is None:
+                continue
+            head = ivc.head()
+            if head is None or head.arrival >= cycle:
+                continue
+            out_port, out_vc = ivc.route
+            if out_port != EJECT_PORT:
+                if self.outputs[out_port][out_vc].credits <= 0:
+                    self.stats.bump("wormhole.credit_stall")
+                    continue
+            requests.setdefault(out_port, []).append(key)
+
+        moved = 0
+        used_inputs: set[int] = set()
+        w = self.config.vcs
+        for out_port, reqs in requests.items():
+            # Round-robin arbitration among requesting input VCs.
+            reqs.sort(key=lambda k: k[0] * w + k[1])
+            ptr = self._rr.get(out_port, 0)
+            reqs = [
+                k for k in reqs
+                if k[0] not in used_inputs
+            ]
+            if not reqs:
+                continue
+            winner = min(
+                reqs,
+                key=lambda k: ((k[0] * w + k[1]) - ptr)
+                % ((self.topology.num_ports + 1) * w),
+            )
+            self._rr[out_port] = (winner[0] * w + winner[1] + 1) % (
+                (self.topology.num_ports + 1) * w
+            )
+            used_inputs.add(winner[0])
+            self._move_flit(winner, cycle)
+            moved += 1
+        return moved
+
+    def _move_flit(self, key: tuple[int, int], cycle: int) -> None:
+        port, vc = key
+        ivc = self.inputs[port][vc]
+        assert ivc.route is not None
+        out_port, out_vc = ivc.route
+        flit = ivc.buffer.popleft()
+        if not ivc.buffer:
+            self._active.discard(key)
+        # Credit back to the upstream output VC feeding this buffer.
+        up = self.upstream[port][vc]
+        if up is not None:
+            up.credits += 1
+            if up.credits > up.max_credits:
+                raise ProtocolError(
+                    f"credit overflow on node {self.node} input ({port},{vc})"
+                )
+        if out_port == EJECT_PORT:
+            self.deliver(flit, cycle)
+            if flit.is_tail:
+                self.eject_owner[out_vc] = None
+                ivc.route = None
+            self.stats.bump("wormhole.flits_ejected")
+            return
+        if flit.is_head:
+            self.routing.note_hop(self.node, out_port, flit)
+        out = self.outputs[out_port][out_vc]
+        out.credits -= 1
+        down = self.downstream[out_port]
+        assert down is not None, "routed to an unconnected port"
+        router, their_port = down
+        router._enqueue(flit, their_port, out_vc, cycle)
+        self.link_flits[out_port] += 1
+        self.stats.bump("wormhole.flits_moved")
+        if flit.is_tail:
+            out.owner = None
+            ivc.route = None
+
+    # -- introspection (verification / debugging) -------------------------
+
+    def busy(self) -> bool:
+        return bool(self._active)
+
+    def occupancy(self) -> int:
+        """Total flits buffered in this router."""
+        return sum(
+            self.inputs[p][v].occupancy() for p, v in self._active
+        )
+
+    def blocked_worms(self, cycle: int) -> list[dict]:
+        """Describe every worm that wanted to move this cycle but could not.
+
+        Used by the deadlock detector to build the wait-for graph.  Each
+        entry reports the input VC the worm head occupies, its routed
+        output (if any), and why it is stalled.
+        """
+        out = []
+        for key in self._active:
+            port, vc = key
+            ivc = self.inputs[port][vc]
+            head = ivc.head()
+            if head is None:
+                continue
+            entry = {
+                "node": self.node,
+                "in_port": port,
+                "in_vc": vc,
+                "msg_id": head.msg_id,
+                "route": ivc.route,
+                "dst": head.dst,
+            }
+            if ivc.route is None and head.is_head:
+                entry["reason"] = "unrouted"
+                out.append(entry)
+            elif ivc.route is not None and ivc.route[0] != EJECT_PORT:
+                op, ov = ivc.route
+                if self.outputs[op][ov].credits <= 0:
+                    entry["reason"] = "no_credit"
+                    out.append(entry)
+        return out

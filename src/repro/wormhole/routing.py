@@ -1,0 +1,206 @@
+"""Wormhole routing functions: deterministic DOR and Duato-style adaptive.
+
+The paper requires only that "the routing algorithm used for wormhole
+switching is deadlock-free" (Theorems 1 and 2 lean on it).  We provide the
+two families its reference list points at:
+
+* **Dimension-order routing** (Dally & Seitz [5]): acyclic channel
+  dependencies on meshes and hypercubes with one VC class; on tori the
+  *dateline* discipline splits each dimension's ring into two VC classes
+  (class 1 after crossing the wrap link), breaking the ring cycle.
+
+* **Minimal adaptive routing** per Duato's methodology [8, 9]: any number
+  of *adaptive* VCs usable on every minimal direction, plus *escape* VCs
+  restricted to dimension-order routing.  Cyclic dependencies among the
+  adaptive channels are harmless because every blocked worm can always
+  fall through to the acyclic escape subnetwork.
+
+A routing function maps ``(node, dst, header)`` to *tiers* of
+``(out_port, candidate_vcs)`` options: the allocator exhausts tier 0
+(adaptive channels) before considering tier 1 (escape channels).  VC
+indices are concrete (not classes) so the allocator stays trivial.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError, RoutingError
+from repro.topology.base import Topology
+from repro.topology.torus import Torus
+from repro.wormhole.flit import Flit
+
+Candidate = tuple[int, tuple[int, ...]]  # (out_port, vc indices in preference order)
+
+
+class RoutingFunction(ABC):
+    """Base class for wormhole routing functions."""
+
+    def __init__(self, topology: Topology, num_vcs: int) -> None:
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.num_classes = self._required_classes()
+        if num_vcs < self.min_vcs():
+            raise ConfigError(
+                f"{type(self).__name__} on {topology!r} needs >= "
+                f"{self.min_vcs()} virtual channels, got {num_vcs}"
+            )
+
+    def _required_classes(self) -> int:
+        """Deadlock-avoidance VC classes demanded by the topology."""
+        if isinstance(self.topology, Torus):
+            return 2  # dateline classes
+        return 1
+
+    def min_vcs(self) -> int:
+        return self._required_classes()
+
+    def _class_vcs(self, vc_class: int, pool: tuple[int, int]) -> tuple[int, ...]:
+        """All VC indices in ``[pool[0], pool[1])`` carrying ``vc_class``.
+
+        Classes are interleaved: VC ``i`` carries class ``i % num_classes``,
+        so extra VCs beyond the class count replicate the classes and add
+        bandwidth without altering the deadlock argument.
+        """
+        lo, hi = pool
+        return tuple(
+            v for v in range(lo, hi) if (v - lo) % self.num_classes == vc_class
+        )
+
+    def _dateline_class(self, node: int, port: int, head: Flit) -> int:
+        """VC class for taking ``port`` at ``node``, given header history."""
+        if self.num_classes == 1:
+            return 0
+        topo = self.topology
+        assert isinstance(topo, Torus)
+        dim = topo.port_dimension(port)
+        crossed = bool(head.dateline_bits & (1 << dim))
+        if topo.crosses_dateline(node, port):
+            crossed = True
+        return 1 if crossed else 0
+
+    def note_hop(self, node: int, port: int, head: Flit) -> None:
+        """Update header state after the worm commits to a hop.
+
+        Must be called exactly once per header link traversal; keeps the
+        dateline bits consistent with the class the worm occupies.
+        """
+        topo = self.topology
+        if isinstance(topo, Torus) and topo.crosses_dateline(node, port):
+            head.dateline_bits |= 1 << topo.port_dimension(port)
+
+    @abstractmethod
+    def candidates(self, node: int, dst: int, head: Flit) -> list[list[Candidate]]:
+        """Tiers of legal (port, vcs) options for a header bound to ``dst``.
+
+        The allocator only considers tier ``i + 1`` when no option in tier
+        ``i`` has a free virtual channel.  ``node != dst``; ejection is
+        handled by the router before routing.
+        """
+
+
+class DimensionOrderRouting(RoutingFunction):
+    """Deterministic dimension-order routing over all VCs of the class."""
+
+    def candidates(self, node: int, dst: int, head: Flit) -> list[list[Candidate]]:
+        if node == dst:
+            raise RoutingError(f"routing called at destination {node}")
+        port = self.topology.dor_port(node, dst)
+        vc_class = self._dateline_class(node, port, head)
+        vcs = self._class_vcs(vc_class, (0, self.num_vcs))
+        if not vcs:
+            raise RoutingError(
+                f"no VC carries class {vc_class} with {self.num_vcs} VCs"
+            )
+        return [[(port, vcs)]]
+
+
+class AdaptiveRouting(RoutingFunction):
+    """Minimal fully adaptive routing with dimension-order escape channels.
+
+    VC layout: indices ``[0, num_classes)`` are the escape channels
+    (dimension-order restricted, dateline classes on tori); indices
+    ``[num_classes, num_vcs)`` are adaptive and usable towards any minimal
+    direction.  Per Duato's theory the connected, acyclic escape
+    subfunction makes the whole routing function deadlock-free.
+    """
+
+    def min_vcs(self) -> int:
+        # At least one adaptive VC on top of the escape classes; otherwise
+        # the function degenerates to DOR and should be configured as such.
+        return self._required_classes() + 1
+
+    def candidates(self, node: int, dst: int, head: Flit) -> list[list[Candidate]]:
+        if node == dst:
+            raise RoutingError(f"routing called at destination {node}")
+        topo = self.topology
+        adaptive_vcs = tuple(range(self.num_classes, self.num_vcs))
+        adaptive_tier: list[Candidate] = [
+            (port, adaptive_vcs) for port in topo.minimal_ports(node, dst)
+        ]
+        # Escape tier: dimension-order port, class-restricted VC.
+        esc_port = topo.dor_port(node, dst)
+        esc_class = self._dateline_class(node, esc_port, head)
+        esc_vcs = self._class_vcs(esc_class, (0, self.num_classes))
+        return [adaptive_tier, [(esc_port, esc_vcs)]]
+
+
+def make_routing(
+    name: str, topology: Topology, num_vcs: int
+) -> RoutingFunction:
+    """Build a routing function from its configuration name."""
+    if name == "dor":
+        return DimensionOrderRouting(topology, num_vcs)
+    if name == "adaptive":
+        return AdaptiveRouting(topology, num_vcs)
+    raise ConfigError(f"unknown routing function {name!r}")
+
+
+def wormhole_path_available(
+    routing: RoutingFunction,
+    src: int,
+    dst: int,
+    faults,
+) -> bool:
+    """Can a worm from ``src`` reach ``dst`` through S0 despite faults?
+
+    Deterministic routing has exactly one path: walk it.  Adaptive routing
+    may use any minimal path: breadth-first search over the minimal-path
+    DAG restricted to healthy links.  Used by the NI to classify messages
+    as *undeliverable* instead of wedging the injection queue forever --
+    deterministic wormhole routing is simply not fault-tolerant, which is
+    precisely the contrast the paper draws with MB-m probes.
+    """
+    if faults is None or src == dst:
+        return True
+    topo = routing.topology
+    if isinstance(routing, DimensionOrderRouting):
+        node = src
+        while node != dst:
+            port = topo.dor_port(node, dst)
+            if faults.is_faulty(node, port):
+                return False
+            node = topo.neighbor(node, port)
+            assert node is not None
+        return True
+    # Adaptive: any healthy minimal path will do.  NOTE: escape channels
+    # are dimension-order restricted, so strictly a worm *committed* to
+    # escape might still hit a fault; minimal adaptive re-decides per hop,
+    # and the router's allocator skips faulty ports, so reachability over
+    # the minimal DAG is the right criterion.
+    frontier = {src}
+    seen = {src}
+    while frontier:
+        nxt: set[int] = set()
+        for node in frontier:
+            if node == dst:
+                return True
+            for port in topo.minimal_ports(node, dst):
+                if faults.is_faulty(node, port):
+                    continue
+                nbr = topo.neighbor(node, port)
+                if nbr is not None and nbr not in seen:
+                    seen.add(nbr)
+                    nxt.add(nbr)
+        frontier = nxt
+    return dst in seen

@@ -1,0 +1,81 @@
+"""Tests for the latency decomposition."""
+
+import pytest
+
+from repro.analysis.breakdown import format_breakdown, latency_breakdown
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, SwitchingMode, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import MessageRecord, StatsCollector
+
+
+def record(msg_id, mode, created, injected, delivered, setup=0):
+    rec = MessageRecord(
+        msg_id=msg_id, src=0, dst=1, length=8, created=created,
+        injected=injected, delivered=delivered,
+    )
+    rec.mode = mode
+    rec.setup_cycles = setup
+    return rec
+
+
+class TestDecomposition:
+    def test_parts_sum_to_total(self):
+        stats = StatsCollector()
+        stats.new_message(record(0, SwitchingMode.CIRCUIT_NEW,
+                                 created=0, injected=30, delivered=50,
+                                 setup=20))
+        [b] = latency_breakdown(stats)
+        assert b.mean_total == 50
+        assert b.mean_queueing + b.mean_setup + b.mean_transport == b.mean_total
+        assert b.mean_setup == 20
+        assert b.mean_queueing == 10
+        assert b.mean_transport == 20
+
+    def test_setup_clamped_to_queueing_window(self):
+        stats = StatsCollector()
+        stats.new_message(record(0, SwitchingMode.CIRCUIT_NEW,
+                                 created=0, injected=10, delivered=30,
+                                 setup=99))
+        [b] = latency_breakdown(stats)
+        assert b.mean_setup == 10
+        assert b.mean_queueing == 0
+
+    def test_grouped_by_mode(self):
+        stats = StatsCollector()
+        stats.new_message(record(0, SwitchingMode.WORMHOLE, 0, 0, 20))
+        stats.new_message(record(1, SwitchingMode.CIRCUIT_HIT, 0, 5, 15))
+        modes = {b.mode for b in latency_breakdown(stats)}
+        assert modes == {"wormhole", "circuit_hit"}
+
+    def test_undelivered_excluded(self):
+        stats = StatsCollector()
+        stats.new_message(record(0, SwitchingMode.WORMHOLE, 0, 0, -1))
+        assert latency_breakdown(stats) == []
+
+    def test_format_contains_columns(self):
+        stats = StatsCollector()
+        stats.new_message(record(0, SwitchingMode.WORMHOLE, 0, 2, 20))
+        text = format_breakdown(stats)
+        assert "queueing" in text
+        assert "wormhole" in text
+
+
+class TestOnRealRun:
+    def test_hits_are_mostly_transport(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net = Network(config)
+        factory = MessageFactory()
+        for i in range(5):
+            net.inject(factory.make(0, 9, 64, 0))
+        Simulator(net, []).run(20_000)
+        by_mode = {b.mode: b for b in latency_breakdown(net.stats)}
+        hit = by_mode["circuit_hit"]
+        new = by_mode["circuit_new"]
+        # The trigger message paid setup; hits paid none.
+        assert new.mean_setup > 0
+        assert hit.mean_setup == 0
+        # Hits queue behind each other on the In-use bit, but transport
+        # dominates nothing else.
+        assert hit.mean_transport > 0

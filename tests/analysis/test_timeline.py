@@ -1,0 +1,120 @@
+"""Tests for the timeline tracker and seed sweep."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import run_seed_sweep
+from repro.analysis.timeline import TimelineTracker
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def tracked_run(load=0.2, duration=4000, window=400):
+    config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+    net = Network(config)
+    workload = uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=16,
+        duration=duration,
+        rng=SimRandom(5),
+    )
+    tracker = TimelineTracker(window=window)
+    Simulator(net, workload, on_cycle=tracker.on_cycle).run(duration + 5000)
+    return net, tracker
+
+
+class TestTimelineTracker:
+    def test_windows_tile_the_run(self):
+        net, tracker = tracked_run()
+        assert tracker.windows
+        for a, b in zip(tracker.windows, tracker.windows[1:]):
+            assert a.end == b.start
+
+    def test_delivered_totals_match(self):
+        net, tracker = tracked_run()
+        total = sum(w.delivered for w in tracker.windows)
+        # Some deliveries may land after the final full window.
+        assert total <= len(net.stats.delivered_records())
+        assert total >= 0.9 * len(net.stats.delivered_records())
+
+    def test_throughput_reasonable(self):
+        net, tracker = tracked_run(load=0.2)
+        peak = tracker.peak_throughput()
+        assert 0 < peak  # flits per cycle over the whole machine window
+        # Peak per-window flits/cycle should be near offered 0.2 * 16.
+        assert peak < 16 * 0.5
+
+    def test_steady_state_detected_for_constant_load(self):
+        net, tracker = tracked_run(load=0.15, duration=6000, window=500)
+        start = tracker.steady_state_start(rel_tolerance=0.5)
+        assert start is not None
+        assert start < 3000
+
+    def test_drain_shows_in_outstanding(self):
+        net, tracker = tracked_run()
+        assert net.is_idle()
+        tracker.finalize(net)  # capture the trailing partial window
+        assert tracker.windows[-1].outstanding == 0
+        total = sum(w.delivered for w in tracker.windows)
+        assert total == len(net.stats.delivered_records())
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            TimelineTracker(window=0)
+
+    def test_too_few_windows_no_steady_state(self):
+        tracker = TimelineTracker(window=100)
+        assert tracker.steady_state_start() is None
+
+
+class TestSeedSweep:
+    def test_mean_and_std_reported(self):
+        def make_config(seed):
+            return NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None,
+                                 seed=seed)
+
+        def make_workload(seed):
+            return uniform_workload(
+                MessageFactory(),
+                UniformPattern(16),
+                num_nodes=16,
+                offered_load=0.1,
+                length=16,
+                duration=600,
+                rng=SimRandom(seed),
+            )
+
+        sweep = run_seed_sweep(make_config, make_workload, [1, 2, 3],
+                               max_cycles=30_000)
+        assert len(sweep["results"]) == 3
+        assert sweep["latency_mean"] > 0
+        assert sweep["latency_std"] >= 0
+        assert not math.isnan(sweep["throughput_mean"])
+
+    def test_single_seed_zero_std(self):
+        def make_config(seed):
+            return NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+
+        def make_workload(seed):
+            return uniform_workload(
+                MessageFactory(),
+                UniformPattern(16),
+                num_nodes=16,
+                offered_load=0.1,
+                length=16,
+                duration=300,
+                rng=SimRandom(seed),
+            )
+
+        sweep = run_seed_sweep(make_config, make_workload, [7],
+                               max_cycles=30_000)
+        assert sweep["latency_std"] == 0.0

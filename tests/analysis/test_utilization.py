@@ -1,0 +1,117 @@
+"""Tests for channel-utilization analysis."""
+
+import pytest
+
+from repro.analysis.utilization import UtilizationReport, measure_utilization
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def run_network(protocol="wormhole", load=0.2, length=32):
+    config = NetworkConfig(
+        dims=(4, 4),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(),
+    )
+    net = Network(config)
+    workload = uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=length,
+        duration=1500,
+        rng=SimRandom(3),
+    )
+    Simulator(net, workload).run(60_000)
+    return net
+
+
+class TestGini:
+    def test_even_distribution_zero(self):
+        assert UtilizationReport._gini([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_single_hot_link_near_one(self):
+        g = UtilizationReport._gini([0.0] * 99 + [1.0])
+        assert g > 0.9
+
+    def test_empty_and_zero(self):
+        assert UtilizationReport._gini([]) == 0.0
+        assert UtilizationReport._gini([0.0, 0.0]) == 0.0
+
+    def test_monotone_in_skew(self):
+        even = UtilizationReport._gini([0.5, 0.5, 0.5, 0.5])
+        skewed = UtilizationReport._gini([0.1, 0.1, 0.1, 1.7])
+        assert skewed > even
+
+
+class TestWormholeUtilization:
+    def test_values_in_unit_range(self):
+        net = run_network()
+        report = measure_utilization(net)
+        assert report.wormhole
+        for value in report.wormhole.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_total_matches_counter(self):
+        net = run_network()
+        report = measure_utilization(net)
+        total_flits = sum(
+            u * report.cycles for u in report.wormhole.values()
+        )
+        assert total_flits == pytest.approx(
+            net.stats.count("wormhole.flits_moved")
+        )
+
+    def test_only_connected_links_reported(self):
+        net = run_network()
+        report = measure_utilization(net)
+        for node, port in report.wormhole:
+            assert net.topology.neighbor(node, port) is not None
+
+    def test_idle_network_all_zero(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        net = Network(config)
+        net.run(100)
+        report = measure_utilization(net)
+        assert all(v == 0.0 for v in report.wormhole.values())
+
+    def test_summary_fields(self):
+        net = run_network()
+        summary = measure_utilization(net).summary("wormhole")
+        assert set(summary) == {"mean", "max", "gini"}
+        assert summary["max"] >= summary["mean"]
+
+
+class TestCircuitUtilization:
+    def test_circuit_channels_attributed(self):
+        net = run_network(protocol="clrp")
+        report = measure_utilization(net)
+        assert report.circuit  # some circuits streamed
+        for (node, port, switch), value in report.circuit.items():
+            assert 0 <= switch < net.plane.config.num_switches
+            assert value >= 0.0
+
+    def test_flits_streamed_tracked_per_circuit(self):
+        net = run_network(protocol="clrp")
+        streamed = sum(
+            c.flits_streamed for c in net.plane.table.circuits.values()
+        )
+        # Every circuit-delivered message's flits were streamed exactly once.
+        from repro.sim.config import SwitchingMode
+
+        circuit_flits = sum(
+            m.length
+            for m in net.stats.messages.values()
+            if m.mode in (SwitchingMode.CIRCUIT_HIT, SwitchingMode.CIRCUIT_NEW,
+                          SwitchingMode.CIRCUIT_FORCED)
+        )
+        assert streamed == circuit_flits
+
+    def test_wormhole_baseline_has_no_circuit_report(self):
+        net = run_network(protocol="wormhole")
+        assert measure_utilization(net).circuit == {}

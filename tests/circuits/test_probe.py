@@ -1,0 +1,219 @@
+"""F4: probe format and MB-m search mechanics on a live plane."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import build_plane, run_plane, run_until_idle
+
+from repro.circuits.circuit import CircuitState
+from repro.circuits.pcs_unit import ChannelStatus
+from repro.circuits.probe import ProbeStatus
+from repro.errors import ProtocolError
+
+
+class TestProbeFormat:
+    """Fig. 4 fields are all represented."""
+
+    def test_fields(self):
+        topo, plane, engines, stats = build_plane()
+        circuit, probe = plane.launch_probe(0, 5, 0, force=False, cycle=0)
+        assert probe.misroutes == 0  # Misroute field
+        assert probe.force is False  # Force bit
+        assert probe.backtracking is False  # Backtrack bit
+        assert probe.src == 0 and probe.dst == 5  # offsets derivable
+        assert probe.status is ProbeStatus.SEARCHING
+
+    def test_self_circuit_rejected(self):
+        topo, plane, engines, stats = build_plane()
+        with pytest.raises(ProtocolError):
+            plane.launch_probe(3, 3, 0, force=False, cycle=0)
+
+    def test_bad_switch_rejected(self):
+        topo, plane, engines, stats = build_plane(num_switches=2)
+        with pytest.raises(ProtocolError):
+            plane.launch_probe(0, 5, 2, force=False, cycle=0)
+
+
+class TestSuccessfulSetup:
+    def test_minimal_path_reserved(self):
+        topo, plane, engines, stats = build_plane()
+        dst = topo.node_at((2, 2))
+        circuit, probe = plane.launch_probe(0, dst, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        assert circuit.state is CircuitState.ESTABLISHED
+        assert circuit.length == topo.distance(0, dst)
+        # Every hop reserved for this circuit with the ack bit set.
+        for node, port in circuit.path:
+            unit = plane.units[node]
+            assert unit.status(port, 0) is ChannelStatus.RESERVED
+            assert unit.owner(port, 0) == circuit.circuit_id
+            assert unit.ack_returned(port, 0)
+
+    def test_establishment_callback_at_source(self):
+        topo, plane, engines, stats = build_plane()
+        circuit, _ = plane.launch_probe(0, 5, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        assert engines[0].established
+        assert engines[0].established[0][0] is circuit
+
+    def test_setup_time_scales_with_distance(self):
+        """Probe out + ack back: about 2 hops of control latency per hop."""
+        topo, plane, engines, stats = build_plane()
+        dst = topo.node_at((3, 3))
+        circuit, _ = plane.launch_probe(0, dst, 0, force=False, cycle=0)
+        end = run_until_idle(plane, 1)
+        d = topo.distance(0, dst)
+        assert 2 * d <= end <= 2 * d + 6
+
+    def test_path_is_connected_src_to_dst(self):
+        topo, plane, engines, stats = build_plane()
+        dst = topo.node_at((1, 3))
+        circuit, _ = plane.launch_probe(0, dst, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        node = 0
+        for hop_node, port in circuit.path:
+            assert hop_node == node
+            node = topo.neighbor(node, port)
+        assert node == dst
+
+    def test_probe_hop_counter(self):
+        topo, plane, engines, stats = build_plane()
+        dst = topo.node_at((0, 3))
+        circuit, probe = plane.launch_probe(0, dst, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        assert probe.hops == 3
+        assert probe.backtracks == 0
+
+
+class TestContention:
+    def test_two_circuits_disjoint_channels(self):
+        topo, plane, engines, stats = build_plane()
+        a, _ = plane.launch_probe(0, topo.node_at((2, 2)), 0, force=False, cycle=0)
+        b, _ = plane.launch_probe(
+            topo.node_at((0, 1)), topo.node_at((2, 3)), 0, force=False, cycle=0
+        )
+        run_until_idle(plane, 1)
+        assert a.state is CircuitState.ESTABLISHED
+        assert b.state is CircuitState.ESTABLISHED
+        assert not set(a.hop_channels()) & set(b.hop_channels())
+
+    def test_misroute_around_busy_channel(self):
+        """A probe blocked on minimal ports misroutes when budget allows."""
+        topo, plane, engines, stats = build_plane(dims=(3, 3), misroute_budget=2)
+        # Occupy the whole middle row path 0->1->2 along y at x=0 by a
+        # first circuit, forcing the second probe off the minimal line.
+        left = topo.node_at((0, 0))
+        right = topo.node_at((0, 2))
+        a, _ = plane.launch_probe(left, right, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        b, probe_b = plane.launch_probe(left, right, 0, force=False, cycle=100)
+        run_until_idle(plane, 101)
+        assert b.state is CircuitState.ESTABLISHED
+        assert b.length > topo.distance(left, right)  # took a detour
+        assert probe_b.misroutes > 0
+
+    def test_zero_misroute_budget_backtracks_to_failure(self):
+        """With m=0 and the only minimal channel taken end-to-end, fail."""
+        topo, plane, engines, stats = build_plane(dims=(2,), misroute_budget=0,
+                                                  num_switches=1)
+        a, _ = plane.launch_probe(0, 1, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        b, probe_b = plane.launch_probe(0, 1, 0, force=False, cycle=50)
+        run_until_idle(plane, 51)
+        assert probe_b.status is ProbeStatus.FAILED
+        assert engines[0].failed
+        assert b.state is CircuitState.DEAD
+        assert b.path == []  # reservations fully unwound
+
+    def test_failed_probe_releases_everything(self):
+        topo, plane, engines, stats = build_plane(dims=(2, 2), misroute_budget=0,
+                                                  num_switches=1)
+        # Saturate all channels out of node 3's neighbourhood towards 0.
+        c1, _ = plane.launch_probe(1, 0, 0, force=False, cycle=0)
+        c2, _ = plane.launch_probe(2, 0, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        c3, p3 = plane.launch_probe(3, 0, 0, force=False, cycle=50)
+        run_until_idle(plane, 51)
+        if p3.status is ProbeStatus.FAILED:
+            # No channel may remain reserved by the failed attempt.
+            for node in range(topo.num_nodes):
+                for port, switch in plane.units[node].reserved_channels():
+                    assert plane.units[node].owner(port, switch) in (
+                        c1.circuit_id,
+                        c2.circuit_id,
+                    )
+
+    def test_history_prevents_researching(self):
+        """A probe that backtracked over a port never retries it."""
+        topo, plane, engines, stats = build_plane(dims=(3, 3), misroute_budget=1)
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((2, 2))
+        blocker, _ = plane.launch_probe(
+            topo.node_at((1, 0)), topo.node_at((1, 2)), 0, force=False, cycle=0
+        )
+        run_until_idle(plane, 1)
+        c, probe = plane.launch_probe(src, dst, 0, force=False, cycle=50)
+        run_until_idle(plane, 51)
+        # Work is bounded: hops + backtracks within the MB-m bound.
+        links = len(topo.links())
+        assert probe.hops + probe.backtracks <= 2 * links
+
+
+class TestForceBit:
+    def test_force_probe_tears_down_established_victim(self):
+        topo, plane, engines, stats = build_plane(dims=(2,), num_switches=1,
+                                                  misroute_budget=0)
+        victim, _ = plane.launch_probe(0, 1, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        assert victim.state is CircuitState.ESTABLISHED
+        forced, probe = plane.launch_probe(0, 1, 0, force=True, cycle=50)
+        run_until_idle(plane, 51)
+        assert victim.state is CircuitState.DEAD
+        assert forced.state is CircuitState.ESTABLISHED
+        assert stats.count("clrp.victim_releases_requested") >= 1
+
+    def test_force_probe_requests_remote_release(self):
+        """Victim crossing the blocked node but starting elsewhere."""
+        topo, plane, engines, stats = build_plane(dims=(4,), num_switches=1,
+                                                  misroute_budget=0)
+        victim, _ = plane.launch_probe(0, 3, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        # A force probe from node 1 to node 3 needs channels the victim
+        # holds; the victim starts at node 0, i.e. remotely.
+        forced, probe = plane.launch_probe(1, 3, 0, force=True, cycle=50)
+        run_until_idle(plane, 51)
+        assert victim.state is CircuitState.DEAD
+        assert forced.state is CircuitState.ESTABLISHED
+        assert engines[0].release_requests  # the victim's source was asked
+
+    def test_force_probe_backtracks_on_setting_up_channels(self):
+        """Theorem 1's critical rule: never wait on circuits being set up."""
+        topo, plane, engines, stats = build_plane(dims=(2,), num_switches=1,
+                                                  misroute_budget=0,
+                                                  setup_hop_delay=10)
+        # Victim probe is *in flight* (slow hops), channel reserved but no
+        # ack -> the force probe must backtrack and fail, not wait.
+        slow, _ = plane.launch_probe(0, 1, 0, force=False, cycle=0)
+        plane.step(1)  # reserve the first (only) hop; ack not yet back
+        forced, probe = plane.launch_probe(0, 1, 0, force=True, cycle=1)
+        for cycle in range(2, 9):
+            plane.step(cycle)
+        assert probe.status is ProbeStatus.FAILED
+        assert stats.count("probe.force_backtracks") >= 1
+
+    def test_waiting_probe_gets_claimed_channel(self):
+        """The freed channel goes to the waiting probe, not a newcomer."""
+        topo, plane, engines, stats = build_plane(dims=(2,), num_switches=1,
+                                                  misroute_budget=0)
+        victim, _ = plane.launch_probe(0, 1, 0, force=False, cycle=0)
+        run_until_idle(plane, 1)
+        forced, fp = plane.launch_probe(0, 1, 0, force=True, cycle=10)
+        # While the teardown is in flight, a non-force newcomer also tries.
+        newcomer, np_ = plane.launch_probe(0, 1, 0, force=False, cycle=11)
+        run_until_idle(plane, 11)
+        assert forced.state is CircuitState.ESTABLISHED
+        assert np_.status is ProbeStatus.FAILED

@@ -1,0 +1,119 @@
+"""Property-based tests of the MB-m probe search.
+
+Hypothesis throws random pre-existing circuits, faults and endpoints at a
+plane and checks the MB-m contract every time:
+
+* the probe terminates within the History-Store work bound;
+* success yields a *valid* path: connected src -> dst, every hop reserved
+  for the circuit, length bounded by ``distance + 2 * misroutes``;
+* failure leaves *zero* residual reservations (full unwind);
+* the search never touches faulty channels.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import CircuitState
+from repro.circuits.plane import WavePlane
+from repro.circuits.probe import ProbeStatus
+from repro.sim.config import WaveConfig
+from repro.sim.rng import SimRandom
+from repro.sim.stats import StatsCollector
+from repro.topology import FaultSet, Mesh, Torus
+
+
+class _NullEngine:
+    def probe_failed(self, probe, circuit, cycle):
+        pass
+
+    def circuit_established(self, circuit, cycle):
+        pass
+
+
+def build_plane(topo, m, faults):
+    plane = WavePlane(
+        topo,
+        WaveConfig(num_switches=1, misroute_budget=m),
+        StatsCollector(),
+        faults,
+    )
+    for n in range(topo.num_nodes):
+        plane.register_engine(n, _NullEngine())
+    return plane
+
+
+@st.composite
+def scenarios(draw):
+    kind = draw(st.sampled_from(["mesh", "torus"]))
+    radix = draw(st.integers(3, 5))
+    topo = Mesh((radix, radix)) if kind == "mesh" else Torus((radix, radix))
+    m = draw(st.integers(0, 4))
+    fault_fraction = draw(st.sampled_from([0.0, 0.1, 0.2]))
+    fault_seed = draw(st.integers(0, 1000))
+    # Random pre-existing circuits to contend with.
+    n_blockers = draw(st.integers(0, 6))
+    pair_seed = draw(st.integers(0, 1000))
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    if dst == src:
+        dst = (src + 1) % topo.num_nodes
+    return topo, m, fault_fraction, fault_seed, n_blockers, pair_seed, src, dst
+
+
+def run_plane_until_idle(plane, start, limit):
+    cycle = start
+    while not plane.is_idle() and cycle < start + limit:
+        plane.step(cycle)
+        cycle += 1
+    assert plane.is_idle(), "plane did not settle"
+    return cycle
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenarios())
+def test_mbm_contract(scenario):
+    topo, m, fault_fraction, fault_seed, n_blockers, pair_seed, src, dst = scenario
+    faults = FaultSet(topo)
+    if fault_fraction:
+        faults.fail_random_links(fault_fraction, SimRandom(fault_seed))
+    plane = build_plane(topo, m, faults)
+
+    # Blockers: establish random circuits first (ignore failures).
+    rng = SimRandom(pair_seed).stream("pairs")
+    for _ in range(n_blockers):
+        a = rng.randrange(topo.num_nodes)
+        b = rng.randrange(topo.num_nodes)
+        if a == b:
+            continue
+        plane.launch_probe(a, b, 0, force=False, cycle=0)
+    run_plane_until_idle(plane, 1, 20_000)
+
+    circuit, probe = plane.launch_probe(src, dst, 0, force=False, cycle=100)
+    end = run_plane_until_idle(plane, 101, 40_000)
+
+    # Work bound (Theorem 3's argument).
+    links = len(topo.links())
+    assert probe.hops + probe.backtracks <= 2 * links + 2
+
+    if circuit.state is CircuitState.ESTABLISHED:
+        # Valid connected path.
+        node = src
+        for hop_node, port in circuit.path:
+            assert hop_node == node
+            assert not faults.is_faulty(hop_node, port)
+            unit = plane.units[hop_node]
+            assert unit.owner(port, 0) == circuit.circuit_id
+            assert unit.ack_returned(port, 0)
+            node = topo.neighbor(hop_node, port)
+        assert node == dst
+        # Length bound: minimal distance plus two hops per misroute.
+        assert circuit.length <= topo.distance(src, dst) + 2 * probe.misroutes
+        assert probe.misroutes <= m
+    else:
+        assert probe.status is ProbeStatus.FAILED
+        # Full unwind: nothing reserved for the failed attempt anywhere.
+        for n in range(topo.num_nodes):
+            unit = plane.units[n]
+            for port, switch in unit.reserved_channels():
+                assert unit.owner(port, switch) != circuit.circuit_id

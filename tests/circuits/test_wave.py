@@ -1,0 +1,187 @@
+"""Tests for wave-pipelined transfers: rate, window, pipeline timing."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit, CircuitState
+from repro.circuits.wave import WaveTransfer
+from repro.errors import ProtocolError
+from repro.network.message import Message
+
+
+def make_transfer(length=64, rate=4.0, window=256, pipe=4, start=0):
+    msg = Message(msg_id=1, src=0, dst=9, length=length, created=0)
+    circuit = Circuit(circuit_id=1, src=0, dst=9, switch=0,
+                      state=CircuitState.ESTABLISHED)
+    circuit.path = [(i, 0) for i in range(pipe)]
+    return WaveTransfer(
+        message=msg,
+        circuit=circuit,
+        rate=rate,
+        window=window,
+        pipe_delay=pipe,
+        start_cycle=start,
+    )
+
+
+def run_to_completion(transfer, start=0, limit=100_000):
+    cycle = start
+    while not transfer.done:
+        transfer.advance(cycle)
+        cycle += 1
+        if cycle - start > limit:
+            raise AssertionError("transfer never completed")
+    return cycle
+
+
+class TestValidation:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_transfer(rate=0.0)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_transfer(window=0)
+
+
+class TestTiming:
+    def test_unthrottled_send_time(self):
+        """With a large window, send time is ceil(L / rate)."""
+        t = make_transfer(length=64, rate=4.0, window=1024, pipe=4)
+        run_to_completion(t)
+        send_cycles = t.last_sent_cycle - 0 + 1
+        assert send_cycles == math.ceil(64 / 4.0)
+
+    def test_delivery_lags_by_pipeline_fill(self):
+        t = make_transfer(length=64, rate=4.0, window=1024, pipe=7)
+        run_to_completion(t)
+        assert t.delivered_at == t.last_sent_cycle + 7
+
+    def test_completion_lags_by_round_trip(self):
+        t = make_transfer(length=64, rate=4.0, window=1024, pipe=7)
+        end = run_to_completion(t)
+        assert t.completed_at >= t.last_sent_cycle + 14
+
+    def test_fractional_rate_accumulates(self):
+        """rate 0.5 -> one flit every two cycles."""
+        t = make_transfer(length=4, rate=0.5, window=64, pipe=1)
+        sent_at = []
+        cycle = 0
+        while t.sent < 4:
+            if t.advance(cycle):
+                sent_at.append(cycle)
+            cycle += 1
+        deltas = [b - a for a, b in zip(sent_at, sent_at[1:])]
+        assert all(d == 2 for d in deltas)
+
+    def test_window_throttles_long_circuit(self):
+        """window < rate * rtt must slow the transfer down."""
+        fast = make_transfer(length=256, rate=4.0, window=1024, pipe=8)
+        slow = make_transfer(length=256, rate=4.0, window=16, pipe=8)
+        fast_end = run_to_completion(fast)
+        slow_end = run_to_completion(slow)
+        assert slow.last_sent_cycle > fast.last_sent_cycle
+        # Steady state: at most `window` flits per RTT.
+        rtt = 16
+        min_cycles = (256 / 16 - 1) * rtt
+        assert slow.last_sent_cycle >= min_cycles
+
+    def test_in_flight_never_exceeds_window(self):
+        t = make_transfer(length=200, rate=4.0, window=12, pipe=5)
+        cycle = 0
+        while not t.done:
+            t.advance(cycle)
+            assert t.sent - t.acked <= 12
+            cycle += 1
+
+    def test_single_flit_message(self):
+        t = make_transfer(length=1, rate=4.0, window=8, pipe=3)
+        run_to_completion(t)
+        assert t.delivered_at == t.last_sent_cycle + 3
+
+    def test_zero_pipe_delay(self):
+        t = make_transfer(length=8, rate=2.0, window=8, pipe=0)
+        run_to_completion(t)
+        assert t.delivered_at == t.last_sent_cycle
+
+    def test_done_transfer_stops_counting(self):
+        t = make_transfer(length=4, rate=4.0, window=64, pipe=1)
+        end = run_to_completion(t)
+        assert t.advance(end + 1) == 0
+
+
+class TestProperties:
+    @given(
+        length=st.integers(1, 400),
+        rate=st.sampled_from([0.5, 1.0, 2.0, 4.0, 8.0]),
+        window=st.integers(1, 64),
+        pipe=st.integers(0, 12),
+    )
+    def test_always_completes_and_monotone(self, length, rate, window, pipe):
+        t = make_transfer(length=length, rate=rate, window=window, pipe=pipe)
+        cycle = 0
+        prev_sent = 0
+        while not t.done:
+            t.advance(cycle)
+            assert t.sent >= prev_sent
+            assert t.acked <= t.sent <= length
+            assert t.sent - t.acked <= window
+            prev_sent = t.sent
+            cycle += 1
+            assert cycle < 100_000
+        assert t.sent == length
+        assert t.delivered_at == t.last_sent_cycle + pipe
+        assert t.completed_at >= t.delivered_at
+
+    @given(
+        length=st.integers(1, 300),
+        pipe=st.integers(0, 10),
+    )
+    def test_lower_bound_on_send_time(self, length, pipe):
+        """Never faster than ceil(L / rate) regardless of window."""
+        t = make_transfer(length=length, rate=4.0, window=32, pipe=pipe)
+        run_to_completion(t)
+        assert t.last_sent_cycle + 1 >= math.ceil(length / 4.0)
+
+
+class TestRecommendedWindow:
+    def test_covers_worst_case_round_trip(self):
+        from repro.circuits.wave import recommended_window
+        from repro.sim.config import WaveConfig
+        from repro.topology import Mesh
+
+        topo = Mesh((8, 8))
+        config = WaveConfig(wave_clock_ratio=4.0, wire_delay=1)
+        window = recommended_window(topo, config)
+        # Diameter 14, rtt 28, rate 4 -> at least 112 flits in flight.
+        assert window >= 112
+
+    def test_no_throttling_at_recommended_window(self):
+        """A diameter-length transfer at the recommended window matches the
+        unthrottled send time exactly."""
+        import math
+
+        from repro.circuits.wave import recommended_window
+        from repro.sim.config import WaveConfig
+        from repro.topology import Mesh
+
+        topo = Mesh((8, 8))
+        config = WaveConfig(wave_clock_ratio=4.0, wire_delay=1)
+        window = recommended_window(topo, config)
+        pipe = topo.diameter() * config.wire_delay
+        t = make_transfer(length=512, rate=4.0, window=window, pipe=pipe)
+        run_to_completion(t)
+        assert t.last_sent_cycle + 1 == math.ceil(512 / 4.0)
+
+    def test_scales_with_wire_delay(self):
+        from repro.circuits.wave import recommended_window
+        from repro.sim.config import WaveConfig
+        from repro.topology import Mesh
+
+        topo = Mesh((4, 4))
+        slow = recommended_window(topo, WaveConfig(wire_delay=3))
+        fast = recommended_window(topo, WaveConfig(wire_delay=1))
+        assert slow > fast

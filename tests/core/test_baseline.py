@@ -1,0 +1,59 @@
+"""Tests for the wormhole-only baseline engine."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, SwitchingMode
+
+
+def make_net():
+    return Network(NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None))
+
+
+def drain(net, limit=20_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestBaseline:
+    def test_everything_goes_wormhole(self):
+        net = make_net()
+        factory = MessageFactory()
+        for i in range(8):
+            net.inject(factory.make(i, 15 - i, 16, 0))
+        drain(net)
+        assert all(
+            m.mode is SwitchingMode.WORMHOLE for m in net.stats.messages.values()
+        )
+        assert all(m.delivered > 0 for m in net.stats.messages.values())
+
+    def test_no_circuit_machinery(self):
+        net = make_net()
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        assert net.stats.count("probe.launched") == 0
+        assert net.stats.count("circuit.established") == 0
+
+    def test_baseline_rejects_plane_callbacks(self):
+        net = make_net()
+        engine = net.interfaces[0].engine
+        with pytest.raises(ProtocolError):
+            engine.circuit_established(None, 0)
+        with pytest.raises(ProtocolError):
+            engine.on_directive(None, 0)
+
+    def test_latency_is_distance_plus_length(self):
+        """Zero-load wormhole latency ~ D + L cycles."""
+        net = make_net()
+        factory = MessageFactory()
+        net.inject(factory.make(0, 15, 32, 0))
+        drain(net)
+        rec = net.stats.messages[0]
+        d = net.topology.distance(0, 15)
+        assert rec.latency == pytest.approx(d + 32, abs=4)

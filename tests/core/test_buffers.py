@@ -1,0 +1,143 @@
+"""Tests for the end-point message-buffer model (section 2).
+
+"For message passing, software overhead associated with message
+transmission can be considerably reduced if message buffers are allocated
+at both ends when the circuit is established. ... If the circuit is
+explicitly established by the programmer and/or the compiler for a set of
+messages, buffer size is determined by the longest message of the set. On
+the other hand, if the circuit is automatically established ... A
+reasonably large buffer can be allocated. In this case, buffers may have
+to be re-allocated for longer messages."
+"""
+
+import pytest
+
+from repro.core.carp import CircuitClose, CircuitOpen
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.traffic.compiler import compile_directives
+from repro.traffic.workloads import pair_stream_workload
+
+
+def make_net(protocol="clrp", **wave_kwargs):
+    wave_kwargs.setdefault("model_buffers", True)
+    wave_kwargs.setdefault("default_buffer_flits", 64)
+    wave_kwargs.setdefault("buffer_realloc_penalty", 200)
+    config = NetworkConfig(
+        dims=(4, 4), protocol=protocol, wave=WaveConfig(**wave_kwargs)
+    )
+    return Network(config), MessageFactory()
+
+
+def drain(net, limit=60_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(default_buffer_flits=0)
+        with pytest.raises(ConfigError):
+            WaveConfig(buffer_realloc_penalty=-1)
+
+    def test_buffers_off_by_default(self):
+        assert WaveConfig().model_buffers is False
+
+
+class TestCLRPBuffers:
+    def test_default_allocation_at_establishment(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        entry = net.interfaces[0].engine.cache.lookup(5)
+        assert entry.buffer_flits == 64
+
+    def test_short_messages_never_realloc(self):
+        net, factory = make_net()
+        for _ in range(4):
+            net.inject(factory.make(0, 5, 32, 0))
+        drain(net)
+        assert net.stats.count("circuit.buffer_reallocs") == 0
+
+    def test_long_message_triggers_realloc_penalty(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 16, 0))  # establish with default 64
+        drain(net)
+        t0 = net.cycle
+        net.inject(factory.make(0, 5, 256, t0))  # exceeds the allocation
+        drain(net)
+        assert net.stats.count("circuit.buffer_reallocs") == 1
+        rec = net.stats.messages[1]
+        # The re-allocation delay shows in the injection time.
+        assert rec.injected >= t0 + 200
+        entry = net.interfaces[0].engine.cache.lookup(5)
+        assert entry.buffer_flits == 256
+
+    def test_realloc_happens_once_per_growth(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        for _ in range(3):
+            net.inject(factory.make(0, 5, 256, net.cycle))
+            drain(net)
+        assert net.stats.count("circuit.buffer_reallocs") == 1
+
+    def test_zero_penalty_realloc_is_free(self):
+        net, factory = make_net(buffer_realloc_penalty=0)
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        t0 = net.cycle
+        net.inject(factory.make(0, 5, 256, t0))
+        drain(net)
+        assert net.stats.count("circuit.buffer_reallocs") == 1
+        assert net.stats.messages[1].injected == t0
+
+    def test_messages_flow_during_and_after_wait(self):
+        """Nothing wedges while a re-allocation is pending."""
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        for length in (256, 16, 512, 16):
+            net.inject(factory.make(0, 5, length, net.cycle))
+        drain(net)
+        assert all(m.delivered > 0 for m in net.stats.messages.values())
+
+
+class TestCARPBuffers:
+    def test_directive_sizes_buffers_exactly(self):
+        net, factory = make_net(protocol="carp")
+        net.inject(CircuitOpen(node=0, dst=5, created=0, buffer_flits=512))
+        drain(net)
+        entry = net.interfaces[0].engine.cache.lookup(5)
+        assert entry.buffer_flits == 512
+
+    def test_compiled_workload_never_reallocs(self):
+        net, factory = make_net(protocol="carp")
+        msgs = pair_stream_workload(
+            factory, [(0, 5)], messages_per_pair=6, length=300, gap=50
+        )
+        items, report = compile_directives(msgs, min_messages=3, min_flits=48)
+        opens = [d for d in items if isinstance(d, CircuitOpen)]
+        assert opens and opens[0].buffer_flits == 300
+        from repro.sim.engine import Simulator
+
+        Simulator(net, items).run(100_000)
+        assert net.stats.count("circuit.buffer_reallocs") == 0
+        assert all(m.delivered > 0 for m in net.stats.messages.values())
+
+    def test_clrp_same_workload_does_realloc(self):
+        """The CARP-vs-CLRP buffer contrast the paper draws."""
+        net, factory = make_net(protocol="clrp")
+        msgs = pair_stream_workload(
+            factory, [(0, 5)], messages_per_pair=6, length=300, gap=50
+        )
+        from repro.sim.engine import Simulator
+
+        Simulator(net, msgs).run(100_000)
+        assert net.stats.count("circuit.buffer_reallocs") == 1

@@ -1,0 +1,171 @@
+"""Tests for the CARP engine: directives, prefetching, fallbacks."""
+
+import pytest
+
+from repro.core.carp import CircuitClose, CircuitOpen
+from repro.errors import ProtocolError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, SwitchingMode, WaveConfig
+from repro.verify import check_all_invariants
+
+
+def make_net(dims=(4, 4), **wave_kwargs):
+    config = NetworkConfig(dims=dims, protocol="carp", wave=WaveConfig(**wave_kwargs))
+    return Network(config), MessageFactory()
+
+
+def drain(net, limit=20_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestOpenClose:
+    def test_open_establishes_circuit(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        entry = net.interfaces[0].engine.cache.lookup(5)
+        assert entry is not None
+        assert entry.ack_returned
+        assert net.stats.count("carp.opens") == 1
+        check_all_invariants(net)
+
+    def test_hinted_message_rides_prefetched_circuit(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        net.inject(factory.make(0, 5, 64, net.cycle, circuit_hint=True))
+        drain(net)
+        rec = net.stats.messages[0]
+        assert rec.mode is SwitchingMode.CIRCUIT_HIT
+        assert rec.setup_cycles == 0  # prefetched: no setup charged
+
+    def test_close_tears_down(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        net.inject(CircuitClose(node=0, dst=5, created=net.cycle))
+        drain(net)
+        assert net.interfaces[0].engine.cache.lookup(5) is None
+        assert net.stats.count("circuit.released") == 1
+        check_all_invariants(net)
+
+    def test_close_waits_for_in_flight_message(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=15, created=0))
+        drain(net)
+        net.inject(factory.make(0, 15, 512, net.cycle, circuit_hint=True))
+        net.run(5)  # transfer started, still streaming
+        net.inject(CircuitClose(node=0, dst=15, created=net.cycle))
+        drain(net)
+        rec = net.stats.messages[0]
+        assert rec.delivered > 0  # message completed before teardown
+        assert net.interfaces[0].engine.cache.lookup(15) is None
+
+    def test_close_without_open_ignored(self):
+        net, factory = make_net()
+        net.inject(CircuitClose(node=0, dst=5, created=0))
+        drain(net)
+        assert net.stats.count("carp.close_no_entry") == 1
+
+    def test_duplicate_open_ignored(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        net.inject(CircuitOpen(node=0, dst=5, created=net.cycle))
+        drain(net)
+        assert net.stats.count("carp.open_already_present") == 1
+        assert net.stats.count("carp.opens") == 1
+
+    def test_close_overtaking_setup_releases_after_establish(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=15, created=0))
+        net.step()  # probe in flight
+        net.inject(CircuitClose(node=0, dst=15, created=net.cycle))
+        drain(net)
+        assert net.interfaces[0].engine.cache.lookup(15) is None
+        check_all_invariants(net)
+
+
+class TestMessages:
+    def test_unhinted_message_uses_wormhole(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 32, 0, circuit_hint=False))
+        drain(net)
+        assert net.stats.messages[0].mode is SwitchingMode.WORMHOLE
+
+    def test_hinted_message_without_circuit_falls_back(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 32, 0, circuit_hint=True))
+        drain(net)
+        rec = net.stats.messages[0]
+        assert rec.mode is SwitchingMode.WORMHOLE_FALLBACK
+        assert net.stats.count("carp.hinted_fallback") == 1
+
+    def test_message_queued_during_setup_flows_after(self):
+        net, factory = make_net()
+        net.inject(CircuitOpen(node=0, dst=15, created=0))
+        net.inject(factory.make(0, 15, 32, 0, circuit_hint=True))
+        drain(net)
+        assert net.stats.messages[0].mode is SwitchingMode.CIRCUIT_HIT
+
+    def test_carp_never_forces(self):
+        """CARP probes carry Force clear: no victim releases ever."""
+        net, factory = make_net(dims=(3,), num_switches=1, misroute_budget=0)
+        net.inject(CircuitOpen(node=0, dst=2, created=0))
+        drain(net)
+        net.inject(CircuitOpen(node=1, dst=2, created=net.cycle))
+        net.inject(factory.make(1, 2, 32, net.cycle + 1, circuit_hint=True))
+        drain(net)
+        assert net.stats.count("probe.launched_forced") == 0
+        assert net.stats.count("clrp.victim_releases_requested") == 0
+        # The second open failed; its message fell back to wormhole.
+        assert net.stats.count("carp.setup_failed") == 1
+        assert net.stats.messages[0].mode is SwitchingMode.WORMHOLE_FALLBACK
+
+
+class TestCachePressure:
+    def test_open_evicts_idle_entry_when_full(self):
+        net, factory = make_net(circuit_cache_size=1)
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        net.inject(CircuitOpen(node=0, dst=9, created=net.cycle))
+        drain(net)
+        engine = net.interfaces[0].engine
+        assert engine.cache.lookup(5) is None
+        assert engine.cache.lookup(9) is not None
+        assert net.stats.count("carp.open_evictions") == 1
+
+    def test_open_dropped_when_nothing_evictable(self):
+        net, factory = make_net(circuit_cache_size=1)
+        net.inject(CircuitOpen(node=0, dst=5, created=0))
+        drain(net)
+        # Keep entry 5 busy with a huge message, then open another.
+        net.inject(factory.make(0, 5, 2048, net.cycle, circuit_hint=True))
+        net.run(3)
+        net.inject(CircuitOpen(node=0, dst=9, created=net.cycle))
+        drain(net)
+        assert net.stats.count("carp.open_dropped_cache_full") == 1
+
+
+class TestDirectiveValidation:
+    def test_wrong_node_rejected(self):
+        net, factory = make_net()
+        with pytest.raises(ProtocolError):
+            net.interfaces[0].on_directive(
+                CircuitOpen(node=3, dst=5, created=0), 0
+            )
+
+    def test_retry_sweeps(self):
+        net, factory = make_net(dims=(3,), num_switches=1, misroute_budget=0,
+                                max_setup_retries=3)
+        net.inject(CircuitOpen(node=0, dst=2, created=0))
+        drain(net)
+        net.inject(CircuitOpen(node=1, dst=2, created=net.cycle))
+        drain(net)
+        # 1 initial sweep + 2 retries = 3 probes for the failing open.
+        assert net.stats.count("carp.setup_retries") == 2

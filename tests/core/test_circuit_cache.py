@@ -1,0 +1,167 @@
+"""F5: tests for the Circuit Cache registers (Fig. 5)."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit, CircuitState
+from repro.core.circuit_cache import (
+    CacheEntryState,
+    CircuitCache,
+    CircuitCacheEntry,
+)
+from repro.core.replacement import LRUReplacement
+from repro.errors import ProtocolError
+from repro.network.message import Message
+
+
+def cache(capacity=4):
+    return CircuitCache(capacity, LRUReplacement())
+
+
+def entry(dest, state=CacheEntryState.SETTING_UP, with_circuit=False):
+    e = CircuitCacheEntry(dest=dest, initial_switch=1, switch=1)
+    e.state = state
+    if with_circuit:
+        c = Circuit(circuit_id=dest + 100, src=0, dst=dest, switch=1,
+                    state=CircuitState.ESTABLISHED)
+        c.path = [(0, 2)]
+        e.circuit = c
+    return e
+
+
+class TestFig5Registers:
+    """Every register the figure lists is present and behaves."""
+
+    def test_initial_switch_and_switch(self):
+        e = entry(5)
+        assert e.initial_switch == 1
+        assert e.switch == 1
+
+    def test_dest_field(self):
+        assert entry(7).dest == 7
+
+    def test_ack_returned_mirrors_state(self):
+        e = entry(5)
+        assert not e.ack_returned
+        e.state = CacheEntryState.ESTABLISHED
+        assert e.ack_returned
+
+    def test_in_use_mirrors_circuit(self):
+        e = entry(5, CacheEntryState.ESTABLISHED, with_circuit=True)
+        assert not e.in_use
+        e.circuit.in_use = True
+        assert e.in_use
+
+    def test_channel_field_from_path(self):
+        e = entry(5, with_circuit=True)
+        assert e.channel == 2
+        assert entry(5).channel is None
+
+    def test_replace_accounting_fields(self):
+        e = entry(5)
+        assert e.use_count == 0
+        assert e.last_used == 0
+        assert e.created_at == 0
+
+
+class TestEvictable:
+    def test_established_idle_is_evictable(self):
+        e = entry(5, CacheEntryState.ESTABLISHED, with_circuit=True)
+        assert e.evictable()
+
+    def test_setting_up_not_evictable(self):
+        assert not entry(5).evictable()
+
+    def test_in_use_not_evictable(self):
+        e = entry(5, CacheEntryState.ESTABLISHED, with_circuit=True)
+        e.circuit.in_use = True
+        assert not e.evictable()
+
+    def test_queued_not_evictable(self):
+        e = entry(5, CacheEntryState.ESTABLISHED, with_circuit=True)
+        e.queue.append(Message(msg_id=1, src=0, dst=5, length=8, created=0))
+        assert not e.evictable()
+
+    def test_pending_release_not_evictable(self):
+        e = entry(5, CacheEntryState.ESTABLISHED, with_circuit=True)
+        e.pending_release = True
+        assert not e.evictable()
+
+
+class TestCircuitCache:
+    def test_insert_lookup_remove(self):
+        c = cache()
+        e = entry(5)
+        c.insert(e)
+        assert c.lookup(5) is e
+        assert c.remove(5) is e
+        assert c.lookup(5) is None
+
+    def test_duplicate_dest_rejected(self):
+        c = cache()
+        c.insert(entry(5))
+        with pytest.raises(ProtocolError):
+            c.insert(entry(5))
+
+    def test_capacity_enforced(self):
+        c = cache(capacity=2)
+        c.insert(entry(1))
+        c.insert(entry(2))
+        assert c.full
+        with pytest.raises(ProtocolError):
+            c.insert(entry(3))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ProtocolError):
+            cache().remove(9)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ProtocolError):
+            CircuitCache(0, LRUReplacement())
+
+    def test_pick_victim_respects_evictability(self):
+        c = cache(capacity=3)
+        c.insert(entry(1))  # setting up: not evictable
+        established = entry(2, CacheEntryState.ESTABLISHED, with_circuit=True)
+        c.insert(established)
+        assert c.pick_victim(0) is established
+
+    def test_pick_victim_none_when_all_busy(self):
+        c = cache(capacity=2)
+        c.insert(entry(1))
+        c.insert(entry(2))
+        assert c.pick_victim(0) is None
+
+    def test_pick_victim_uses_policy(self):
+        c = cache(capacity=3)
+        cold = entry(1, CacheEntryState.ESTABLISHED, with_circuit=True)
+        cold.last_used = 5
+        hot = entry(2, CacheEntryState.ESTABLISHED, with_circuit=True)
+        hot.last_used = 500
+        c.insert(cold)
+        c.insert(hot)
+        assert c.pick_victim(1000) is cold
+
+    def test_pending_messages_counts_queues(self):
+        c = cache()
+        e1, e2 = entry(1), entry(2)
+        e1.queue.append(Message(msg_id=1, src=0, dst=1, length=8, created=0))
+        e1.queue.append(Message(msg_id=2, src=0, dst=1, length=8, created=0))
+        e2.queue.append(Message(msg_id=3, src=0, dst=2, length=8, created=0))
+        c.insert(e1)
+        c.insert(e2)
+        assert c.pending_messages() == 3
+
+    def test_find_by_circuit(self):
+        c = cache()
+        e = entry(5, with_circuit=True)
+        c.insert(e)
+        assert c.find_by_circuit(e.circuit.circuit_id) is e
+        assert c.find_by_circuit(999) is None
+
+    def test_note_use_delegates_to_policy(self):
+        c = cache()
+        e = entry(5)
+        c.insert(e)
+        c.note_use(e, 77)
+        assert e.last_used == 77
+        assert e.use_count == 1

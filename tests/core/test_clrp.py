@@ -1,0 +1,217 @@
+"""Tests for the CLRP engine: phases, cache behaviour, victim releases."""
+
+import pytest
+
+from repro.circuits.circuit import CircuitState
+from repro.errors import ProtocolError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, SwitchingMode, WaveConfig, WormholeConfig
+from repro.verify import check_all_invariants
+
+
+def make_net(dims=(4, 4), **wave_kwargs):
+    wave = WaveConfig(**wave_kwargs)
+    config = NetworkConfig(dims=dims, protocol="clrp", wave=wave)
+    return Network(config), MessageFactory()
+
+
+def drain(net, limit=20_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestPhase1:
+    def test_miss_establishes_circuit(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 32, 0))
+        drain(net)
+        rec = net.stats.messages[0]
+        assert rec.delivered > 0
+        assert rec.mode is SwitchingMode.CIRCUIT_NEW
+        assert net.stats.count("clrp.lookup_miss") == 1
+        check_all_invariants(net)
+
+    def test_second_message_hits(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 32, 0))
+        drain(net)
+        net.inject(factory.make(0, 5, 32, net.cycle))
+        drain(net)
+        assert net.stats.messages[1].mode is SwitchingMode.CIRCUIT_HIT
+        assert net.stats.count("clrp.lookup_hit") == 1
+
+    def test_hit_is_faster_than_miss(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 15, 64, 0))
+        drain(net)
+        t0 = net.cycle
+        net.inject(factory.make(0, 15, 64, t0))
+        drain(net)
+        miss, hit = net.stats.messages[0], net.stats.messages[1]
+        assert hit.latency < miss.latency  # no setup cost on the hit
+
+    def test_setup_cycles_recorded(self):
+        net, factory = make_net()
+        net.inject(factory.make(0, 5, 32, 0))
+        drain(net)
+        assert net.stats.messages[0].setup_cycles > 0
+
+    def test_queued_messages_ride_same_circuit_in_order(self):
+        net, factory = make_net()
+        for i in range(4):
+            net.inject(factory.make(0, 9, 32, 0))
+        drain(net)
+        recs = [net.stats.messages[i] for i in range(4)]
+        assert all(r.delivered > 0 for r in recs)
+        deliveries = [r.delivered for r in recs]
+        assert deliveries == sorted(deliveries)  # in-order on the circuit
+        assert recs[0].mode is SwitchingMode.CIRCUIT_NEW
+        assert all(r.mode is SwitchingMode.CIRCUIT_HIT for r in recs[1:])
+        # One circuit, four uses.
+        assert net.stats.count("circuit.established") == 1
+
+    def test_initial_switch_spreads_across_neighbors(self):
+        net, factory = make_net(num_switches=2)
+        e0 = net.interfaces[0].engine
+        e1 = net.interfaces[1].engine
+        assert e0.initial_switch() != e1.initial_switch()
+
+
+class TestCacheManagement:
+    def test_eviction_on_capacity(self):
+        net, factory = make_net(circuit_cache_size=1)
+        net.inject(factory.make(0, 5, 32, 0))
+        drain(net)
+        net.inject(factory.make(0, 9, 32, net.cycle))
+        drain(net)
+        assert net.stats.count("clrp.cache_evictions") == 1
+        assert net.stats.messages[1].mode is SwitchingMode.CIRCUIT_NEW
+        # The old circuit is gone, the new one lives.
+        engine = net.interfaces[0].engine
+        assert engine.cache.lookup(5) is None
+        assert engine.cache.lookup(9) is not None
+        check_all_invariants(net)
+
+    def test_lru_victim_selection(self):
+        net, factory = make_net(circuit_cache_size=2, replacement="lru")
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        drain(net)
+        # Touch dest 5 again so dest 9 becomes the LRU victim.
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        drain(net)
+        net.inject(factory.make(0, 13, 16, net.cycle))
+        drain(net)
+        engine = net.interfaces[0].engine
+        assert engine.cache.lookup(5) is not None
+        assert engine.cache.lookup(9) is None
+        assert engine.cache.lookup(13) is not None
+
+    def test_cache_full_of_busy_entries_falls_back(self):
+        """No evictable entry -> the message takes S0 immediately."""
+        net, factory = make_net(circuit_cache_size=1)
+        # Keep the single entry busy with a long queue, then miss.
+        for _ in range(3):
+            net.inject(factory.make(0, 5, 256, 0))
+        net.inject(factory.make(0, 9, 16, 0))  # miss while entry 5 busy
+        drain(net)
+        assert net.stats.count("clrp.cache_full_fallback") >= 1
+        assert net.stats.messages[3].mode is SwitchingMode.WORMHOLE_FALLBACK
+
+
+class TestPhase2And3:
+    def test_phase2_forces_victim_teardown(self):
+        """k=1, m=0 line: the second source must steal the channel."""
+        wave = dict(num_switches=1, misroute_budget=0)
+        net, factory = make_net(dims=(3,), **wave)
+        # Circuit 0->2 occupies (0,+) and (1,+).
+        net.inject(factory.make(0, 2, 32, 0))
+        drain(net)
+        # Now node 1 wants 1->2; its only channel (1,+) is taken by an
+        # established circuit -> phase 1 fails, phase 2 forces a release.
+        net.inject(factory.make(1, 2, 32, net.cycle))
+        drain(net)
+        rec = net.stats.messages[1]
+        assert rec.mode is SwitchingMode.CIRCUIT_FORCED
+        assert net.stats.count("clrp.phase2_entered") == 1
+        assert net.stats.count("clrp.victim_releases_requested") >= 1
+        # Victim's cache entry cleaned up at node 0.
+        assert net.interfaces[0].engine.cache.lookup(2) is None
+        check_all_invariants(net)
+
+    def test_phase3_wormhole_fallback_on_setting_up_channels(self):
+        """Force probes may not wait on circuits being established."""
+        wave = dict(num_switches=1, misroute_budget=0, setup_hop_delay=40)
+        net, factory = make_net(dims=(3,), **wave)
+        # Slow probe from node 0 grabs (0,+) then (1,+), un-acked for a
+        # long time because of the huge hop delay.
+        net.inject(factory.make(0, 2, 8, 0))
+        net.run(45)  # probe has reserved (0,+) and is crawling onward
+        net.inject(factory.make(1, 2, 8, net.cycle))
+        drain(net, limit=40_000)
+        rec = net.stats.messages[1]
+        assert rec.delivered > 0
+        assert rec.mode in (
+            SwitchingMode.WORMHOLE_FALLBACK,  # phase 3 while still un-acked
+            SwitchingMode.CIRCUIT_FORCED,  # or the ack won the race
+        )
+        if rec.mode is SwitchingMode.WORMHOLE_FALLBACK:
+            assert net.stats.count("clrp.phase3_fallbacks") >= 1
+        check_all_invariants(net)
+
+    def test_reopen_after_victimization_with_queue(self):
+        """Messages queued when their circuit is stolen get a new one."""
+        wave = dict(num_switches=1, misroute_budget=0)
+        net, factory = make_net(dims=(3,), **wave)
+        # Long-running stream 0->2 keeps its circuit busy.
+        for _ in range(6):
+            net.inject(factory.make(0, 2, 200, 0))
+        net.run(80)
+        # Node 1 steals the shared channel mid-stream.
+        net.inject(factory.make(1, 2, 8, net.cycle))
+        drain(net, limit=60_000)
+        assert all(m.delivered > 0 for m in net.stats.messages.values())
+        check_all_invariants(net)
+
+
+class TestDirectives:
+    def test_clrp_rejects_directives(self):
+        from repro.core.carp import CircuitOpen
+
+        net, factory = make_net()
+        with pytest.raises(ProtocolError):
+            net.inject(CircuitOpen(node=0, dst=5, created=0))
+
+
+class TestSlotStarvationRegression:
+    """Regression: a message waiting for a cache slot must not starve when
+    the victim entry is re-opened by new traffic mid-teardown.
+
+    Found by the property-based system test: with a 1-entry cache, message
+    A (new dest) evicts the entry for dest D; while the teardown is in
+    flight another message to D queues on the RELEASING entry; on release
+    the entry re-opens for D and the slot never frees -- message A must be
+    re-dispatched (new victim or wormhole fallback), not wait forever.
+    """
+
+    def test_waiting_message_redispatched_on_reopen(self):
+        net, factory = make_net(circuit_cache_size=1)
+        # Establish the victim circuit 0 -> 5.
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        # Miss to dest 9: evicts the (idle) entry for dest 5.
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        net.step()  # teardown of 0->5 now in flight
+        # New message to dest 5 queues on the RELEASING entry.
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        drain(net)
+        recs = net.stats.messages
+        assert all(r.delivered > 0 for r in recs.values()), (
+            "slot-waiting message starved"
+        )
+        assert net.interfaces[0].engine.pending_count() == 0

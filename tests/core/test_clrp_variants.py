@@ -1,0 +1,161 @@
+"""Tests for section 3.1's CLRP simplification variants.
+
+"First, when a circuit cannot be established by using Initial Switch, the
+Force bit can be set without trying the remaining switches.  Similarly,
+the second phase may try a single switch.  Second, the Force bit can be
+set when the probe is first sent to establish the circuit, therefore
+skipping phase one."
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, SwitchingMode, WaveConfig
+
+
+def make_net(variant, dims=(4,), num_switches=2, **wave_kwargs):
+    config = NetworkConfig(
+        dims=dims,
+        protocol="clrp",
+        wave=WaveConfig(
+            clrp_variant=variant,
+            num_switches=num_switches,
+            misroute_budget=0,
+            **wave_kwargs,
+        ),
+    )
+    return Network(config), MessageFactory()
+
+
+def drain(net, limit=30_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+def occupy_both_switches(net, factory):
+    """Circuits 0->2 and 1->3 cross link 1->2 on different switches
+    (their sources' Initial Switches differ by construction), so node 1
+    finds every (1,+) channel taken."""
+    net.inject(factory.make(0, 2, 16, net.cycle))
+    drain(net)
+    net.inject(factory.make(1, 3, 16, net.cycle))
+    drain(net)
+    switches = {c.switch for c in net.plane.table.established()}
+    assert switches == {0, 1}, "setup assumption broken"
+
+
+class TestConfig:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(clrp_variant="fastest")  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize(
+        "variant", ["standard", "eager_force", "single_switch", "immediate_force"]
+    )
+    def test_variants_accepted(self, variant):
+        assert WaveConfig(clrp_variant=variant).clrp_variant == variant
+
+
+class TestImmediateForce:
+    def test_first_probe_carries_force(self):
+        net, factory = make_net("immediate_force")
+        net.inject(factory.make(0, 2, 16, 0))
+        drain(net)
+        assert net.stats.count("probe.launched_forced") >= 1
+        # On an empty network the forced probe just succeeds normally.
+        rec = net.stats.messages[0]
+        assert rec.mode is SwitchingMode.CIRCUIT_FORCED
+
+    def test_standard_never_forces_on_empty_network(self):
+        net, factory = make_net("standard")
+        net.inject(factory.make(0, 2, 16, 0))
+        drain(net)
+        assert net.stats.count("probe.launched_forced") == 0
+        assert net.stats.messages[0].mode is SwitchingMode.CIRCUIT_NEW
+
+
+class TestEagerForce:
+    def test_forces_after_single_switch_attempt(self):
+        """With both switches occupied, eager_force probes once clear,
+        then forces; standard probes twice clear first."""
+        eager_net, eager_factory = make_net("eager_force")
+        occupy_both_switches(eager_net, eager_factory)
+        eager_net.inject(eager_factory.make(1, 2, 16, eager_net.cycle))
+        drain(eager_net)
+        std_net, std_factory = make_net("standard")
+        occupy_both_switches(std_net, std_factory)
+        std_net.inject(std_factory.make(1, 2, 16, std_net.cycle))
+        drain(std_net)
+        # Both deliver via a forced circuit...
+        assert eager_net.stats.count("clrp.phase2_entered") == 1
+        assert std_net.stats.count("clrp.phase2_entered") == 1
+        # ...but eager_force launched fewer force-clear probes for it.
+        eager_clear = (
+            eager_net.stats.count("probe.launched")
+            - eager_net.stats.count("probe.launched_forced")
+        )
+        std_clear = (
+            std_net.stats.count("probe.launched")
+            - std_net.stats.count("probe.launched_forced")
+        )
+        assert eager_clear < std_clear
+
+
+class TestSingleSwitch:
+    def test_gives_up_after_initial_switch_both_phases(self):
+        """Both phases limited to one switch: with that switch's channel
+        held by a circuit still being established, fall straight through
+        to wormhole."""
+        net, factory = make_net("single_switch", num_switches=2,
+                                setup_hop_delay=50)
+        # Slow probe holds (0,+) and (1,+) un-acked on the initial switch
+        # of node 1... the initial switch of node 1 is (coords sum) % 2 = 1.
+        switch = net.interfaces[1].engine.initial_switch()
+        net.plane.launch_probe(0, 2, switch, force=False, cycle=0)
+        net.run(55)  # first hop reserved, ack far away
+        net.inject(factory.make(1, 2, 16, net.cycle))
+        drain(net, limit=60_000)
+        rec = net.stats.messages[0]
+        assert rec.delivered > 0
+        if rec.mode is SwitchingMode.WORMHOLE_FALLBACK:
+            # Only two probes ever launched for this dest: one clear, one
+            # forced, both on the single initial switch.
+            assert net.stats.count("clrp.phase3_fallbacks") == 1
+
+
+class TestAllVariantsDeliver:
+    @pytest.mark.parametrize(
+        "variant", ["standard", "eager_force", "single_switch", "immediate_force"]
+    )
+    def test_contended_traffic_fully_delivered(self, variant):
+        from repro.sim.rng import SimRandom
+        from repro.traffic import UniformPattern, uniform_workload
+        from repro.verify import check_all_invariants
+
+        config = NetworkConfig(
+            dims=(4, 4),
+            protocol="clrp",
+            wave=WaveConfig(clrp_variant=variant, num_switches=1,
+                            circuit_cache_size=2),
+        )
+        net = Network(config)
+        workload = uniform_workload(
+            MessageFactory(),
+            UniformPattern(16),
+            num_nodes=16,
+            offered_load=0.3,
+            length=24,
+            duration=800,
+            rng=SimRandom(6),
+        )
+        from repro.sim.engine import Simulator
+
+        result = Simulator(net, workload, deadlock_check_interval=100,
+                           progress_timeout=20_000).run(80_000)
+        assert result.delivered == result.injected
+        check_all_invariants(net)

@@ -1,0 +1,90 @@
+"""Tests for the Circuit Cache replacement policies."""
+
+import pytest
+
+from repro.core.circuit_cache import CircuitCacheEntry
+from repro.core.replacement import (
+    FIFOReplacement,
+    LFUReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.errors import ConfigError
+from repro.sim.rng import SimRandom
+
+
+def entry(dest, created=0, last_used=0, use_count=0):
+    e = CircuitCacheEntry(dest=dest, initial_switch=0, switch=0)
+    e.created_at = created
+    e.last_used = last_used
+    e.use_count = use_count
+    return e
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        entries = [entry(1, last_used=50), entry(2, last_used=10),
+                   entry(3, last_used=90)]
+        assert LRUReplacement().select_victim(entries, 100).dest == 2
+
+    def test_tie_breaks_on_dest(self):
+        entries = [entry(5, last_used=10), entry(2, last_used=10)]
+        assert LRUReplacement().select_victim(entries, 100).dest == 2
+
+
+class TestLFU:
+    def test_evicts_least_frequently_used(self):
+        entries = [entry(1, use_count=9), entry(2, use_count=2),
+                   entry(3, use_count=5)]
+        assert LFUReplacement().select_victim(entries, 100).dest == 2
+
+    def test_count_tie_breaks_on_recency(self):
+        entries = [entry(1, use_count=2, last_used=80),
+                   entry(2, use_count=2, last_used=10)]
+        assert LFUReplacement().select_victim(entries, 100).dest == 2
+
+
+class TestFIFO:
+    def test_evicts_oldest(self):
+        entries = [entry(1, created=30), entry(2, created=5), entry(3, created=60)]
+        assert FIFOReplacement().select_victim(entries, 100).dest == 2
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        entries = [entry(i) for i in range(10)]
+        a = RandomReplacement(SimRandom(3)).select_victim(entries, 0)
+        b = RandomReplacement(SimRandom(3)).select_victim(entries, 0)
+        assert a.dest == b.dest
+
+    def test_covers_multiple_victims(self):
+        entries = [entry(i) for i in range(5)]
+        policy = RandomReplacement(SimRandom(1))
+        seen = {policy.select_victim(entries, 0).dest for _ in range(50)}
+        assert len(seen) > 1
+
+
+class TestOnUse:
+    def test_updates_replace_accounting(self):
+        e = entry(1)
+        policy = LRUReplacement()
+        policy.on_use(e, 42)
+        policy.on_use(e, 77)
+        assert e.last_used == 77
+        assert e.use_count == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUReplacement),
+        ("lfu", LFUReplacement),
+        ("fifo", FIFOReplacement),
+        ("random", RandomReplacement),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_replacement(name, SimRandom(0)), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_replacement("mru", SimRandom(0))

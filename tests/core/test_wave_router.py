@@ -1,0 +1,70 @@
+"""F2: tests for the hybrid wave router composition (Fig. 2)."""
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+
+
+def make_net(k=2, w=3):
+    config = NetworkConfig(
+        dims=(4, 4),
+        protocol="clrp",
+        wormhole=WormholeConfig(vcs=w),
+        wave=WaveConfig(num_switches=k),
+    )
+    return Network(config)
+
+
+class TestComposition:
+    def test_one_wave_router_per_node(self):
+        net = make_net()
+        assert len(net.wave_routers) == 16
+        for wr in net.wave_routers:
+            assert wr.wormhole is net.routers[wr.node]
+            assert wr.pcs is net.plane.units[wr.node]
+
+    def test_fig2_channel_accounting(self):
+        """Each S0 physical channel splits into k + w virtual channels."""
+        wr = make_net(k=3, w=2).wave_routers[0]
+        assert wr.num_wave_switches == 3
+        assert wr.num_wormhole_vcs == 2
+        assert wr.virtual_channels_per_physical_channel == 5
+
+    def test_mismatched_nodes_rejected(self):
+        from repro.core.wave_router import WaveRouter
+
+        net = make_net()
+        with pytest.raises(ValueError):
+            WaveRouter(net.routers[0], net.plane.units[1])
+
+    def test_simplest_wave_router_k1(self):
+        """The paper's 'simplest version': k=1 (w=0 is not simulable for
+        the fallback path, so w stays >= 1)."""
+        net = make_net(k=1, w=1)
+        assert net.wave_routers[0].num_wave_switches == 1
+
+    def test_circuit_switch_state_reflects_mappings(self):
+        net = make_net(k=2)
+        factory = MessageFactory()
+        net.inject(factory.make(0, 10, 32, 0))
+        for _ in range(5000):
+            net.step()
+            if net.is_idle():
+                break
+        # The circuit crossed some node: that node's wave switch must show
+        # a configured input->output connection on the circuit's switch.
+        circuit = net.plane.table.established()[0]
+        if circuit.length > 1:
+            mid_node = circuit.path[1][0]
+            state = net.wave_routers[mid_node].circuit_switch_state(circuit.switch)
+            assert state  # at least one configured connection
+            for in_key, out_key in state.items():
+                assert in_key[1] == circuit.switch
+                assert out_key[1] == circuit.switch
+
+    def test_wormhole_baseline_has_no_wave_routers(self):
+        net = Network(NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None))
+        assert net.wave_routers == []
+        assert net.plane is None

@@ -1,0 +1,91 @@
+"""Bounded-exhaustive checks on tiny machines.
+
+Hypothesis samples the configuration space; this file *enumerates* a
+small but complete grid of timing and traffic interleavings on 2- and
+3-node machines, where every possible protocol interaction (setup races,
+force steals, release-request overtakes, queue reopens) is reachable.
+Every grid point must deliver everything and keep the invariants -- a
+poor man's model check over the timing dimension the proofs quantify
+over.
+"""
+
+import itertools
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.verify import check_all_invariants, check_in_order_delivery
+
+
+def run_grid_point(dims, offsets, lengths, hop_delay, k, variant):
+    config = NetworkConfig(
+        dims=dims,
+        protocol="clrp",
+        wormhole=WormholeConfig(vcs=1, buffer_depth=1),
+        wave=WaveConfig(
+            num_switches=k,
+            misroute_budget=0,
+            setup_hop_delay=hop_delay,
+            circuit_cache_size=1,
+            clrp_variant=variant,
+        ),
+    )
+    net = Network(config)
+    factory = MessageFactory()
+    n = config.num_nodes
+    msgs = []
+    for i, (offset, length) in enumerate(zip(offsets, lengths)):
+        src = i % n
+        dst = (src + 1 + (i // n)) % n
+        if dst == src:
+            dst = (src + 1) % n
+        msgs.append(factory.make(src, dst, length, offset))
+    msgs.sort(key=lambda m: (m.created, m.msg_id))
+    sim = Simulator(net, msgs, deadlock_check_interval=25,
+                    progress_timeout=5_000)
+    result = sim.run(60_000)
+    assert result.delivered == result.injected, (
+        f"lost messages at grid point {dims} {offsets} {lengths} "
+        f"hop={hop_delay} k={k} {variant}"
+    )
+    check_all_invariants(net)
+    assert check_in_order_delivery(net).clean
+    return net
+
+
+class TestTwoNodeGrid:
+    """Every timing interleaving of three messages on a 2-node line."""
+
+    @pytest.mark.parametrize("hop_delay", [1, 3])
+    @pytest.mark.parametrize("variant", ["standard", "immediate_force"])
+    def test_all_offset_interleavings(self, hop_delay, variant):
+        for offsets in itertools.product([0, 2, 7], repeat=3):
+            run_grid_point(
+                (2,), offsets, [1, 4, 9], hop_delay, 1, variant
+            )
+
+    def test_all_length_mixes(self):
+        for lengths in itertools.product([1, 16], repeat=3):
+            run_grid_point((2,), (0, 1, 2), list(lengths), 1, 1, "standard")
+
+
+class TestThreeNodeGrid:
+    """Three nodes: crossing circuits and remote release requests occur."""
+
+    @pytest.mark.parametrize("variant", ["standard", "eager_force",
+                                         "single_switch", "immediate_force"])
+    def test_contended_interleavings(self, variant):
+        for offsets in itertools.product([0, 3, 11], repeat=3):
+            run_grid_point((3,), offsets, [8, 8, 8], 1, 1, variant)
+
+    def test_slow_control_plane(self):
+        """Large hop delay stretches every race window."""
+        for offsets in itertools.product([0, 5], repeat=3):
+            run_grid_point((3,), offsets, [4, 12, 4], 5, 1, "standard")
+
+    def test_two_switches(self):
+        for offsets in itertools.product([0, 4], repeat=3):
+            run_grid_point((3,), offsets, [8, 8, 8], 1, 2, "standard")

@@ -1,0 +1,185 @@
+"""Theorems 1-4 as stress tests: every message delivered in finite time.
+
+The paper's central guarantee is that CLRP and CARP "are always able to
+deliver messages, and are deadlock- and livelock-free".  These tests push
+randomized traffic through every protocol with the deadlock detector and
+probe-work monitor armed, across seeds, and assert complete delivery.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import (
+    LocalityWorkloadBuilder,
+    UniformPattern,
+    compile_directives,
+    make_pattern,
+    uniform_workload,
+)
+from repro.verify import ProbeWorkMonitor, check_all_invariants
+
+
+def uniform(config, load, seed, length=24, duration=1200):
+    return uniform_workload(
+        MessageFactory(),
+        UniformPattern(config.num_nodes),
+        num_nodes=config.num_nodes,
+        offered_load=load,
+        length=length,
+        duration=duration,
+        rng=SimRandom(seed),
+    )
+
+
+def run_armed(config, workload, max_cycles=120_000):
+    """Run with deadlock checks, progress monitor and probe-work bound."""
+    net = Network(config)
+    monitor = ProbeWorkMonitor(net) if net.plane is not None else None
+
+    def on_cycle(n):
+        if monitor is not None and n.cycle % 20 == 0:
+            monitor.check()
+
+    sim = Simulator(
+        net,
+        workload,
+        deadlock_check_interval=100,
+        progress_timeout=30_000,
+        on_cycle=on_cycle,
+    )
+    result = sim.run(max_cycles)
+    check_all_invariants(net)
+    return net, result
+
+
+class TestTheorem1And3CLRP:
+    """CLRP delivers everything: deadlock- and livelock-free."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_stressed_small_cache(self, seed):
+        config = NetworkConfig(
+            dims=(4, 4),
+            protocol="clrp",
+            wave=WaveConfig(num_switches=1, circuit_cache_size=2,
+                            misroute_budget=1),
+            seed=seed,
+        )
+        net, result = run_armed(config, uniform(config, 0.4, seed))
+        assert result.completed
+        assert result.delivered == result.injected
+
+    def test_past_saturation_still_delivers(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net, result = run_armed(config, uniform(config, 0.9, 11, length=48),
+                                max_cycles=250_000)
+        assert result.delivered == result.injected
+
+    def test_torus_adaptive_combo(self):
+        config = NetworkConfig(
+            topology="torus",
+            dims=(4, 4),
+            protocol="clrp",
+            wormhole=WormholeConfig(vcs=4, routing="adaptive"),
+        )
+        net, result = run_armed(config, uniform(config, 0.5, 5))
+        assert result.delivered == result.injected
+
+    def test_locality_traffic(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        builder = LocalityWorkloadBuilder(
+            Network(config).topology, reuse=8.0, spatial_decay=0.6
+        )
+        workload = builder.build(
+            MessageFactory(),
+            offered_load=0.3,
+            length=32,
+            duration=1500,
+            rng=SimRandom(21),
+        )
+        net, result = run_armed(config, workload)
+        assert result.delivered == result.injected
+        # Reuse must show up as circuit hits.
+        assert result.stats.count("mode.circuit_hit") > 0
+
+
+class TestTheorem2And4CARP:
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_compiled_uniform_traffic(self, seed):
+        config = NetworkConfig(dims=(4, 4), protocol="carp")
+        msgs = uniform(config, 0.3, seed)
+        items, _report = compile_directives(msgs, min_messages=3, min_flits=48)
+        net, result = run_armed(config, items)
+        assert result.delivered == result.injected
+
+    def test_compiled_locality_traffic(self):
+        config = NetworkConfig(dims=(4, 4), protocol="carp")
+        builder = LocalityWorkloadBuilder(
+            Network(config).topology, reuse=12.0, spatial_decay=0.7
+        )
+        msgs = builder.build(
+            MessageFactory(),
+            offered_load=0.35,
+            length=32,
+            duration=1500,
+            rng=SimRandom(31),
+        )
+        items, report = compile_directives(msgs, min_messages=4)
+        net, result = run_armed(config, items)
+        assert result.delivered == result.injected
+        assert report.messages_hinted > 0
+        assert result.stats.count("mode.circuit_hit") > 0
+
+
+class TestInOrderDelivery:
+    """Section 5: 'once a circuit has been established between two nodes,
+    in-order delivery is guaranteed for all the messages transmitted
+    between those nodes'."""
+
+    def test_circuit_messages_in_order_per_pair(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net = Network(config)
+        factory = MessageFactory()
+        msgs = [factory.make(0, 9, 64, i) for i in range(12)]
+        sim = Simulator(net, msgs)
+        sim.run(100_000)
+        deliveries = [net.stats.messages[m.msg_id].delivered for m in msgs]
+        assert all(d > 0 for d in deliveries)
+        assert deliveries == sorted(deliveries)
+
+
+class TestPatternCoverage:
+    """Every structured pattern drains under every protocol."""
+
+    @pytest.mark.parametrize("pattern_name", [
+        "transpose", "bit_reversal", "bit_complement", "neighbor",
+        "permutation", "hotspot",
+    ])
+    @pytest.mark.parametrize("protocol", ["wormhole", "clrp"])
+    def test_pattern_drains(self, pattern_name, protocol):
+        config = NetworkConfig(
+            dims=(4, 4),
+            protocol=protocol,
+            wave=None if protocol == "wormhole" else WaveConfig(),
+        )
+        net = Network(config)
+        pattern = make_pattern(pattern_name, net.topology,
+                               SimRandom(1).stream("perm"))
+        workload = uniform_workload(
+            MessageFactory(),
+            pattern,
+            num_nodes=16,
+            offered_load=0.2,
+            length=24,
+            duration=800,
+            rng=SimRandom(7),
+        )
+        sim = Simulator(net, workload, deadlock_check_interval=100,
+                        progress_timeout=20_000)
+        result = sim.run(120_000)
+        assert result.delivered == result.injected
+        check_all_invariants(net)

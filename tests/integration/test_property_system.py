@@ -1,0 +1,109 @@
+"""Property-based whole-system tests.
+
+Hypothesis drives random (but small) machine configurations and workloads
+through the full stack; for every draw the paper's global guarantee must
+hold: every message delivered, no deadlock, invariants intact.  This is
+the widest net in the suite -- it routinely explores corner combinations
+(k=1 with tiny caches, immediate_force with misroute 0, torus adaptive
+with buffer modelling) no hand-written scenario covers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, compile_directives, uniform_workload
+from repro.verify import check_all_invariants
+
+wave_configs = st.builds(
+    WaveConfig,
+    num_switches=st.integers(1, 3),
+    misroute_budget=st.integers(0, 3),
+    wave_clock_ratio=st.sampled_from([1.0, 2.0, 4.0]),
+    channel_width_factor=st.sampled_from([0.5, 1.0]),
+    window=st.sampled_from([16, 64, 256]),
+    circuit_cache_size=st.integers(1, 6),
+    replacement=st.sampled_from(["lru", "lfu", "fifo", "random"]),
+    clrp_variant=st.sampled_from(
+        ["standard", "eager_force", "single_switch", "immediate_force"]
+    ),
+    model_buffers=st.booleans(),
+    buffer_realloc_penalty=st.sampled_from([0, 50]),
+)
+
+
+@st.composite
+def system_draws(draw):
+    protocol = draw(st.sampled_from(["wormhole", "clrp", "carp"]))
+    topology, dims = draw(
+        st.sampled_from(
+            [
+                ("mesh", (3, 3)),
+                ("mesh", (4, 2)),
+                ("torus", (3, 3)),
+                ("hypercube", (2, 2, 2)),
+            ]
+        )
+    )
+    routing = draw(st.sampled_from(["dor", "adaptive"]))
+    min_vcs = 2 if topology == "torus" else 1
+    if routing == "adaptive":
+        min_vcs += 1
+    vcs = draw(st.integers(min_vcs, min_vcs + 2))
+    wormhole = WormholeConfig(vcs=vcs, routing=routing,
+                              buffer_depth=draw(st.integers(1, 4)))
+    wave = None if protocol == "wormhole" else draw(wave_configs)
+    config = NetworkConfig(
+        topology=topology,
+        dims=dims,
+        protocol=protocol,
+        wormhole=wormhole,
+        wave=wave,
+        seed=draw(st.integers(0, 2**16)),
+    )
+    load = draw(st.sampled_from([0.05, 0.2, 0.5]))
+    length = draw(st.sampled_from([1, 4, 17, 64]))
+    wl_seed = draw(st.integers(0, 2**16))
+    return config, load, length, wl_seed
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(system_draws())
+def test_every_configuration_delivers_everything(draw):
+    config, load, length, wl_seed = draw
+    net = Network(config)
+    msgs = uniform_workload(
+        MessageFactory(),
+        UniformPattern(config.num_nodes),
+        num_nodes=config.num_nodes,
+        offered_load=load,
+        length=length,
+        duration=400,
+        rng=SimRandom(wl_seed),
+    )
+    if config.protocol == "carp":
+        items, _ = compile_directives(msgs, min_messages=2, min_flits=2)
+    else:
+        items = msgs
+    sim = Simulator(
+        net, items, deadlock_check_interval=50, progress_timeout=25_000
+    )
+    result = sim.run(150_000)
+    assert result.delivered == result.injected, (
+        f"lost {result.injected - result.delivered} messages under "
+        f"{config.describe()}"
+    )
+    check_all_invariants(net)
+    # After draining, no circuit may be stuck mid-lifecycle.
+    if net.plane is not None:
+        assert net.plane.is_idle()
+        for circuit in net.plane.table.live_circuits():
+            assert not circuit.in_use

@@ -1,0 +1,36 @@
+"""Tests for messages and the id factory."""
+
+import pytest
+
+from repro.network.message import Message, MessageFactory
+
+
+class TestMessage:
+    def test_valid(self):
+        m = Message(msg_id=0, src=0, dst=5, length=16, created=10)
+        assert m.length == 16
+        assert m.circuit_hint is None
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(msg_id=0, src=3, dst=3, length=16, created=0)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Message(msg_id=0, src=0, dst=1, length=0, created=0)
+
+    def test_negative_created_rejected(self):
+        with pytest.raises(ValueError):
+            Message(msg_id=0, src=0, dst=1, length=1, created=-5)
+
+
+class TestMessageFactory:
+    def test_ids_are_sequential_and_unique(self):
+        f = MessageFactory()
+        ids = [f.make(0, 1, 8, 0).msg_id for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_hint_passthrough(self):
+        f = MessageFactory()
+        assert f.make(0, 1, 8, 0, circuit_hint=True).circuit_hint is True
+        assert f.make(0, 1, 8, 0).circuit_hint is None

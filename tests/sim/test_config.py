@@ -1,0 +1,143 @@
+"""Tests for configuration validation and derived properties."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+
+
+class TestWormholeConfig:
+    def test_defaults_valid(self):
+        cfg = WormholeConfig()
+        assert cfg.vcs >= 1
+        assert cfg.buffer_depth >= 1
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ConfigError):
+            WormholeConfig(vcs=0)
+
+    def test_rejects_negative_vcs(self):
+        with pytest.raises(ConfigError):
+            WormholeConfig(vcs=-3)
+
+    def test_rejects_zero_buffer_depth(self):
+        with pytest.raises(ConfigError):
+            WormholeConfig(buffer_depth=0)
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ConfigError):
+            WormholeConfig(routing="magic")  # type: ignore[arg-type]
+
+    def test_rejects_negative_router_delay(self):
+        with pytest.raises(ConfigError):
+            WormholeConfig(router_delay=-1)
+
+    def test_frozen(self):
+        cfg = WormholeConfig()
+        with pytest.raises(AttributeError):
+            cfg.vcs = 5  # type: ignore[misc]
+
+
+class TestWaveConfig:
+    def test_defaults_valid(self):
+        cfg = WaveConfig()
+        assert cfg.num_switches >= 1
+        assert cfg.wave_clock_ratio > 0
+
+    def test_flits_per_cycle_combines_ratio_and_width(self):
+        cfg = WaveConfig(wave_clock_ratio=4.0, channel_width_factor=0.5)
+        assert cfg.flits_per_cycle == pytest.approx(2.0)
+
+    def test_rejects_zero_switches(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(num_switches=0)
+
+    def test_rejects_negative_misroute_budget(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(misroute_budget=-1)
+
+    def test_misroute_budget_zero_allowed(self):
+        assert WaveConfig(misroute_budget=0).misroute_budget == 0
+
+    def test_rejects_zero_clock_ratio(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(wave_clock_ratio=0.0)
+
+    def test_rejects_width_factor_above_one(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(channel_width_factor=1.5)
+
+    def test_rejects_width_factor_zero(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(channel_width_factor=0.0)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(window=0)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(replacement="mru")  # type: ignore[arg-type]
+
+    def test_rejects_zero_cache_size(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(circuit_cache_size=0)
+
+    def test_rejects_zero_wire_delay(self):
+        with pytest.raises(ConfigError):
+            WaveConfig(wire_delay=0)
+
+
+class TestNetworkConfig:
+    def test_defaults_valid(self):
+        cfg = NetworkConfig()
+        assert cfg.num_nodes == 64
+
+    def test_num_nodes_product(self):
+        cfg = NetworkConfig(dims=(4, 3, 2))
+        assert cfg.num_nodes == 24
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(topology="ring")  # type: ignore[arg-type]
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(dims=())
+
+    def test_rejects_radix_one(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(dims=(4, 1))
+
+    def test_hypercube_requires_radix_two(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(topology="hypercube", dims=(4, 4))
+
+    def test_hypercube_radix_two_ok(self):
+        cfg = NetworkConfig(topology="hypercube", dims=(2, 2, 2))
+        assert cfg.num_nodes == 8
+
+    def test_torus_requires_two_vcs_for_dateline(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(
+                topology="torus", dims=(4, 4), wormhole=WormholeConfig(vcs=1)
+            )
+
+    def test_wave_protocol_requires_wave_config(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(protocol="clrp", wave=None)
+
+    def test_wormhole_baseline_without_wave_ok(self):
+        cfg = NetworkConfig(protocol="wormhole", wave=None)
+        assert cfg.wave is None
+
+    def test_describe_mentions_key_parameters(self):
+        cfg = NetworkConfig(dims=(4, 4))
+        text = cfg.describe()
+        assert "4x4" in text
+        assert "clrp" in text
+        assert "wave switches" in text
+
+    def test_describe_wormhole_baseline(self):
+        cfg = NetworkConfig(protocol="wormhole", wave=None)
+        assert "wave" not in cfg.describe()

@@ -1,0 +1,135 @@
+"""Tests for protocol event tracing."""
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.events import Event, EventKind, EventLog
+
+
+def traced_net(**wave_kwargs):
+    config = NetworkConfig(
+        dims=(4, 4), protocol="clrp", wave=WaveConfig(**wave_kwargs)
+    )
+    net = Network(config)
+    log = EventLog()
+    net.attach_event_log(log)
+    return net, MessageFactory(), log
+
+
+def drain(net, limit=30_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestEventLogBasics:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(5, EventKind.PROBE_HOP, 1, 7, port=2)
+        log.emit(9, EventKind.TEARDOWN_START, 1, 3)
+        assert len(log) == 2
+        assert log.of_kind(EventKind.PROBE_HOP)[0].detail["port"] == 2
+        assert log.between(0, 6)[0].kind is EventKind.PROBE_HOP
+
+    def test_capacity_drops_overflow(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit(i, EventKind.PROBE_HOP, 0, i)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_render_lines(self):
+        log = EventLog()
+        log.emit(5, EventKind.PROBE_HOP, 1, 7, port=2)
+        text = log.render()
+        assert "probe_hop" in text
+        assert "port=2" in text
+
+
+class TestTracedLifecycle:
+    def test_full_circuit_story(self):
+        net, factory, log = traced_net()
+        net.inject(factory.make(0, 9, 32, 0))
+        drain(net)
+        kinds = [e.kind for e in log]
+        # The canonical successful-setup sequence, in order:
+        assert kinds.index(EventKind.PROBE_LAUNCH) < kinds.index(
+            EventKind.PROBE_HOP
+        )
+        assert kinds.index(EventKind.PROBE_HOP) < kinds.index(
+            EventKind.CIRCUIT_RESERVED
+        )
+        assert kinds.index(EventKind.CIRCUIT_RESERVED) < kinds.index(
+            EventKind.CIRCUIT_ESTABLISHED
+        )
+        assert kinds.index(EventKind.CIRCUIT_ESTABLISHED) < kinds.index(
+            EventKind.TRANSFER_START
+        )
+        assert EventKind.TRANSFER_COMPLETE in kinds
+
+    def test_probe_hops_match_path_length(self):
+        net, factory, log = traced_net()
+        net.inject(factory.make(0, 15, 16, 0))
+        drain(net)
+        circuit = net.plane.table.established()[0]
+        hops = log.of_kind(EventKind.PROBE_HOP)
+        assert len(hops) == circuit.length
+
+    def test_for_circuit_collects_whole_story(self):
+        net, factory, log = traced_net()
+        net.inject(factory.make(0, 9, 32, 0))
+        drain(net)
+        circuit = net.plane.table.established()[0]
+        story = log.for_circuit(circuit.circuit_id)
+        kinds = {e.kind for e in story}
+        assert EventKind.PROBE_LAUNCH in kinds
+        assert EventKind.CIRCUIT_ESTABLISHED in kinds
+        assert EventKind.TRANSFER_START in kinds
+
+    def test_forced_steal_leaves_trace(self):
+        net, factory, log = traced_net(num_switches=1, misroute_budget=0)
+        # Occupy, then steal from a node on the path.
+        net.inject(factory.make(0, 3, 16, 0))
+        drain(net)
+        net.inject(factory.make(1, 3, 16, net.cycle))
+        drain(net)
+        kinds = [e.kind for e in log]
+        assert EventKind.PHASE_CHANGE in kinds
+        assert EventKind.RELEASE_REQUESTED in kinds
+        assert EventKind.TEARDOWN_START in kinds
+        assert EventKind.CIRCUIT_RELEASED in kinds
+
+    def test_eviction_traced(self):
+        net, factory, log = traced_net(circuit_cache_size=1)
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        drain(net)
+        evicts = log.of_kind(EventKind.CACHE_EVICT)
+        assert len(evicts) == 1
+        assert evicts[0].subject == 5  # the victim's destination
+        assert evicts[0].detail["for_dest"] == 9
+
+    def test_buffer_realloc_traced(self):
+        net, factory, log = traced_net(model_buffers=True,
+                                       default_buffer_flits=16,
+                                       buffer_realloc_penalty=10)
+        net.inject(factory.make(0, 5, 8, 0))
+        drain(net)
+        net.inject(factory.make(0, 5, 64, net.cycle))
+        drain(net)
+        reallocs = log.of_kind(EventKind.BUFFER_REALLOC)
+        assert len(reallocs) == 1
+        assert reallocs[0].detail["flits"] == 64
+
+    def test_no_log_attached_costs_nothing(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net = Network(config)
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        assert net.plane.log is None  # nothing attached, nothing crashed

@@ -1,0 +1,167 @@
+"""Tests for counters, histograms, time series and message records."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.config import SwitchingMode
+from repro.sim.stats import Histogram, MessageRecord, StatsCollector, TimeSeries
+
+
+class TestMessageRecord:
+    def test_latency_undelivered_is_minus_one(self):
+        rec = MessageRecord(msg_id=1, src=0, dst=5, length=16, created=10)
+        assert rec.latency == -1
+        assert rec.network_latency == -1
+
+    def test_latency_computed_from_created(self):
+        rec = MessageRecord(
+            msg_id=1, src=0, dst=5, length=16, created=10, injected=12, delivered=50
+        )
+        assert rec.latency == 40
+        assert rec.network_latency == 38
+
+
+class TestHistogram:
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Histogram(5.0, 5.0)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+
+    def test_mean_min_max(self):
+        h = Histogram(0, 100, 10)
+        h.extend([10, 20, 30])
+        assert h.mean == pytest.approx(20.0)
+        assert h.min == 10
+        assert h.max == 30
+        assert h.n == 3
+
+    def test_overflow_underflow_buckets(self):
+        h = Histogram(0, 10, 5)
+        h.extend([-1, 5, 100])
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert sum(h.counts) == 1
+
+    def test_empty_mean_is_nan(self):
+        h = Histogram(0, 10)
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+
+    def test_percentile_monotone(self):
+        h = Histogram(0, 100, 100)
+        h.extend(range(100))
+        p50 = h.percentile(50)
+        p90 = h.percentile(90)
+        assert p50 <= p90
+        assert 40 <= p50 <= 60
+        assert 80 <= p90 <= 100
+
+    def test_percentile_range_check(self):
+        h = Histogram(0, 10)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_stddev_of_constant_is_zero(self):
+        h = Histogram(0, 10)
+        h.extend([5.0] * 50)
+        assert h.stddev == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0, max_value=999), min_size=1, max_size=200))
+    def test_mean_matches_reference(self, values):
+        h = Histogram(0, 1000, 32)
+        h.extend(values)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+        assert h.min == pytest.approx(min(values))
+        assert h.max == pytest.approx(max(values))
+
+    @given(st.lists(st.floats(min_value=-100, max_value=2000), min_size=1))
+    def test_counts_partition_samples(self, values):
+        h = Histogram(0, 1000, 16)
+        h.extend(values)
+        assert h.underflow + h.overflow + sum(h.counts) == len(values)
+
+
+class TestTimeSeries:
+    def test_record_and_mean_after(self):
+        ts = TimeSeries("throughput")
+        ts.record(0, 1.0)
+        ts.record(100, 3.0)
+        ts.record(200, 5.0)
+        assert ts.mean_after(100) == pytest.approx(4.0)
+        assert len(ts) == 3
+
+    def test_mean_after_no_samples_is_nan(self):
+        ts = TimeSeries("x")
+        ts.record(0, 1.0)
+        assert math.isnan(ts.mean_after(10))
+
+
+class TestStatsCollector:
+    def _mk(self, msg_id, delivered, length=8, created=0, mode=None):
+        return MessageRecord(
+            msg_id=msg_id,
+            src=0,
+            dst=1,
+            length=length,
+            created=created,
+            injected=created,
+            delivered=delivered,
+            mode=mode,
+        )
+
+    def test_bump_and_count(self):
+        s = StatsCollector()
+        s.bump("probe.backtracks")
+        s.bump("probe.backtracks", 2)
+        assert s.count("probe.backtracks") == 3
+        assert s.count("missing") == 0
+
+    def test_delivered_undelivered_split(self):
+        s = StatsCollector()
+        s.new_message(self._mk(1, delivered=10))
+        s.new_message(self._mk(2, delivered=-1))
+        assert len(s.delivered_records()) == 1
+        assert len(s.undelivered_records()) == 1
+
+    def test_mean_latency(self):
+        s = StatsCollector()
+        s.new_message(self._mk(1, delivered=10, created=0))
+        s.new_message(self._mk(2, delivered=30, created=10))
+        assert s.mean_latency() == pytest.approx(15.0)
+
+    def test_mean_latency_empty_is_nan(self):
+        assert math.isnan(StatsCollector().mean_latency())
+
+    def test_throughput_window(self):
+        s = StatsCollector()
+        s.new_message(self._mk(1, delivered=10, length=20))
+        s.new_message(self._mk(2, delivered=90, length=20))
+        s.new_message(self._mk(3, delivered=150, length=20))  # outside window
+        assert s.throughput_flits_per_cycle(0, 100) == pytest.approx(0.4)
+
+    def test_throughput_bad_window_nan(self):
+        assert math.isnan(StatsCollector().throughput_flits_per_cycle(10, 10))
+
+    def test_mode_breakdown(self):
+        s = StatsCollector()
+        s.new_message(self._mk(1, 10, mode=SwitchingMode.CIRCUIT_HIT))
+        s.new_message(self._mk(2, 10, mode=SwitchingMode.CIRCUIT_HIT))
+        s.new_message(self._mk(3, 10, mode=SwitchingMode.WORMHOLE_FALLBACK))
+        assert s.mode_breakdown() == {"circuit_hit": 2, "wormhole_fallback": 1}
+
+    def test_latency_histogram_covers_all(self):
+        s = StatsCollector()
+        for i in range(5):
+            s.new_message(self._mk(i, delivered=10 * (i + 1)))
+        h = s.latency_histogram()
+        assert h.n == 5
+
+    def test_series_cached_by_name(self):
+        s = StatsCollector()
+        assert s.get_series("tp") is s.get_series("tp")

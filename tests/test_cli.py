@@ -1,0 +1,121 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import main, parse_dims
+from repro.errors import ConfigError
+
+
+class TestParseDims:
+    def test_basic(self):
+        assert parse_dims("8x8") == (8, 8)
+        assert parse_dims("2x2x2") == (2, 2, 2)
+        assert parse_dims("4X4") == (4, 4)
+
+    def test_bad(self):
+        with pytest.raises(ConfigError):
+            parse_dims("8by8")
+
+
+class TestRun:
+    def test_run_clrp(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "clrp",
+            "--load", "0.1", "--length", "16", "--duration", "400",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4x4 mesh" in out
+        assert "delivered" in out
+        assert "mean" in out
+
+    def test_run_wormhole_baseline(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "wormhole",
+            "--load", "0.1", "--length", "16", "--duration", "400",
+        ])
+        assert code == 0
+        assert "wormhole" in capsys.readouterr().out
+
+    def test_run_carp_compiles(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "carp",
+            "--pattern", "neighbor",
+            "--load", "0.15", "--length", "16", "--duration", "600",
+        ])
+        assert code == 0
+
+    def test_run_torus_needs_vcs(self, capsys):
+        code = main([
+            "run", "--topology", "torus", "--dims", "4x4", "--vcs", "1",
+            "--protocol", "wormhole",
+        ])
+        assert code == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_run_with_monitors(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--load", "0.1", "--length", "8",
+            "--duration", "300", "--deadlock-check", "50",
+            "--progress-timeout", "10000",
+        ])
+        assert code == 0
+
+
+class TestSweep:
+    def test_sweep_two_points(self, capsys):
+        code = main([
+            "sweep", "--dims", "4x4", "--protocol", "wormhole",
+            "--loads", "0.05,0.1", "--length", "16", "--duration", "500",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "offered load" in out
+        assert out.count("load 0.0") >= 1
+
+
+class TestCompare:
+    def test_compare_all_protocols(self, capsys):
+        code = main([
+            "compare", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "400",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("wormhole", "clrp", "carp"):
+            assert name in out
+
+
+class TestVariantsFlag:
+    def test_clrp_variant_accepted(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--clrp-variant", "immediate_force",
+            "--load", "0.1", "--length", "16", "--duration", "300",
+        ])
+        assert code == 0
+
+
+class TestHeatmap:
+    def test_heatmap_renders(self, capsys):
+        code = main([
+            "heatmap", "--dims", "4x4", "--load", "0.2",
+            "--length", "16", "--duration", "500",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "link load" in out
+        assert "deliveries per node" in out
+        assert "o" in out
+
+
+class TestFaultFlag:
+    def test_run_with_faults(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "clrp",
+            "--load", "0.05", "--length", "16", "--duration", "300",
+            "--fault-fraction", "0.1",
+        ])
+        # Some messages may be dropped (undeliverable via S0): both exit
+        # codes are legitimate; what matters is it runs and reports.
+        assert code in (0, 1)
+        assert "machine" in capsys.readouterr().out

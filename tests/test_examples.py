@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end to end in a subprocess; the slower ones are at
+least compiled and import-checked, so they cannot silently rot.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+FAST = ["quickstart.py", "trace_circuit_lifecycle.py"]
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("name", ALL)
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in ALL
+        assert len(ALL) >= 6  # quickstart + >= 5 scenario examples
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST)
+    def test_runs_clean(self, name):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip()
+
+    def test_quickstart_reports_delivery(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "all messages delivered" in proc.stdout

@@ -1,0 +1,77 @@
+"""Tests for static fault injection."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.rng import SimRandom
+from repro.topology import FaultSet, Mesh, Torus
+
+
+class TestFaultSet:
+    def test_fail_link_bidirectional(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_link(0, 0)
+        nbr = topo.neighbor(0, 0)
+        assert faults.is_faulty(0, 0)
+        assert faults.is_faulty(nbr, topo.reverse_port(0, 0))
+        assert len(faults) == 2
+
+    def test_fail_link_unidirectional(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_link(0, 0, bidirectional=False)
+        nbr = topo.neighbor(0, 0)
+        assert faults.is_faulty(0, 0)
+        assert not faults.is_faulty(nbr, topo.reverse_port(0, 0))
+
+    def test_fail_unconnected_link_raises(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        with pytest.raises(TopologyError):
+            faults.fail_link(0, 1)  # x-minus at the corner
+
+    def test_healthy_ports_filters(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_link(5, 0)
+        healthy = faults.healthy_ports(5, topo.connected_ports(5))
+        assert 0 not in healthy
+        assert healthy
+
+    def test_fail_random_links_hits_target(self):
+        topo = Torus((4, 4))
+        faults = FaultSet(topo)
+        n = faults.fail_random_links(0.2, SimRandom(1))
+        physical_links = len(topo.links()) // 2
+        assert n == int(physical_links * 0.2)
+        assert len(faults) == 2 * n
+
+    def test_fail_random_links_keeps_nodes_reachable(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_random_links(0.3, SimRandom(2), keep_connected=True)
+        for node in range(topo.num_nodes):
+            healthy = faults.healthy_ports(node, topo.connected_ports(node))
+            assert healthy, f"node {node} fully isolated"
+
+    def test_fail_random_links_deterministic(self):
+        topo = Torus((4, 4))
+        a, b = FaultSet(topo), FaultSet(topo)
+        a.fail_random_links(0.25, SimRandom(3))
+        b.fail_random_links(0.25, SimRandom(3))
+        assert a._faulty == b._faulty
+
+    def test_fraction_bounds(self):
+        faults = FaultSet(Mesh((4, 4)))
+        with pytest.raises(TopologyError):
+            faults.fail_random_links(1.0, SimRandom(0))
+        with pytest.raises(TopologyError):
+            faults.fail_random_links(-0.1, SimRandom(0))
+
+    def test_contains_protocol(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_link(0, 0)
+        assert (0, 0) in faults
+        assert (1, 0) not in faults

@@ -1,0 +1,236 @@
+"""Tests for mesh, torus and hypercube structure and routing helpers."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import Hypercube, Mesh, Torus, build_topology
+
+
+def to_networkx(topo):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(topo.num_nodes))
+    for node, port in topo.links():
+        g.add_edge(node, topo.neighbor(node, port))
+    return g
+
+
+TOPOLOGIES = [
+    Mesh((4, 4)),
+    Mesh((3, 5)),
+    Mesh((2, 2, 3)),
+    Torus((4, 4)),
+    Torus((3, 3)),
+    Torus((4, 3, 2)),
+    Hypercube(3),
+    Hypercube(4),
+]
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=repr)
+class TestCommonStructure:
+    def test_coords_roundtrip(self, topo):
+        for node in range(topo.num_nodes):
+            assert topo.node_at(topo.coords(node)) == node
+
+    def test_reverse_port_is_involution(self, topo):
+        for node, port in topo.links():
+            nbr = topo.neighbor(node, port)
+            back = topo.reverse_port(node, port)
+            assert topo.neighbor(nbr, back) == node
+
+    def test_links_are_symmetric(self, topo):
+        links = set()
+        for node, port in topo.links():
+            links.add((node, topo.neighbor(node, port)))
+        for a, b in links:
+            assert (b, a) in links
+
+    def test_graph_connected(self, topo):
+        g = to_networkx(topo)
+        assert nx.is_strongly_connected(g)
+
+    def test_distance_matches_networkx(self, topo):
+        g = to_networkx(topo)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for a in range(0, topo.num_nodes, 3):
+            for b in range(0, topo.num_nodes, 2):
+                assert topo.distance(a, b) == lengths[a][b], (a, b)
+
+    def test_minimal_ports_reduce_distance(self, topo):
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                if a == b:
+                    assert topo.minimal_ports(a, b) == []
+                    continue
+                ports = topo.minimal_ports(a, b)
+                assert ports, f"no minimal port from {a} to {b}"
+                for p in ports:
+                    nbr = topo.neighbor(a, p)
+                    assert topo.distance(nbr, b) == topo.distance(a, b) - 1
+
+    def test_dor_port_is_minimal(self, topo):
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                if a == b:
+                    continue
+                p = topo.dor_port(a, b)
+                assert p in topo.minimal_ports(a, b)
+
+    def test_dor_path_terminates_within_distance(self, topo):
+        for a in range(0, topo.num_nodes, 2):
+            for b in range(0, topo.num_nodes, 3):
+                cur, hops = a, 0
+                while cur != b:
+                    cur = topo.neighbor(cur, topo.dor_port(cur, b))
+                    hops += 1
+                    assert hops <= topo.num_nodes, "DOR did not terminate"
+                assert hops == topo.distance(a, b)
+
+    def test_dor_port_self_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.dor_port(0, 0)
+
+    def test_bad_node_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.coords(topo.num_nodes)
+        with pytest.raises(TopologyError):
+            topo.neighbor(-1, 0)
+
+    def test_diameter_positive_and_reached(self, topo):
+        d = topo.diameter()
+        assert d >= 1
+        assert max(topo.distance(0, b) for b in range(topo.num_nodes)) == d
+
+
+class TestMesh:
+    def test_edge_nodes_have_unconnected_ports(self):
+        m = Mesh((4, 4))
+        assert m.neighbor(0, 1) is None  # x-minus at column 0
+        assert m.neighbor(0, 3) is None  # y-minus at row 0
+
+    def test_corner_degree(self):
+        m = Mesh((4, 4))
+        assert len(m.connected_ports(0)) == 2
+        center = m.node_at((1, 1))
+        assert len(m.connected_ports(center)) == 4
+
+    def test_distance_is_manhattan(self):
+        m = Mesh((8, 8))
+        a, b = m.node_at((1, 2)), m.node_at((5, 7))
+        assert m.distance(a, b) == 4 + 5
+
+    def test_dor_resolves_dim0_first(self):
+        m = Mesh((4, 4))
+        a, b = m.node_at((0, 0)), m.node_at((2, 3))
+        assert m.port_dimension(m.dor_port(a, b)) == 0
+
+
+class TestTorus:
+    def test_all_nodes_full_degree(self):
+        t = Torus((4, 4))
+        for n in range(t.num_nodes):
+            assert len(t.connected_ports(n)) == 4
+
+    def test_wrap_link(self):
+        t = Torus((4, 4))
+        edge = t.node_at((3, 0))
+        assert t.neighbor(edge, 0) == t.node_at((0, 0))
+
+    def test_distance_uses_wrap(self):
+        t = Torus((8, 8))
+        assert t.distance(t.node_at((0, 0)), t.node_at((7, 0))) == 1
+
+    def test_crosses_dateline_only_on_wrap(self):
+        t = Torus((4, 4))
+        assert t.crosses_dateline(t.node_at((3, 0)), 0)  # wrap plus
+        assert t.crosses_dateline(t.node_at((0, 0)), 1)  # wrap minus
+        assert not t.crosses_dateline(t.node_at((1, 0)), 0)
+
+    def test_halfway_has_both_minimal_ports(self):
+        t = Torus((4, 4))
+        ports = t.minimal_ports(t.node_at((0, 0)), t.node_at((2, 0)))
+        assert set(ports) == {0, 1}
+
+    def test_dor_halfway_tie_breaks_plus(self):
+        t = Torus((4, 4))
+        assert t.dor_port(t.node_at((0, 0)), t.node_at((2, 0))) == 0
+
+
+class TestHypercube:
+    def test_degree_equals_dimensions(self):
+        h = Hypercube(4)
+        for n in range(16):
+            assert len(h.connected_ports(n)) == 4
+
+    def test_neighbor_is_bitflip(self):
+        h = Hypercube(3)
+        nbrs = {h.neighbor(0, p) for p in h.connected_ports(0)}
+        assert nbrs == {1, 2, 4}
+
+    def test_distance_is_hamming(self):
+        h = Hypercube(4)
+        assert h.distance(0b0000, 0b1011) == 3
+
+    def test_odd_ports_unconnected(self):
+        h = Hypercube(3)
+        assert h.neighbor(0, 1) is None
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(TopologyError):
+            Hypercube(0)
+
+
+class TestBuildTopology:
+    def test_builds_each_kind(self):
+        assert isinstance(build_topology("mesh", (4, 4)), Mesh)
+        assert isinstance(build_topology("torus", (4, 4)), Torus)
+        assert isinstance(build_topology("hypercube", (2, 2)), Hypercube)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_topology("ring", (4,))
+
+
+@given(
+    dims=st.lists(st.integers(2, 5), min_size=1, max_size=3).map(tuple),
+    kind=st.sampled_from(["mesh", "torus"]),
+)
+def test_property_distance_symmetry(dims, kind):
+    topo = build_topology(kind, dims)
+    rng_nodes = range(0, topo.num_nodes, max(1, topo.num_nodes // 8))
+    for a in rng_nodes:
+        for b in rng_nodes:
+            assert topo.distance(a, b) == topo.distance(b, a)
+
+
+@given(dims=st.lists(st.integers(2, 4), min_size=1, max_size=3).map(tuple))
+def test_property_torus_distance_bounded_by_mesh(dims):
+    """Wrap links can only shorten paths, never lengthen them."""
+    mesh, torus = Mesh(dims), Torus(dims)
+    for a in range(0, mesh.num_nodes, 3):
+        for b in range(0, mesh.num_nodes, 2):
+            assert torus.distance(a, b) <= mesh.distance(a, b)
+
+
+class TestBisection:
+    def test_mesh_bisection(self):
+        from repro.topology.base import bisection_links
+
+        # 4x4 mesh: the cut between rows 1 and 2 crosses 4 physical links,
+        # i.e. 8 directed links.
+        assert bisection_links(Mesh((4, 4))) == 8
+
+    def test_torus_doubles_mesh(self):
+        from repro.topology.base import bisection_links
+
+        # Wrap links cross the cut too: 2x the mesh count.
+        assert bisection_links(Torus((4, 4))) == 16
+
+    def test_hypercube_bisection(self):
+        from repro.topology.base import bisection_links
+
+        # An n-cube's bisection is N/2 physical links = N directed.
+        assert bisection_links(Hypercube(4)) == 16

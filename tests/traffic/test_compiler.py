@@ -1,0 +1,82 @@
+"""Tests for the CARP compiler (directive emission)."""
+
+import pytest
+
+from repro.core.carp import CircuitClose, CircuitOpen
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.traffic.compiler import compile_directives
+from repro.traffic.workloads import pair_stream_workload
+
+
+def pair_train(n=6, length=32, gap=50, pair=(0, 5)):
+    return pair_stream_workload(
+        MessageFactory(), [pair], messages_per_pair=n, length=length, gap=gap
+    )
+
+
+class TestEpisodeDetection:
+    def test_hot_pair_gets_circuit(self):
+        msgs = pair_train(n=8)
+        items, report = compile_directives(msgs, min_messages=4, min_flits=64)
+        assert report.episodes_circuit == 1
+        assert report.messages_hinted == 8
+        assert all(m.circuit_hint for m in msgs)
+        opens = [d for d in report.directives if isinstance(d, CircuitOpen)]
+        closes = [d for d in report.directives if isinstance(d, CircuitClose)]
+        assert len(opens) == len(closes) == 1
+        assert opens[0].node == 0 and opens[0].dst == 5
+
+    def test_cold_pair_left_alone(self):
+        msgs = pair_train(n=2)
+        items, report = compile_directives(msgs, min_messages=4)
+        assert report.episodes_circuit == 0
+        assert not report.directives
+        assert all(m.circuit_hint is False for m in msgs)
+
+    def test_flit_threshold(self):
+        msgs = pair_train(n=5, length=4)  # 20 flits total
+        _, report = compile_directives(msgs, min_messages=4, min_flits=64)
+        assert report.episodes_circuit == 0
+
+    def test_gap_splits_episodes(self):
+        f = MessageFactory()
+        early = [f.make(0, 5, 32, t) for t in (0, 10, 20, 30)]
+        late = [f.make(0, 5, 32, t) for t in (50_000, 50_010, 50_020, 50_030)]
+        _, report = compile_directives(
+            early + late, min_messages=4, min_flits=64, max_gap=1000
+        )
+        assert report.episodes_found == 2
+        assert report.episodes_circuit == 2
+        assert len(report.directives) == 4
+
+    def test_open_lead_and_close_lag(self):
+        msgs = pair_train(n=4, gap=100)
+        _, report = compile_directives(
+            msgs, min_messages=4, min_flits=1, open_lead=30, close_lag=70
+        )
+        opens = [d for d in report.directives if isinstance(d, CircuitOpen)]
+        closes = [d for d in report.directives if isinstance(d, CircuitClose)]
+        assert opens[0].created == 0  # clamped at zero (first msg at 0)
+        assert closes[0].created == 300 + 70
+
+    def test_items_sorted_with_directives_first_on_ties(self):
+        msgs = pair_train(n=4, gap=10)
+        items, _ = compile_directives(msgs, min_messages=4, min_flits=1,
+                                      open_lead=0)
+        assert isinstance(items[0], CircuitOpen)
+        times = [getattr(i, "created") for i in items]
+        assert times == sorted(times)
+
+    def test_hint_fraction(self):
+        f = MessageFactory()
+        hot = [f.make(0, 5, 32, t * 10) for t in range(8)]
+        cold = [f.make(1, 6, 32, t * 997) for t in range(2)]
+        _, report = compile_directives(hot + cold, min_messages=4, max_gap=100)
+        assert report.hint_fraction == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compile_directives([], min_messages=0)
+        with pytest.raises(ConfigError):
+            compile_directives([], open_lead=-1)

@@ -1,0 +1,88 @@
+"""Tests for the spatio-temporal locality workload generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.sim.rng import SimRandom
+from repro.topology import Mesh
+from repro.traffic.locality import LocalityWorkloadBuilder
+
+
+def build(reuse=8.0, spatial=1.0, load=0.2, duration=4000, seed=3):
+    topo = Mesh((4, 4))
+    builder = LocalityWorkloadBuilder(topo, reuse=reuse, spatial_decay=spatial)
+    return topo, builder.build(
+        MessageFactory(),
+        offered_load=load,
+        length=16,
+        duration=duration,
+        rng=SimRandom(seed),
+    )
+
+
+def mean_run_length(msgs):
+    """Average consecutive same-partner run per source."""
+    runs, total = 0, 0
+    by_src = {}
+    for m in sorted(msgs, key=lambda m: (m.src, m.created)):
+        by_src.setdefault(m.src, []).append(m.dst)
+    for dsts in by_src.values():
+        prev = None
+        for d in dsts:
+            if d != prev:
+                runs += 1
+                prev = d
+            total += 1
+    return total / runs if runs else 0.0
+
+
+class TestTemporalLocality:
+    def test_high_reuse_long_runs(self):
+        _, low = build(reuse=1.0)
+        _, high = build(reuse=16.0)
+        assert mean_run_length(high) > 2 * mean_run_length(low)
+
+    def test_reuse_one_means_fresh_partner_probability(self):
+        _, msgs = build(reuse=1.0)
+        # With reuse=1 the partner switches after (almost) every message.
+        assert mean_run_length(msgs) < 2.0
+
+    def test_reuse_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            LocalityWorkloadBuilder(Mesh((4, 4)), reuse=0.5)
+
+
+class TestSpatialLocality:
+    def test_decay_shortens_distances(self):
+        topo, uniform = build(spatial=1.0, duration=6000)
+        _, local = build(spatial=0.3, duration=6000)
+        mean_d_uniform = sum(topo.distance(m.src, m.dst) for m in uniform) / len(uniform)
+        mean_d_local = sum(topo.distance(m.src, m.dst) for m in local) / len(local)
+        assert mean_d_local < mean_d_uniform - 0.5
+
+    def test_decay_range_checked(self):
+        with pytest.raises(ConfigError):
+            LocalityWorkloadBuilder(Mesh((4, 4)), reuse=2.0, spatial_decay=0.0)
+        with pytest.raises(ConfigError):
+            LocalityWorkloadBuilder(Mesh((4, 4)), reuse=2.0, spatial_decay=1.5)
+
+
+class TestStreamShape:
+    def test_sorted_and_no_self_messages(self):
+        _, msgs = build()
+        assert msgs
+        assert all(m.src != m.dst for m in msgs)
+        times = [m.created for m in msgs]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        _, a = build(seed=9)
+        _, b = build(seed=9)
+        assert [(m.src, m.dst, m.created) for m in a] == [
+            (m.src, m.dst, m.created) for m in b
+        ]
+
+    def test_load_validation(self):
+        with pytest.raises(ConfigError):
+            build(load=0.0)

@@ -1,0 +1,126 @@
+"""Tests for process-to-processor mappings."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.topology import Mesh
+from repro.traffic.mapping import (
+    BlockMapping,
+    IdentityMapping,
+    RandomMapping,
+    mean_communication_distance,
+    remap_workload,
+)
+from repro.traffic.workloads import stencil_workload
+
+
+class TestMappings:
+    def test_identity(self):
+        m = IdentityMapping(16)
+        assert [m.place(i) for i in range(16)] == list(range(16))
+        m.check_bijection()
+
+    def test_identity_range_check(self):
+        with pytest.raises(ConfigError):
+            IdentityMapping(16).place(16)
+
+    def test_random_is_bijection(self):
+        m = RandomMapping(16, SimRandom(5))
+        m.check_bijection()
+
+    def test_random_deterministic_per_seed(self):
+        a = RandomMapping(16, SimRandom(5))
+        b = RandomMapping(16, SimRandom(5))
+        assert [a.place(i) for i in range(16)] == [b.place(i) for i in range(16)]
+
+    def test_block_mapping_is_bijection(self):
+        topo = Mesh((4, 4))
+        m = BlockMapping(topo, 2, 2)
+        m.check_bijection()
+
+    def test_block_mapping_groups_consecutive_ranks(self):
+        topo = Mesh((4, 4))
+        m = BlockMapping(topo, 2, 2)
+        # Ranks 0..3 fill the first 2x2 block: pairwise distance <= 2.
+        nodes = [m.place(r) for r in range(4)]
+        for a in nodes:
+            for b in nodes:
+                assert topo.distance(a, b) <= 2
+
+    def test_block_mapping_tiling_checked(self):
+        topo = Mesh((4, 4))
+        with pytest.raises(ConfigError):
+            BlockMapping(topo, 3, 2)
+
+    def test_block_mapping_needs_2d(self):
+        with pytest.raises(ConfigError):
+            BlockMapping(Mesh((4,)), 2, 2)
+
+
+class TestRemap:
+    def test_remap_preserves_everything_but_endpoints(self):
+        factory = MessageFactory()
+        msgs = [factory.make(0, 1, 8, 5, circuit_hint=True)]
+        mapping = RandomMapping(16, SimRandom(1))
+        out = remap_workload(msgs, mapping)
+        assert out[0].msg_id == msgs[0].msg_id
+        assert out[0].length == 8
+        assert out[0].created == 5
+        assert out[0].circuit_hint is True
+        assert out[0].src == mapping.place(0)
+        assert out[0].dst == mapping.place(1)
+        # Input untouched.
+        assert msgs[0].src == 0
+
+    def test_identity_remap_is_noop(self):
+        factory = MessageFactory()
+        topo = Mesh((4, 4))
+        msgs = stencil_workload(factory, topo, phases=1, phase_gap=1, length=4)
+        out = remap_workload(msgs, IdentityMapping(16))
+        assert [(m.src, m.dst) for m in out] == [(m.src, m.dst) for m in msgs]
+
+
+class TestMappingEffect:
+    """Section 1: good placement => spatial locality => better circuits."""
+
+    def test_random_mapping_lengthens_communication(self):
+        topo = Mesh((4, 4))
+        factory = MessageFactory()
+        msgs = stencil_workload(factory, topo, phases=1, phase_gap=1, length=4)
+        identity_d = mean_communication_distance(
+            remap_workload(msgs, IdentityMapping(16)), topo
+        )
+        random_d = mean_communication_distance(
+            remap_workload(msgs, RandomMapping(16, SimRandom(2))), topo
+        )
+        assert identity_d == 1.0  # stencil neighbours
+        assert random_d > 1.5
+
+    def test_good_mapping_improves_clrp_latency(self):
+        """The full pipeline: placement -> locality -> faster circuits."""
+
+        def run(mapping_cls_seed):
+            config = NetworkConfig(dims=(4, 4), protocol="clrp")
+            net = Network(config)
+            factory = MessageFactory()
+            msgs = stencil_workload(
+                factory, net.topology, phases=8, phase_gap=300, length=32
+            )
+            if mapping_cls_seed is None:
+                mapped = remap_workload(msgs, IdentityMapping(16))
+            else:
+                mapped = remap_workload(
+                    msgs, RandomMapping(16, SimRandom(mapping_cls_seed))
+                )
+            result = Simulator(net, mapped).run(100_000)
+            assert result.delivered == result.injected
+            return net.stats.mean_latency()
+
+        good = run(None)
+        bad = run(3)
+        assert good < bad

@@ -1,0 +1,150 @@
+"""Tests for destination patterns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.rng import SimRandom
+from repro.topology import Mesh, Torus
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    HotspotPattern,
+    NearestNeighborPattern,
+    PermutationPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+
+
+def stream(seed=0):
+    return SimRandom(seed).stream("t")
+
+
+class TestUniform:
+    def test_never_self(self):
+        p = UniformPattern(16)
+        s = stream()
+        assert all(p.pick(src, s) != src for src in range(16) for _ in range(20))
+
+    def test_covers_all_destinations(self):
+        p = UniformPattern(8)
+        s = stream()
+        seen = {p.pick(0, s) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_roughly_uniform(self):
+        p = UniformPattern(4)
+        s = stream()
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(3000):
+            counts[p.pick(0, s)] += 1
+        for c in counts.values():
+            assert 800 < c < 1200
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigError):
+            UniformPattern(1)
+
+
+class TestTranspose:
+    def test_transposes_coordinates(self):
+        topo = Mesh((4, 4))
+        p = TransposePattern(topo)
+        src = topo.node_at((1, 3))
+        assert p.pick(src, stream()) == topo.node_at((3, 1))
+
+    def test_diagonal_remapped_off_self(self):
+        topo = Mesh((4, 4))
+        p = TransposePattern(topo)
+        src = topo.node_at((2, 2))
+        assert p.pick(src, stream()) != src
+
+    def test_requires_square_2d(self):
+        with pytest.raises(ConfigError):
+            TransposePattern(Mesh((4, 2)))
+        with pytest.raises(ConfigError):
+            TransposePattern(Mesh((2, 2, 2)))
+
+
+class TestBitPatterns:
+    def test_bit_reversal(self):
+        p = BitReversalPattern(16)
+        assert p.pick(0b0001, stream()) == 0b1000
+        assert p.pick(0b0011, stream()) == 0b1100
+
+    def test_bit_complement(self):
+        p = BitComplementPattern(16)
+        assert p.pick(0b0101, stream()) == 0b1010
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigError):
+            BitReversalPattern(12)
+        with pytest.raises(ConfigError):
+            BitComplementPattern(12)
+
+    def test_palindromes_remapped(self):
+        p = BitReversalPattern(16)
+        assert p.pick(0b1001, stream()) != 0b1001
+
+
+class TestHotspot:
+    def test_fraction_hits_hotspots(self):
+        p = HotspotPattern(UniformPattern(16), hotspots=[7], fraction=0.5)
+        s = stream()
+        hits = sum(1 for _ in range(2000) if p.pick(0, s) == 7)
+        assert 800 < hits  # ~50% plus uniform background
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HotspotPattern(UniformPattern(16), [], 0.5)
+        with pytest.raises(ConfigError):
+            HotspotPattern(UniformPattern(16), [3], 0.0)
+        with pytest.raises(ConfigError):
+            HotspotPattern(UniformPattern(16), [99], 0.5)
+
+
+class TestNeighborAndPermutation:
+    def test_neighbor_is_adjacent(self):
+        topo = Torus((4, 4))
+        p = NearestNeighborPattern(topo)
+        s = stream()
+        for src in range(16):
+            dst = p.pick(src, s)
+            assert topo.distance(src, dst) == 1
+
+    def test_permutation_is_fixed_derangement(self):
+        p = PermutationPattern(16, stream(1))
+        s = stream(2)
+        for src in range(16):
+            d1 = p.pick(src, s)
+            d2 = p.pick(src, s)
+            assert d1 == d2 != src
+        assert sorted(p.perm) == list(range(16))
+
+
+class TestMakePattern:
+    @pytest.mark.parametrize(
+        "name",
+        ["uniform", "transpose", "bit_reversal", "bit_complement",
+         "neighbor", "permutation", "hotspot"],
+    )
+    def test_all_names(self, name):
+        topo = Mesh((4, 4))
+        p = make_pattern(name, topo, stream())
+        assert p.pick(0, stream()) != 0
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_pattern("nope", Mesh((4, 4)), stream())
+
+
+@given(st.integers(2, 64), st.integers(0, 1000))
+def test_property_uniform_in_range(n, seed):
+    p = UniformPattern(n)
+    s = SimRandom(seed).stream("x")
+    for src in range(0, n, max(1, n // 5)):
+        dst = p.pick(src, s)
+        assert 0 <= dst < n and dst != src

@@ -1,0 +1,65 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.sim.rng import SimRandom
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.trace import load_trace, save_trace
+from repro.traffic.workloads import uniform_workload
+
+
+def sample(seed=1):
+    return uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=0.1,
+        length=16,
+        duration=500,
+        rng=SimRandom(seed),
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_stream(self, tmp_path):
+        msgs = sample()
+        path = tmp_path / "trace.jsonl"
+        n = save_trace(msgs, path)
+        assert n == len(msgs)
+        back = load_trace(path, MessageFactory())
+        assert [(m.src, m.dst, m.length, m.created) for m in back] == [
+            (m.src, m.dst, m.length, m.created) for m in msgs
+        ]
+
+    def test_hints_preserved(self, tmp_path):
+        msgs = sample()
+        for m in msgs[:3]:
+            m.circuit_hint = True
+        path = tmp_path / "trace.jsonl"
+        save_trace(msgs, path)
+        back = load_trace(path, MessageFactory())
+        assert [m.circuit_hint for m in back[:3]] == [True, True, True]
+
+    def test_ids_reassigned(self, tmp_path):
+        msgs = sample()
+        path = tmp_path / "t.jsonl"
+        save_trace(msgs, path)
+        factory = MessageFactory()
+        factory.make(0, 1, 1, 0)  # consume id 0
+        back = load_trace(path, factory)
+        assert back[0].msg_id != msgs[0].msg_id or msgs[0].msg_id != 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(sample()[:2], path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_trace(path, MessageFactory())) == 2
+
+    def test_bad_record_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"src": 0}\n')
+        with pytest.raises(ConfigError, match="bad.jsonl:1"):
+            load_trace(path, MessageFactory())

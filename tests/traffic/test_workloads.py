@@ -1,0 +1,154 @@
+"""Tests for workload builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.message import MessageFactory
+from repro.sim.rng import SimRandom
+from repro.topology import Mesh
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.workloads import (
+    all_to_all_workload,
+    master_worker_workload,
+    merge_streams,
+    pair_stream_workload,
+    stencil_workload,
+    uniform_workload,
+)
+
+
+class TestUniformWorkload:
+    def _build(self, load=0.1, length=16, duration=2000, seed=1):
+        return uniform_workload(
+            MessageFactory(),
+            UniformPattern(16),
+            num_nodes=16,
+            offered_load=load,
+            length=length,
+            duration=duration,
+            rng=SimRandom(seed),
+        )
+
+    def test_sorted_by_creation(self):
+        msgs = self._build()
+        times = [m.created for m in msgs]
+        assert times == sorted(times)
+
+    def test_rate_approximately_honoured(self):
+        msgs = self._build(load=0.2, length=16, duration=5000)
+        expected = 0.2 / 16 * 16 * 5000  # p * nodes * cycles
+        assert 0.8 * expected < len(msgs) < 1.2 * expected
+
+    def test_deterministic_per_seed(self):
+        a = [(m.src, m.dst, m.created) for m in self._build(seed=7)]
+        b = [(m.src, m.dst, m.created) for m in self._build(seed=7)]
+        assert a == b
+
+    def test_within_duration(self):
+        msgs = self._build(duration=1000)
+        assert all(m.created < 1000 for m in msgs)
+
+    def test_at_most_one_message_per_node_cycle(self):
+        msgs = self._build(load=0.9, length=1, duration=500)
+        slots = [(m.src, m.created) for m in msgs]
+        assert len(slots) == len(set(slots))
+
+    def test_load_validation(self):
+        with pytest.raises(ConfigError):
+            self._build(load=0.0)
+        with pytest.raises(ConfigError):
+            self._build(load=2.0, length=1)
+
+
+class TestPairStream:
+    def test_train_spacing(self):
+        msgs = pair_stream_workload(
+            MessageFactory(), [(0, 5)], messages_per_pair=4, length=8, gap=10
+        )
+        assert [m.created for m in msgs] == [0, 10, 20, 30]
+        assert all((m.src, m.dst) == (0, 5) for m in msgs)
+
+    def test_multiple_pairs_interleaved_sorted(self):
+        msgs = pair_stream_workload(
+            MessageFactory(), [(0, 5), (1, 6)], messages_per_pair=2,
+            length=8, gap=7
+        )
+        assert [m.created for m in msgs] == [0, 0, 7, 7]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pair_stream_workload(
+                MessageFactory(), [(0, 1)], messages_per_pair=0, length=8, gap=1
+            )
+
+
+class TestStencil:
+    def test_every_edge_every_phase(self):
+        topo = Mesh((3, 3))
+        msgs = stencil_workload(
+            MessageFactory(), topo, phases=2, phase_gap=100, length=8
+        )
+        directed_edges = len(topo.links())
+        assert len(msgs) == 2 * directed_edges
+        for m in msgs:
+            assert topo.distance(m.src, m.dst) == 1
+
+    def test_phases_separated(self):
+        topo = Mesh((3, 3))
+        msgs = stencil_workload(
+            MessageFactory(), topo, phases=3, phase_gap=500, length=8
+        )
+        assert {m.created for m in msgs} == {0, 500, 1000}
+
+
+class TestAllToAll:
+    def test_complete_exchange(self):
+        msgs = all_to_all_workload(
+            MessageFactory(), 4, rounds=1, round_gap=100, length=8
+        )
+        pairs = {(m.src, m.dst) for m in msgs}
+        assert pairs == {(a, b) for a in range(4) for b in range(4) if a != b}
+
+    def test_stagger_spreads_sends(self):
+        msgs = all_to_all_workload(
+            MessageFactory(), 4, rounds=1, round_gap=100, length=8, stagger=5
+        )
+        assert {m.created for m in msgs} == {0, 5, 10}
+
+    def test_rotation_balances_destinations(self):
+        msgs = all_to_all_workload(
+            MessageFactory(), 8, rounds=1, round_gap=100, length=8
+        )
+        at_t0 = [m for m in msgs if m.created == 0]
+        # At each instant every node sends once and receives once.
+        assert len({m.src for m in at_t0}) == 8
+        assert len({m.dst for m in at_t0}) == 8
+
+
+class TestMasterWorker:
+    def test_tasks_and_results(self):
+        msgs = master_worker_workload(
+            MessageFactory(), 4, master=0, tasks_per_worker=2,
+            task_length=8, result_length=32, task_gap=10, turnaround=50,
+        )
+        tasks = [m for m in msgs if m.src == 0]
+        results = [m for m in msgs if m.dst == 0]
+        assert len(tasks) == len(results) == 6  # 3 workers x 2 tasks
+        assert all(m.length == 8 for m in tasks)
+        assert all(m.length == 32 for m in results)
+
+    def test_master_range_checked(self):
+        with pytest.raises(ConfigError):
+            master_worker_workload(
+                MessageFactory(), 4, master=9, tasks_per_worker=1,
+                task_length=8, result_length=8, task_gap=1, turnaround=1,
+            )
+
+
+class TestMergeStreams:
+    def test_merges_sorted(self):
+        f = MessageFactory()
+        a = [f.make(0, 1, 8, t) for t in (0, 10, 20)]
+        b = [f.make(2, 3, 8, t) for t in (5, 15)]
+        merged = merge_streams(a, b)
+        assert [m.created for m in merged] == [0, 5, 10, 15, 20]

@@ -1,0 +1,141 @@
+"""Tests for the wait-for graph and deadlock detector."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+from repro.verify import build_wait_graph, find_deadlocked_worms
+from repro.verify.deadlock import assert_no_deadlock
+
+
+def run_under_load(config, load, duration=800, seed=5, check_every=25):
+    net = Network(config)
+    factory = MessageFactory()
+    workload = uniform_workload(
+        factory,
+        UniformPattern(config.num_nodes),
+        num_nodes=config.num_nodes,
+        offered_load=load,
+        length=24,
+        duration=duration,
+        rng=SimRandom(seed),
+    )
+    sim = Simulator(net, workload, deadlock_check_interval=check_every)
+    return net, sim
+
+
+class TestNoFalsePositives:
+    """Deadlock-free routing must never trip the detector (Theorems 1-2)."""
+
+    @pytest.mark.parametrize("load", [0.1, 0.4, 0.8])
+    def test_dor_mesh_saturated(self, load):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        net, sim = run_under_load(config, load)
+        result = sim.run(60_000)  # raises DeadlockError on any cycle
+        assert result.delivered == result.injected
+
+    def test_dor_torus_saturated(self):
+        config = NetworkConfig(
+            topology="torus", dims=(4, 4), protocol="wormhole", wave=None
+        )
+        net, sim = run_under_load(config, 0.6)
+        result = sim.run(60_000)
+        assert result.delivered == result.injected
+
+    def test_adaptive_mesh_saturated(self):
+        config = NetworkConfig(
+            dims=(4, 4),
+            protocol="wormhole",
+            wave=None,
+            wormhole=WormholeConfig(vcs=3, routing="adaptive"),
+        )
+        net, sim = run_under_load(config, 0.8)
+        result = sim.run(60_000)
+        assert result.delivered == result.injected
+
+    def test_clrp_under_pressure(self):
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net, sim = run_under_load(config, 0.5)
+        result = sim.run(60_000)
+        assert result.delivered == result.injected
+
+
+class TestDetectorFindsRealDeadlock:
+    def test_constructed_cycle_detected(self):
+        """Mis-route flits by hand into a circular wait and detect it."""
+        from repro.wormhole.flit import make_worm
+
+        config = NetworkConfig(
+            dims=(2, 2),
+            protocol="wormhole",
+            wave=None,
+            wormhole=WormholeConfig(vcs=1, buffer_depth=1),
+        )
+        net = Network(config)
+        topo = net.topology
+        # Build a 4-cycle of worms around the 2x2 mesh by direct buffer
+        # manipulation: each worm's head occupies node i's input VC and is
+        # routed to the channel whose downstream buffer the next worm fills.
+        ring = [
+            topo.node_at((0, 0)),
+            topo.node_at((0, 1)),
+            topo.node_at((1, 1)),
+            topo.node_at((1, 0)),
+        ]
+        # Worm i: injected at ring[i], bound for ring[i+2].  Its header has
+        # advanced to ring[i+1] and sits there UNROUTED, wanting the ring
+        # channel ring[i+1] -> ring[i+2] -- which is owned by worm i+1,
+        # whose body still streams from ring[i+1]'s injection queue.  Four
+        # such worms close the classic channel-wait cycle.
+        for i in range(4):
+            node, nxt, dst = ring[i], ring[(i + 1) % 4], ring[(i + 2) % 4]
+            router = net.routers[node]
+            port = topo.minimal_ports(node, nxt)[0]
+            worm = make_worm(100 + i, dst=dst, length=3)
+            # Header: arrived at the next router over the ring channel.
+            head = worm[0]
+            head.arrival = 0
+            back = topo.reverse_port(node, port)
+            down = net.routers[nxt]
+            down.inputs[back][0].buffer.append(head)
+            down._active.add((back, 0))
+            # Body: still in the injection queue at the source, routed into
+            # the ring channel, which it therefore owns; no credit left
+            # because the downstream buffer (depth 1) holds the header.
+            for body in worm[1:]:
+                body.arrival = 0
+            inj = router.inputs[router.inject_port][0]
+            inj.buffer.extend(worm[1:])
+            inj.route = (port, 0)
+            router._active.add((router.inject_port, 0))
+            router.outputs[port][0].owner = (router.inject_port, 0)
+            router.outputs[port][0].credits = 0
+        stuck = find_deadlocked_worms(net)
+        assert len(stuck) == 4, f"expected the 4-worm cycle, got {stuck}"
+        with pytest.raises(DeadlockError):
+            assert_no_deadlock(net)
+
+
+class TestWaitGraph:
+    def test_empty_network_empty_graph(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        net = Network(config)
+        graph = build_wait_graph(net)
+        assert graph.worms() == []
+
+    def test_single_worm_reported_free(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        net = Network(config)
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 64, 0))
+        net.run(3)
+        graph = build_wait_graph(net)
+        # One worm in flight, nothing blocking it.
+        assert len(graph.worms()) == 1
+        entry = list(graph.entries.values())[0]
+        assert entry.free or not entry.blockers

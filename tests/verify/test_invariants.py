@@ -1,0 +1,105 @@
+"""Tests for the structural invariant checks."""
+
+import pytest
+
+from repro.circuits.circuit import CircuitState
+from repro.errors import ProtocolError
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+from repro.verify import check_all_invariants
+from repro.verify.invariants import (
+    check_ack_monotonicity,
+    check_cache_coherence,
+    check_channel_exclusivity,
+    check_credit_sanity,
+    check_mapping_consistency,
+)
+
+
+def loaded_net(protocol="clrp", load=0.2, seed=4):
+    config = NetworkConfig(dims=(4, 4), protocol=protocol)
+    net = Network(config)
+    factory = MessageFactory()
+    workload = uniform_workload(
+        factory,
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=24,
+        duration=800,
+        rng=SimRandom(seed),
+    )
+    return net, Simulator(net, workload)
+
+
+class TestInvariantsHoldDuringRuns:
+    def test_mid_run_checks_clean(self):
+        net, sim = loaded_net()
+        for _ in range(30):
+            result = sim.run(50)
+            check_all_invariants(net)
+            if result.completed:
+                break
+
+    def test_post_run_checks_clean(self):
+        net, sim = loaded_net(load=0.4)
+        sim.run(60_000)
+        check_all_invariants(net)
+
+
+class TestInvariantsCatchCorruption:
+    def test_orphan_reservation_detected(self):
+        net, sim = loaded_net()
+        sim.run(60_000)
+        # Reserve some still-free channel for a circuit that doesn't exist.
+        for node, unit in enumerate(net.plane.units):
+            free = unit.free_channels(0)
+            if free:
+                unit.reserve(free[0], 0, circuit_id=9999)
+                break
+        with pytest.raises(ProtocolError):
+            check_channel_exclusivity(net)
+
+    def test_mapping_asymmetry_detected(self):
+        net, sim = loaded_net()
+        sim.run(60_000)
+        # Out-of-range fake keys guarantee no legitimate mapping collides.
+        net.plane.units[0].direct_map[(97, 0)] = (98, 0)  # no reverse entry
+        with pytest.raises(ProtocolError):
+            check_mapping_consistency(net)
+
+    def test_missing_ack_bit_detected(self):
+        net, sim = loaded_net()
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        sim2 = Simulator(net, [])
+        sim2.run(5000)
+        circuit = net.plane.table.established()[0]
+        node, port = circuit.path[0]
+        net.plane.units[node]._regs[(port, circuit.switch)].ack_returned = False
+        with pytest.raises(ProtocolError):
+            check_ack_monotonicity(net)
+
+    def test_cache_endpoint_mismatch_detected(self):
+        net, sim = loaded_net()
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        sim2 = Simulator(net, [])
+        sim2.run(5000)
+        engine = net.interfaces[0].engine
+        entry = engine.cache.lookup(5)
+        assert entry is not None
+        entry.circuit.dst = 7  # corrupt the endpoint
+        with pytest.raises(ProtocolError):
+            check_cache_coherence(net)
+
+    def test_credit_overflow_detected(self):
+        net, sim = loaded_net(protocol="wormhole")
+        sim.run(60_000)
+        net.routers[0].outputs[0][0].credits = 99
+        with pytest.raises(ProtocolError):
+            check_credit_sanity(net)

@@ -1,0 +1,41 @@
+"""Tests for flit construction."""
+
+import pytest
+
+from repro.wormhole.flit import Flit, make_worm
+
+
+class TestMakeWorm:
+    def test_single_flit_is_head_and_tail(self):
+        worm = make_worm(1, dst=5, length=1)
+        assert len(worm) == 1
+        assert worm[0].is_head and worm[0].is_tail
+
+    def test_multi_flit_structure(self):
+        worm = make_worm(2, dst=3, length=4)
+        assert [f.is_head for f in worm] == [True, False, False, False]
+        assert [f.is_tail for f in worm] == [False, False, False, True]
+        assert [f.index for f in worm] == [0, 1, 2, 3]
+        assert all(f.dst == 3 for f in worm)
+        assert all(f.msg_id == 2 for f in worm)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_worm(1, dst=0, length=0)
+
+    def test_fresh_flits_have_no_arrival(self):
+        worm = make_worm(1, dst=0, length=2)
+        assert all(f.arrival == -1 for f in worm)
+        assert all(f.dateline_bits == 0 for f in worm)
+
+
+class TestFlitRepr:
+    def test_repr_kinds(self):
+        h = Flit(1, 0, True, False, 2)
+        b = Flit(1, 1, False, False, 2)
+        t = Flit(1, 2, False, True, 2)
+        ht = Flit(1, 0, True, True, 2)
+        assert "H" in repr(h)
+        assert "B" in repr(b)
+        assert "T" in repr(t)
+        assert "HT" in repr(ht)

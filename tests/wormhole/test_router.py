@@ -1,0 +1,290 @@
+"""Tests for the S0 wormhole router (Fig. 1 structure and flit mechanics)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sim.config import WormholeConfig
+from repro.sim.stats import StatsCollector
+from repro.topology import Mesh
+from repro.wormhole.flit import EJECT_PORT, make_worm
+from repro.wormhole.router import WormholeRouter
+from repro.wormhole.routing import DimensionOrderRouting
+
+
+def build_line(config=None, dims=(3,)):
+    """Wired routers over a small mesh plus per-node delivery logs."""
+    topo = Mesh(dims)
+    config = config or WormholeConfig(vcs=2, buffer_depth=2)
+    stats = StatsCollector()
+    routing = DimensionOrderRouting(topo, config.vcs)
+    delivered: dict[int, list] = {n: [] for n in range(topo.num_nodes)}
+
+    def deliver_for(node):
+        def deliver(flit, cycle):
+            delivered[node].append((flit, cycle))
+        return deliver
+
+    routers = [
+        WormholeRouter(n, topo, config, routing, stats, deliver_for(n))
+        for n in range(topo.num_nodes)
+    ]
+    for node in range(topo.num_nodes):
+        for port in topo.connected_ports(node):
+            nbr = topo.neighbor(node, port)
+            routers[node].connect(port, routers[nbr], topo.reverse_port(node, port))
+    return topo, routers, delivered, stats
+
+
+def run_cycles(routers, start, n):
+    for cycle in range(start, start + n):
+        for r in routers:
+            r.route_phase(cycle)
+        for r in routers:
+            r.traversal_phase(cycle)
+    return start + n
+
+
+class TestStructure:
+    """F1: the Fig. 1 router structure."""
+
+    def test_input_vcs_per_port(self):
+        topo, routers, _, _ = build_line()
+        r = routers[0]
+        # Physical ports plus the injection port, each with w VCs.
+        assert len(r.inputs) == topo.num_ports + 1
+        assert all(len(vcs) == 2 for vcs in r.inputs)
+
+    def test_output_vcs_per_physical_port(self):
+        topo, routers, _, _ = build_line()
+        r = routers[0]
+        assert len(r.outputs) == topo.num_ports
+        for port_vcs in r.outputs:
+            for out in port_vcs:
+                assert out.credits == 2  # initialized to buffer depth
+
+    def test_wiring_sets_upstream_credit_targets(self):
+        topo, routers, _, _ = build_line()
+        port = topo.dor_port(0, 1)
+        back = topo.reverse_port(0, port)
+        assert routers[1].upstream[back][0] is routers[0].outputs[port][0]
+
+
+class TestInjectionAndDelivery:
+    def test_worm_travels_and_delivers(self):
+        topo, routers, delivered, _ = build_line(
+            config=WormholeConfig(vcs=2, buffer_depth=4)
+        )
+        worm = make_worm(7, dst=2, length=3)
+        cycle = 0
+        for flit in worm:
+            routers[0].inject_flit(flit, 0, cycle)
+        run_cycles(routers, 1, 20)
+        flits = [f for f, _ in delivered[2]]
+        assert [f.index for f in flits] == [0, 1, 2]
+        assert all(f.msg_id == 7 for f in flits)
+
+    def test_delivery_order_within_worm(self):
+        topo, routers, delivered, _ = build_line(dims=(2,))
+        worm = make_worm(1, dst=1, length=5)
+        for i, flit in enumerate(worm):
+            # Inject as space allows over several cycles.
+            pass
+        cycle = 0
+        pending = list(worm)
+        for cycle in range(40):
+            while pending and routers[0].injection_space(0) > 0:
+                routers[0].inject_flit(pending.pop(0), 0, cycle)
+            for r in routers:
+                r.route_phase(cycle)
+            for r in routers:
+                r.traversal_phase(cycle)
+        times = [c for _, c in delivered[1]]
+        assert times == sorted(times)
+        assert len(times) == 5
+
+    def test_injection_overflow_raises(self):
+        topo, routers, _, _ = build_line()
+        worm = make_worm(1, dst=2, length=5)
+        routers[0].inject_flit(worm[0], 0, 0)
+        routers[0].inject_flit(worm[1], 0, 0)
+        with pytest.raises(ProtocolError):
+            routers[0].inject_flit(worm[2], 0, 0)
+
+    def test_injection_space_tracks_occupancy(self):
+        topo, routers, _, _ = build_line()
+        assert routers[0].injection_space(0) == 2
+        routers[0].inject_flit(make_worm(1, 2, 1)[0], 0, 0)
+        assert routers[0].injection_space(0) == 1
+
+    def test_local_delivery_via_eject(self):
+        """A worm whose destination is the injection node ejects directly."""
+        topo, routers, delivered, _ = build_line()
+        # Destination == source is forbidden at the message layer, but a
+        # flit arriving at its destination router must take EJECT_PORT.
+        worm = make_worm(3, dst=1, length=1)
+        routers[0].inject_flit(worm[0], 0, 0)
+        run_cycles(routers, 1, 10)
+        assert len(delivered[1]) == 1
+
+
+class TestFlowControl:
+    def test_one_flit_per_output_port_per_cycle(self):
+        topo, routers, delivered, _ = build_line(dims=(2,))
+        # Two worms on different VCs compete for the same physical port.
+        a = make_worm(1, dst=1, length=2)
+        b = make_worm(2, dst=1, length=2)
+        for f in a:
+            routers[0].inject_flit(f, 0, 0)
+        for f in b:
+            routers[0].inject_flit(f, 1, 0)
+        for cycle in range(1, 4):
+            routers[0].route_phase(cycle)
+            moved = routers[0].traversal_phase(cycle)
+            assert moved <= 1  # single output physical channel
+
+    def test_credits_decrement_and_return(self):
+        topo, routers, delivered, _ = build_line(dims=(3,))
+        port = topo.dor_port(0, 2)
+        worm = make_worm(1, dst=2, length=2)
+        for f in worm:
+            routers[0].inject_flit(f, 0, 0)
+        routers[0].route_phase(1)
+        out_vc = routers[0].inputs[routers[0].inject_port][0].route[1]
+        out = routers[0].outputs[port][out_vc]
+        start_credits = out.credits
+        routers[0].traversal_phase(1)
+        assert out.credits == start_credits - 1
+        # Let everything drain; credits must return to full.
+        run_cycles(routers, 2, 20)
+        assert out.credits == out.max_credits
+
+    def test_blocked_worm_holds_buffers(self):
+        """True wormhole semantics: a blocked worm occupies its channels."""
+        config = WormholeConfig(vcs=1, buffer_depth=1)
+        topo, routers, delivered, _ = build_line(config=config, dims=(3,))
+        # Fill node 1's input buffer by keeping its output busy: inject a
+        # long worm from 0 to 2, then stall it by filling node 2's buffer
+        # artificially. Simpler: two long worms, one behind the other on
+        # the same VC -- the second cannot advance past the first.
+        first = make_worm(1, dst=2, length=6)
+        pending = list(first)
+        for cycle in range(3):
+            while pending and routers[0].injection_space(0) > 0:
+                routers[0].inject_flit(pending.pop(0), 0, cycle)
+            run_cycles(routers, cycle, 1)
+        # The worm is strung across routers 0->1->2 now.
+        occupancies = [r.occupancy() for r in routers]
+        assert sum(occupancies) > 0
+
+    def test_tail_releases_output_vc(self):
+        topo, routers, _, _ = build_line(dims=(2,))
+        worm = make_worm(1, dst=1, length=1)
+        routers[0].inject_flit(worm[0], 0, 0)
+        routers[0].route_phase(1)
+        route = routers[0].inputs[routers[0].inject_port][0].route
+        assert route is not None
+        port, vc = route
+        assert routers[0].outputs[port][vc].owner is not None
+        routers[0].traversal_phase(1)
+        assert routers[0].outputs[port][vc].owner is None
+
+
+class TestTiming:
+    def test_flit_cannot_move_in_arrival_cycle(self):
+        topo, routers, delivered, _ = build_line(dims=(2,))
+        worm = make_worm(1, dst=1, length=1)
+        routers[0].inject_flit(worm[0], 0, 5)
+        routers[0].route_phase(5)
+        assert routers[0].traversal_phase(5) == 0  # arrived this cycle
+        routers[0].route_phase(6)
+        assert routers[0].traversal_phase(6) == 1
+
+    def test_router_delay_postpones_routing(self):
+        config = WormholeConfig(vcs=1, buffer_depth=2, router_delay=3)
+        topo, routers, delivered, _ = build_line(config=config, dims=(2,))
+        worm = make_worm(1, dst=1, length=1)
+        routers[0].inject_flit(worm[0], 0, 0)
+        for cycle in (1, 2):
+            routers[0].route_phase(cycle)
+            assert routers[0].inputs[routers[0].inject_port][0].route is None
+        routers[0].route_phase(3)
+        assert routers[0].inputs[routers[0].inject_port][0].route is not None
+
+    def test_pipelined_throughput_one_flit_per_cycle(self):
+        """After pipeline fill, one flit arrives per cycle."""
+        topo, routers, delivered, _ = build_line(
+            config=WormholeConfig(vcs=1, buffer_depth=4), dims=(2,)
+        )
+        worm = make_worm(1, dst=1, length=4)
+        for f in worm:
+            routers[0].inject_flit(f, 0, 0)
+        run_cycles(routers, 1, 10)
+        times = [c for _, c in delivered[1]]
+        assert len(times) == 4
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == 1 for d in deltas)
+
+
+class TestBlockedWormIntrospection:
+    def test_blocked_worms_report(self):
+        config = WormholeConfig(vcs=1, buffer_depth=1)
+        topo, routers, delivered, _ = build_line(config=config, dims=(3,))
+        # Block: worm A owns the VC 1->2; worm B behind it wants it too.
+        a = make_worm(1, dst=2, length=8)
+        pending = list(a)
+        cycle = 0
+        for cycle in range(4):
+            while pending and routers[0].injection_space(0) > 0:
+                routers[0].inject_flit(pending.pop(0), 0, cycle)
+            run_cycles(routers, cycle, 1)
+        blocked = routers[0].blocked_worms(cycle + 1)
+        assert isinstance(blocked, list)
+
+
+class TestArbitrationFairness:
+    def test_round_robin_alternates_between_worms(self):
+        """Two worms sharing an output physical channel on different VCs
+        must interleave flits (no starvation)."""
+        topo, routers, delivered, _ = build_line(
+            config=WormholeConfig(vcs=2, buffer_depth=8), dims=(2,)
+        )
+        a = make_worm(1, dst=1, length=8)
+        b = make_worm(2, dst=1, length=8)
+        for f in a:
+            routers[0].inject_flit(f, 0, 0)
+        for f in b:
+            routers[0].inject_flit(f, 1, 0)
+        run_cycles(routers, 1, 40)
+        order = [f.msg_id for f, _ in delivered[1]]
+        assert len(order) == 16
+        # Neither worm's flits are all delivered before the other starts.
+        first_a = order.index(1)
+        first_b = order.index(2)
+        last_a = len(order) - 1 - order[::-1].index(1)
+        last_b = len(order) - 1 - order[::-1].index(2)
+        assert first_a < last_b and first_b < last_a
+
+    def test_no_starvation_under_three_way_contention(self):
+        """A stream of short worms from each of three inputs towards one
+        node: every worm eventually delivers."""
+        topo, routers, delivered, _ = build_line(
+            config=WormholeConfig(vcs=2, buffer_depth=2), dims=(3,)
+        )
+        pending = {0: [], 2: []}
+        next_id = 10
+        for src in (0, 2):
+            for _ in range(5):
+                pending[src].append(make_worm(next_id, dst=1, length=3))
+                next_id += 1
+        queues = {src: [f for worm in worms for f in worm]
+                  for src, worms in pending.items()}
+        for cycle in range(200):
+            for src, flits in queues.items():
+                while flits and routers[src].injection_space(0) > 0:
+                    routers[src].inject_flit(flits.pop(0), 0, cycle)
+            run_cycles(routers, cycle, 1)
+            if not any(queues.values()) and all(
+                not r.busy() for r in routers
+            ):
+                break
+        assert len(delivered[1]) == 10 * 3

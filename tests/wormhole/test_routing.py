@@ -1,0 +1,173 @@
+"""Tests for the wormhole routing functions."""
+
+import pytest
+
+from repro.errors import ConfigError, RoutingError
+from repro.topology import Hypercube, Mesh, Torus
+from repro.wormhole.flit import Flit
+from repro.wormhole.routing import (
+    AdaptiveRouting,
+    DimensionOrderRouting,
+    make_routing,
+)
+
+
+def header(dst: int) -> Flit:
+    return Flit(msg_id=0, index=0, is_head=True, is_tail=False, dst=dst)
+
+
+class TestDORMesh:
+    def setup_method(self):
+        self.topo = Mesh((4, 4))
+        self.routing = DimensionOrderRouting(self.topo, num_vcs=2)
+
+    def test_single_tier_single_port(self):
+        src = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((2, 3))
+        tiers = self.routing.candidates(src, dst, header(dst))
+        assert len(tiers) == 1
+        assert len(tiers[0]) == 1
+        port, vcs = tiers[0][0]
+        assert port == self.topo.dor_port(src, dst)
+
+    def test_mesh_all_vcs_usable(self):
+        src, dst = 0, self.topo.node_at((3, 3))
+        [(port, vcs)] = self.routing.candidates(src, dst, header(dst))[0]
+        assert vcs == (0, 1)  # one class: every VC carries it
+
+    def test_routing_at_destination_raises(self):
+        with pytest.raises(RoutingError):
+            self.routing.candidates(5, 5, header(5))
+
+    def test_path_follows_dor(self):
+        src = self.topo.node_at((3, 0))
+        dst = self.topo.node_at((0, 3))
+        head = header(dst)
+        node = src
+        path = []
+        while node != dst:
+            [(port, _vcs)] = self.routing.candidates(node, dst, head)[0]
+            self.routing.note_hop(node, port, head)
+            path.append(port)
+            node = self.topo.neighbor(node, port)
+        # X resolved entirely before Y.
+        dims = [p // 2 for p in path]
+        assert dims == sorted(dims)
+
+
+class TestDORTorusDateline:
+    def setup_method(self):
+        self.topo = Torus((4, 4))
+        self.routing = DimensionOrderRouting(self.topo, num_vcs=2)
+
+    def test_class0_before_dateline(self):
+        src = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((2, 0))
+        [(port, vcs)] = self.routing.candidates(src, dst, header(dst))[0]
+        assert vcs == (0,)
+
+    def test_class1_when_crossing_wrap(self):
+        src = self.topo.node_at((3, 0))
+        dst = self.topo.node_at((1, 0))  # shortest way wraps 3 -> 0 -> 1
+        head = header(dst)
+        [(port, vcs)] = self.routing.candidates(src, dst, head)[0]
+        assert self.topo.crosses_dateline(src, port)
+        assert vcs == (1,)
+
+    def test_class_sticks_after_crossing(self):
+        src = self.topo.node_at((3, 0))
+        dst = self.topo.node_at((1, 0))
+        head = header(dst)
+        [(port, _)] = self.routing.candidates(src, dst, head)[0]
+        self.routing.note_hop(src, port, head)
+        mid = self.topo.neighbor(src, port)
+        [(port2, vcs2)] = self.routing.candidates(mid, dst, head)[0]
+        assert vcs2 == (1,)  # dateline bit remembered in the header
+
+    def test_class_resets_in_new_dimension(self):
+        src = self.topo.node_at((3, 0))
+        dst = self.topo.node_at((0, 1))  # wrap in x, then fresh dim y
+        head = header(dst)
+        node = src
+        while True:
+            [(port, vcs)] = self.routing.candidates(node, dst, head)[0]
+            if self.topo.port_dimension(port) == 1:
+                assert vcs == (0,)  # new dimension starts in class 0
+                break
+            self.routing.note_hop(node, port, head)
+            node = self.topo.neighbor(node, port)
+
+    def test_four_vcs_interleave_classes(self):
+        routing = DimensionOrderRouting(self.topo, num_vcs=4)
+        src = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((1, 0))
+        [(_, vcs)] = routing.candidates(src, dst, header(dst))[0]
+        assert vcs == (0, 2)  # class-0 replicas
+
+    def test_torus_requires_two_vcs(self):
+        with pytest.raises(ConfigError):
+            DimensionOrderRouting(self.topo, num_vcs=1)
+
+
+class TestAdaptive:
+    def setup_method(self):
+        self.topo = Mesh((4, 4))
+        self.routing = AdaptiveRouting(self.topo, num_vcs=3)
+
+    def test_two_tiers(self):
+        src = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((2, 2))
+        tiers = self.routing.candidates(src, dst, header(dst))
+        assert len(tiers) == 2
+        adaptive, escape = tiers
+        assert {p for p, _ in adaptive} == set(self.topo.minimal_ports(src, dst))
+        assert len(escape) == 1
+        assert escape[0][0] == self.topo.dor_port(src, dst)
+
+    def test_adaptive_vcs_exclude_escape(self):
+        src, dst = 0, self.topo.node_at((2, 2))
+        adaptive, escape = self.routing.candidates(src, dst, header(dst))
+        for _, vcs in adaptive:
+            assert 0 not in vcs  # VC 0 is the escape channel on a mesh
+        assert escape[0][1] == (0,)
+
+    def test_needs_escape_plus_adaptive(self):
+        with pytest.raises(ConfigError):
+            AdaptiveRouting(self.topo, num_vcs=1)
+
+    def test_torus_adaptive_escape_classes(self):
+        topo = Torus((4, 4))
+        routing = AdaptiveRouting(topo, num_vcs=4)
+        src = topo.node_at((3, 0))
+        dst = topo.node_at((1, 0))
+        adaptive, escape = routing.candidates(src, dst, header(dst))
+        for _, vcs in adaptive:
+            assert set(vcs) == {2, 3}
+        assert escape[0][1] == (1,)  # crossing the dateline
+
+    def test_single_minimal_direction(self):
+        src = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((0, 3))
+        adaptive, escape = self.routing.candidates(src, dst, header(dst))
+        assert len(adaptive) == 1
+        assert adaptive[0][0] == escape[0][0]
+
+
+class TestHypercubeRouting:
+    def test_ecube_single_class(self):
+        topo = Hypercube(3)
+        routing = DimensionOrderRouting(topo, num_vcs=1)
+        tiers = routing.candidates(0, 0b101, header(0b101))
+        [(port, vcs)] = tiers[0]
+        assert vcs == (0,)
+
+
+class TestMakeRouting:
+    def test_by_name(self):
+        topo = Mesh((4, 4))
+        assert isinstance(make_routing("dor", topo, 2), DimensionOrderRouting)
+        assert isinstance(make_routing("adaptive", topo, 2), AdaptiveRouting)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_routing("magic", Mesh((4, 4)), 2)
