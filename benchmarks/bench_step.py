@@ -1,0 +1,101 @@
+"""Stepping-core microbenchmark: cycles/sec, active-set vs reference loop.
+
+Standalone script (not a pytest benchmark): runs the bench_e2 CLRP
+configuration on the 8x8 mesh at low and saturating offered load, once
+with the original O(num_nodes) ``step_reference`` loop (fast-forward
+off) and once with the active-set ``step`` + idle fast-forward, and
+writes the measured simulated-cycles-per-second and speedups to
+``BENCH_step.json`` at the repository root.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_step.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.workloads import uniform_workload
+
+from benchmarks.common import NODES, clrp_config, fresh_factory
+
+LENGTH = 128
+DURATION = 4000
+# Cool-down tail after injection stops: mostly idle cycles, exactly the
+# region fast-forward and O(active) stepping are built for.  Real runs
+# (drain-to-completion experiments, bursty traces) are full of this.
+MAX_CYCLES = 60_000
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_step.json"
+
+
+def run_once(load: float, *, active: bool) -> dict:
+    net = Network(clrp_config())
+    workload = uniform_workload(
+        fresh_factory(),
+        UniformPattern(NODES),
+        num_nodes=NODES,
+        offered_load=load,
+        length=LENGTH,
+        duration=DURATION,
+        rng=SimRandom(5),
+    )
+    if not active:
+        net.step = net.step_reference
+    sim = Simulator(net, workload, fast_forward=active)
+    start = time.perf_counter()
+    result = sim.run(MAX_CYCLES)
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_seconds": round(elapsed, 4),
+        "cycles": result.cycles,
+        "cycles_per_second": round(result.cycles / elapsed, 1),
+        "delivered": result.delivered,
+        "injected": result.injected,
+        "completed": result.completed,
+        "work_counter": net.work_counter,
+    }
+
+
+def bench(load: float, label: str) -> dict:
+    reference = run_once(load, active=False)
+    active = run_once(load, active=True)
+    # Identical simulation outcomes or the comparison is meaningless.
+    for key in ("cycles", "delivered", "injected", "work_counter"):
+        assert active[key] == reference[key], (
+            f"{label}: {key} diverged: {active[key]} vs {reference[key]}"
+        )
+    speedup = reference["wall_seconds"] / active["wall_seconds"]
+    print(
+        f"{label:>10}: reference {reference['cycles_per_second']:>10.0f} cyc/s"
+        f"  active {active['cycles_per_second']:>10.0f} cyc/s"
+        f"  speedup {speedup:.2f}x"
+    )
+    return {
+        "offered_load": load,
+        "reference": reference,
+        "active": active,
+        "speedup": round(speedup, 2),
+    }
+
+
+def main() -> None:
+    results = {
+        "benchmark": "stepping core, 8x8 mesh CLRP (bench_e2 config), "
+        f"{LENGTH}-flit messages, {DURATION}-cycle injection + drain",
+        "low_load": bench(0.05, "low load"),
+        "saturation": bench(0.6, "saturation"),
+    }
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

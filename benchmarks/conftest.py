@@ -1,0 +1,21 @@
+"""Benchmark collection hooks.
+
+Every ``bench_e*.py`` experiment reproduction is a multi-second full-system
+run; they dominate the suite's wall-clock (~2 minutes of a ~2.5 minute
+run).  Mark them all ``slow`` so the default tier-1 invocation
+(``pytest``, whose addopts carry ``-m 'not slow'``) skips them; the
+nightly full run (``pytest -m ""``) still exercises everything.
+"""
+
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    # The hook receives the whole session's items; only mark ours.
+    for item in items:
+        if BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)

@@ -51,11 +51,11 @@ class PCSControlUnit:
         self.node = node
         self.num_ports = num_ports
         self.num_switches = num_switches
-        self._regs: dict[tuple[int, int], _ChannelRegisters] = {
-            (p, s): _ChannelRegisters()
-            for p in range(num_ports)
-            for s in range(num_switches)
-        }
+        # Flat registers, indexed port * num_switches + switch (port-major,
+        # switch-minor, like the old dict's insertion order).
+        self._regs: list[_ChannelRegisters] = [
+            _ChannelRegisters() for _ in range(num_ports * num_switches)
+        ]
         # Direct mapping: input (port, switch) -> output (port, switch) of
         # the circuit crossing this node; reverse mapping is the inverse.
         self.direct_map: dict[tuple[int, int], tuple[int, int]] = {}
@@ -66,12 +66,11 @@ class PCSControlUnit:
     # -- channel status ----------------------------------------------------
 
     def _reg(self, port: int, switch: int) -> _ChannelRegisters:
-        try:
-            return self._regs[(port, switch)]
-        except KeyError:
-            raise ProtocolError(
-                f"node {self.node} has no channel (port={port}, switch={switch})"
-            ) from None
+        if 0 <= port < self.num_ports and 0 <= switch < self.num_switches:
+            return self._regs[port * self.num_switches + switch]
+        raise ProtocolError(
+            f"node {self.node} has no channel (port={port}, switch={switch})"
+        )
 
     def status(self, port: int, switch: int) -> ChannelStatus:
         return self._reg(port, switch).status
@@ -176,15 +175,17 @@ class PCSControlUnit:
     # -- introspection ----------------------------------------------------
 
     def free_channels(self, switch: int) -> list[int]:
+        k = self.num_switches
         return [
             p
             for p in range(self.num_ports)
-            if self._regs[(p, switch)].status is ChannelStatus.FREE
+            if self._regs[p * k + switch].status is ChannelStatus.FREE
         ]
 
     def reserved_channels(self) -> list[tuple[int, int]]:
+        k = self.num_switches
         return [
-            key
-            for key, reg in self._regs.items()
+            divmod(i, k)
+            for i, reg in enumerate(self._regs)
             if reg.status is ChannelStatus.RESERVED
         ]

@@ -225,6 +225,7 @@ class WavePlane:
         unit.unmap_through((port, probe.switch))
         unit.release(port, probe.switch, probe.circuit_id)
         unit.record_search(probe.probe_id, port)
+        probe.history_nodes.add(prev_node)
         circuit = self.table.get(probe.circuit_id)
         circuit.path.pop()
         probe.at_node = prev_node
@@ -273,12 +274,14 @@ class WavePlane:
         self.work_done += 1
 
     def _finish_probe(self, probe: Probe) -> None:
-        self.probes.remove(probe)
+        # Identity filter: dataclass ``remove`` would compare every field.
+        self.probes = [p for p in self.probes if p is not probe]
         self._probes_by_id.pop(probe.probe_id, None)
         for key in self._probe_claims.pop(probe.probe_id, ()):
             self.claims.pop(key, None)
-        for unit in self.units:
-            unit.clear_history(probe.probe_id)
+        for node in probe.history_nodes:
+            self.units[node].clear_history(probe.probe_id)
+        probe.history_nodes.clear()
 
     def _drop_claim(self, probe: Probe, key: ChannelKey) -> None:
         if self.claims.get(key) == probe.probe_id:
@@ -488,8 +491,11 @@ class WavePlane:
                 if flit.hop_index < 0:
                     finished.append(flit)
                     self._engine(circuit.src).release_requested(circuit, cycle)
-        for flit in finished:
-            self.control_flits.remove(flit)
+        if finished:
+            finished_ids = set(map(id, finished))
+            self.control_flits = [
+                f for f in self.control_flits if id(f) not in finished_ids
+            ]
 
     def _step_transfers(self, cycle: int) -> None:
         done: list[WaveTransfer] = []
@@ -506,8 +512,12 @@ class WavePlane:
                 self.work_done += 1
             if transfer.done:
                 done.append(transfer)
+        if done:
+            done_ids = set(map(id, done))
+            self.transfers = [
+                t for t in self.transfers if id(t) not in done_ids
+            ]
         for transfer in done:
-            self.transfers.remove(transfer)
             circuit = transfer.circuit
             circuit.in_use = False
             circuit.uses += 1

@@ -65,6 +65,9 @@ class Probe:
     # Channels whose circuits we have already asked to be released, so a
     # waiting probe does not flood duplicate release requests.
     requested_releases: set[int] = field(default_factory=set)
+    # Nodes where this probe wrote History Store entries, so finishing the
+    # probe clears only those units instead of sweeping every node.
+    history_nodes: set[int] = field(default_factory=set)
     # Statistics.
     hops: int = 0
     backtracks: int = 0

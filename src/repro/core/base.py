@@ -59,6 +59,11 @@ class ProtocolEngine:
     def on_cycle(self, cycle: int) -> None:
         """Per-cycle hook; most engines need none."""
 
+    def needs_cycle(self) -> bool:
+        """True while :meth:`on_cycle` has work, so the owning NI knows to
+        stay in the network's active set (active-set stepping)."""
+        return False
+
     def pending_count(self) -> int:
         """Messages held by this engine awaiting a circuit."""
         return 0
@@ -101,6 +106,22 @@ class CircuitEngineBase(ProtocolEngine):
         self._buffer_waits: dict[int, CircuitCacheEntry] = {}
 
     # -- helpers -----------------------------------------------------------
+
+    def _note_pending(self, delta: int) -> None:
+        """Report a change in engine-held message count to the network's
+        idleness counters (via the owning NI)."""
+        self.interface.note_pending(delta)
+
+    def _queue_message(self, entry: CircuitCacheEntry, msg: "Message") -> None:
+        """Park ``msg`` on ``entry`` until its circuit can carry it."""
+        entry.queue.append(msg)
+        self._note_pending(1)
+
+    def _pop_queued(self, entry: CircuitCacheEntry) -> "Message":
+        """Take the next message off ``entry``'s queue."""
+        msg = entry.queue.popleft()
+        self._note_pending(-1)
+        return msg
 
     def initial_switch(self) -> int:
         """The paper's suggestion generalised: neighbouring nodes start on
@@ -148,7 +169,7 @@ class CircuitEngineBase(ProtocolEngine):
             entry, cycle
         ):
             return
-        msg: "Message" = entry.queue.popleft()
+        msg: "Message" = self._pop_queued(entry)
         transfer = self.plane.start_transfer(entry.circuit, msg, cycle)
         self.cache.note_use(entry, cycle)
         rec = self._record(msg)
@@ -168,6 +189,7 @@ class CircuitEngineBase(ProtocolEngine):
         """
         if cycle < entry.buffer_ready_at:
             self._buffer_waits[entry.dest] = entry
+            self.interface.request_cycle()
             return False
         head: "Message" = entry.queue[0]
         if head.length > entry.buffer_flits:
@@ -181,8 +203,12 @@ class CircuitEngineBase(ProtocolEngine):
                 return True
             entry.buffer_ready_at = cycle + penalty
             self._buffer_waits[entry.dest] = entry
+            self.interface.request_cycle()
             return False
         return True
+
+    def needs_cycle(self) -> bool:
+        return bool(self._buffer_waits)
 
     def on_cycle(self, cycle: int) -> None:
         if not self._buffer_waits:
@@ -216,7 +242,7 @@ class CircuitEngineBase(ProtocolEngine):
             self.plane.start_teardown(circuit, cycle)
             self.stats.bump("circuit.orphan_teardowns")
             return
-        entry.circuit = circuit
+        self.cache.bind_circuit(entry, circuit)
         entry.state = CacheEntryState.ESTABLISHED
         entry.created_at = cycle
         entry.last_used = cycle
@@ -281,7 +307,7 @@ class CircuitEngineBase(ProtocolEngine):
         entry = self.cache.lookup(circuit.dst)
         if entry is None or entry.circuit is not circuit:
             return
-        entry.circuit = None
+        self.cache.unbind_circuit(entry)
         if entry.queue:
             self._reopen_entry(entry, cycle)
         else:
@@ -298,7 +324,7 @@ class CircuitEngineBase(ProtocolEngine):
     def _reopen_entry(self, entry: CircuitCacheEntry, cycle: int) -> None:
         """A victimised circuit still had queued messages: set up afresh."""
         entry.state = CacheEntryState.SETTING_UP
-        entry.circuit = None
+        self.cache.unbind_circuit(entry)
         entry.phase = self._fresh_setup_phase()
         entry.forced = entry.phase >= 2
         entry.switch = entry.initial_switch

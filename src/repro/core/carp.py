@@ -140,7 +140,7 @@ class CARPEngine(CircuitEngineBase):
     def on_message(self, msg: "Message", cycle: int) -> None:
         entry = self.cache.lookup(msg.dst)
         if entry is not None and entry.state is not CacheEntryState.RELEASING:
-            entry.queue.append(msg)
+            self._queue_message(entry, msg)
             self.stats.bump("carp.circuit_sends")
             if entry.state is CacheEntryState.ESTABLISHED:
                 self._try_start_transfer(entry, cycle)
@@ -189,7 +189,7 @@ class CARPEngine(CircuitEngineBase):
         # Give up: queued messages use wormhole switching.
         self.stats.bump("carp.setup_failed")
         while entry.queue:
-            queued = entry.queue.popleft()
+            queued = self._pop_queued(entry)
             self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
         self.cache.remove(entry.dest)
         self._on_slot_freed(cycle)
@@ -207,7 +207,7 @@ class CARPEngine(CircuitEngineBase):
         # close racing sends).  CARP does not chase circuits: the queued
         # messages take wormhole switching instead.
         while entry.queue:
-            queued = entry.queue.popleft()
+            queued = self._pop_queued(entry)
             self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
         self.cache.remove(entry.dest)
         self._on_slot_freed(cycle)

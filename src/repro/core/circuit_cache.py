@@ -115,6 +115,10 @@ class CircuitCache:
         self.capacity = capacity
         self.policy = policy
         self.entries: dict[int, CircuitCacheEntry] = {}
+        # circuit_id -> entry, kept consistent through insert/remove and
+        # the bind/unbind lifecycle so control-flit events resolve their
+        # cache entry in O(1) instead of scanning every entry.
+        self._by_circuit: dict[int, CircuitCacheEntry] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -132,12 +136,30 @@ class CircuitCache:
         if self.full:
             raise ProtocolError("cache full; evict before inserting")
         self.entries[entry.dest] = entry
+        if entry.circuit is not None:
+            self._by_circuit[entry.circuit.circuit_id] = entry
 
     def remove(self, dest: int) -> CircuitCacheEntry:
         try:
-            return self.entries.pop(dest)
+            entry = self.entries.pop(dest)
         except KeyError:
             raise ProtocolError(f"no cache entry for dest {dest}") from None
+        if entry.circuit is not None:
+            self._by_circuit.pop(entry.circuit.circuit_id, None)
+        return entry
+
+    def bind_circuit(self, entry: CircuitCacheEntry, circuit: "Circuit") -> None:
+        """Attach an established circuit to ``entry``, indexing it by id."""
+        if entry.circuit is not None:
+            self._by_circuit.pop(entry.circuit.circuit_id, None)
+        entry.circuit = circuit
+        self._by_circuit[circuit.circuit_id] = entry
+
+    def unbind_circuit(self, entry: CircuitCacheEntry) -> None:
+        """Detach ``entry``'s circuit (released or being re-opened)."""
+        if entry.circuit is not None:
+            self._by_circuit.pop(entry.circuit.circuit_id, None)
+            entry.circuit = None
 
     def evictable_entries(self) -> list[CircuitCacheEntry]:
         return [e for e in self.entries.values() if e.evictable()]
@@ -157,7 +179,4 @@ class CircuitCache:
         return sum(len(e.queue) for e in self.entries.values())
 
     def find_by_circuit(self, circuit_id: int) -> CircuitCacheEntry | None:
-        for entry in self.entries.values():
-            if entry.circuit is not None and entry.circuit.circuit_id == circuit_id:
-                return entry
-        return None
+        return self._by_circuit.get(circuit_id)

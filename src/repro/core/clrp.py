@@ -64,7 +64,7 @@ class CLRPEngine(CircuitEngineBase):
     def on_message(self, msg: "Message", cycle: int) -> None:
         entry = self.cache.lookup(msg.dst)
         if entry is not None:
-            entry.queue.append(msg)
+            self._queue_message(entry, msg)
             self.stats.bump("clrp.lookup_hit")
             if entry.state is CacheEntryState.ESTABLISHED:
                 self._try_start_transfer(entry, cycle)
@@ -85,6 +85,7 @@ class CLRPEngine(CircuitEngineBase):
                               victim.dest, for_dest=msg.dst)
             self.stats.bump("clrp.cache_evictions")
             self._waiting_for_slot.append(msg)
+            self._note_pending(1)
             self._release_entry(victim, cycle)
             return
         # Every entry is busy (in use, queued or setting up): nothing can
@@ -103,7 +104,7 @@ class CLRPEngine(CircuitEngineBase):
             created_at=cycle,
             trigger_msg_id=msg.msg_id,
         )
-        entry.queue.append(msg)
+        self._queue_message(entry, msg)
         entry.phase = self._fresh_setup_phase()
         entry.forced = entry.phase >= 2  # "immediate_force" skips phase 1
         self.cache.insert(entry)
@@ -154,7 +155,7 @@ class CLRPEngine(CircuitEngineBase):
                           entry.dest, phase=3)
         self.stats.bump("clrp.phase3_fallbacks")
         while entry.queue:
-            queued = entry.queue.popleft()
+            queued = self._pop_queued(entry)
             self._send_wormhole(queued, SwitchingMode.WORMHOLE_FALLBACK, cycle)
         self.cache.remove(entry.dest)
         self._on_slot_freed(cycle)
@@ -177,10 +178,11 @@ class CLRPEngine(CircuitEngineBase):
     def _redispatch_waiting(self, cycle: int) -> None:
         waiting = list(self._waiting_for_slot)
         self._waiting_for_slot.clear()
+        self._note_pending(-len(waiting))
         for msg in waiting:
             entry = self.cache.lookup(msg.dst)
             if entry is not None:
-                entry.queue.append(msg)
+                self._queue_message(entry, msg)
                 if entry.state is CacheEntryState.ESTABLISHED:
                     self._try_start_transfer(entry, cycle)
             elif not self.cache.full:

@@ -26,6 +26,7 @@ from repro.wormhole.router import WormholeRouter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import ProtocolEngine
+    from repro.network.activity import ActivityTracker
     from repro.network.message import Message
 
 
@@ -63,6 +64,8 @@ class NetworkInterface:
         self.stats = stats
         self.distance = distance_fn
         self.engine: "ProtocolEngine | None" = None
+        # Shared active-set registries (None when driven standalone).
+        self.tracker: "ActivityTracker | None" = None
         w = router.config.vcs
         self._queues: list[deque[_PendingWorm]] = [deque() for _ in range(w)]
         self.flits_delivered = 0
@@ -73,6 +76,23 @@ class NetworkInterface:
 
     def set_engine(self, engine: "ProtocolEngine") -> None:
         self.engine = engine
+
+    # -- active-set hooks --------------------------------------------------
+
+    def request_cycle(self) -> None:
+        """Register for per-cycle stepping (engine gained cycle work)."""
+        if self.tracker is not None:
+            self.tracker.active_nis.add(self.node)
+
+    def note_pending(self, delta: int) -> None:
+        """Engine-held message count changed (idleness bookkeeping)."""
+        if self.tracker is not None:
+            self.tracker.engine_pending += delta
+
+    def _step_work_remains(self) -> bool:
+        return any(self._queues) or (
+            self.engine is not None and self.engine.needs_cycle()
+        )
 
     def on_message(self, msg: "Message", cycle: int) -> None:
         if self.engine is None:
@@ -114,6 +134,9 @@ class NetworkInterface:
             key=lambda v: sum(p.remaining for p in self._queues[v]),
         )
         self._queues[vc].append(_PendingWorm(msg, flits))
+        if self.tracker is not None:
+            self.tracker.ni_queue_flits += len(flits)
+            self.tracker.active_nis.add(self.node)
 
     def _pump_injection(self, cycle: int) -> int:
         pushed = 0
@@ -136,15 +159,25 @@ class NetworkInterface:
                     queue.popleft()
                 else:
                     break
+        if pushed and self.tracker is not None:
+            self.tracker.ni_queue_flits -= pushed
         return pushed
 
     # -- per-cycle -------------------------------------------------------------
 
     def pre_cycle(self, cycle: int) -> int:
-        """Engine hook plus injection pumping; returns flits injected."""
+        """Engine hook plus injection pumping; returns flits injected.
+
+        Deregisters from the active set once drained (no queued worms and
+        no engine cycle work); idempotent, so the O(N) reference loop may
+        keep calling it on idle NIs with no observable difference.
+        """
         if self.engine is not None:
             self.engine.on_cycle(cycle)
-        return self._pump_injection(cycle)
+        pushed = self._pump_injection(cycle)
+        if self.tracker is not None and not self._step_work_remains():
+            self.tracker.active_nis.discard(self.node)
+        return pushed
 
     # -- delivery ---------------------------------------------------------------
 
@@ -159,7 +192,7 @@ class NetworkInterface:
             rec = self.stats.messages[flit.msg_id]
             if rec.delivered >= 0:
                 raise ProtocolError(f"message {flit.msg_id} delivered twice")
-            rec.delivered = cycle
+            self.stats.mark_delivered(flit.msg_id, cycle)
             self.messages_delivered += 1
 
     def on_circuit_delivery(self, msg: "Message", cycle: int) -> None:
@@ -171,7 +204,7 @@ class NetworkInterface:
         rec = self.stats.messages[msg.msg_id]
         if rec.delivered >= 0:
             raise ProtocolError(f"message {msg.msg_id} delivered twice")
-        rec.delivered = cycle
+        self.stats.mark_delivered(msg.msg_id, cycle)
         self.messages_delivered += 1
 
     # -- introspection -----------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.core.clrp import CLRPEngine
 from repro.core.replacement import make_replacement
 from repro.core.wave_router import WaveRouter
 from repro.errors import ConfigError
+from repro.network.activity import ActivityTracker
 from repro.network.interface import NetworkInterface
 from repro.network.message import Message
 from repro.sim.config import NetworkConfig
@@ -55,6 +56,9 @@ class Network:
         self.faults = faults
         self.cycle = 0
         self.work_counter = 0
+        # Active-set registries: step() touches only registered components
+        # and is_idle() reads counters instead of scanning every node.
+        self.activity = ActivityTracker()
 
         routing = make_routing(
             config.wormhole.routing, self.topology, config.wormhole.vcs
@@ -84,6 +88,10 @@ class Network:
             NetworkInterface(n, self.routers[n], self.stats, self.topology.distance)
             for n in range(self.topology.num_nodes)
         ]
+        for router in self.routers:
+            router.active_set = self.activity.active_routers
+        for ni in self.interfaces:
+            ni.tracker = self.activity
 
         # Wave plane and protocol engines.
         self.plane: WavePlane | None = None
@@ -149,6 +157,50 @@ class Network:
     # -- time ---------------------------------------------------------------
 
     def step(self) -> None:
+        """Advance one cycle, touching only *active* components.
+
+        Cycle-exact with :meth:`step_reference` (the original O(N) loop):
+
+        * NIs run in sorted node order; an NI's ``pre_cycle`` never
+          activates another NI, and on a drained NI it is a no-op, so
+          iterating a sorted snapshot of the registry matches the full
+          scan exactly.
+        * Skipping the wave plane when it is idle is safe because
+          ``WavePlane.step`` over empty probe/flit/transfer lists has no
+          effect.
+        * Routers run in sorted node order for both phases (credit
+          returns flow upstream mid-traversal, so order matters).  The
+          snapshot taken before the route phase equals the live busy set:
+          ``route_phase`` never en/de-queues flits, and a router first
+          activated *during* the traversal loop holds only flits with
+          ``arrival == cycle + 1``, for which ``traversal_phase`` is a
+          guaranteed no-op in the reference loop too.
+        """
+        cycle = self.cycle
+        work = 0
+        tracker = self.activity
+        if tracker.active_nis:
+            for idx in sorted(tracker.active_nis):
+                work += self.interfaces[idx].pre_cycle(cycle)
+        plane = self.plane
+        if plane is not None and not plane.is_idle():
+            before = plane.work_done
+            plane.step(cycle)
+            work += plane.work_done - before
+        if tracker.active_routers:
+            order = sorted(tracker.active_routers)
+            routers = self.routers
+            for idx in order:
+                routers[idx].route_phase(cycle)
+            for idx in order:
+                work += routers[idx].traversal_phase(cycle)
+        self.work_counter += work
+        self.cycle = cycle + 1
+
+    def step_reference(self) -> None:
+        """The original O(num_nodes) loop, kept as the executable spec
+        for the cycle-exactness tests (see tests/integration/
+        test_cycle_exact.py)."""
         cycle = self.cycle
         work = 0
         for ni in self.interfaces:
@@ -174,18 +226,23 @@ class Network:
     # -- state queries ------------------------------------------------------
 
     def is_idle(self) -> bool:
-        if any(r.busy() for r in self.routers):
+        """O(1) idleness from the exact activity counters.
+
+        Deliberately does *not* consult the step registries (an NI may
+        stay registered one spurious cycle); the counters below mirror
+        the old O(N) scan bit for bit.
+        """
+        tracker = self.activity
+        if tracker.active_routers:
             return False
-        if any(not ni.is_idle() for ni in self.interfaces):
+        if tracker.ni_queue_flits or tracker.engine_pending:
             return False
         if self.plane is not None and not self.plane.is_idle():
             return False
         return True
 
     def outstanding_messages(self) -> int:
-        return sum(
-            1 for m in self.stats.messages.values() if m.delivered < 0
-        )
+        return self.stats.outstanding
 
     def check_deadlock(self) -> None:
         """Raise :class:`~repro.errors.DeadlockError` on a wait-for cycle."""

@@ -65,6 +65,13 @@ class Simulator:
             reaches its destination in finite time".
         on_cycle: optional callback invoked after every simulated cycle,
             for custom probes in tests and benches.
+        fast_forward: when True (the default), an idle network with the
+            next workload message still in the future jumps straight to
+            that message's creation cycle instead of spinning through
+            empty cycles.  Cycle-exact: the skipped cycles would each
+            have performed zero work.  Disabled automatically while an
+            ``on_cycle`` callback is set (the callback must see every
+            cycle).
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class Simulator:
         deadlock_check_interval: int = 0,
         progress_timeout: int = 0,
         on_cycle: Callable[["Network"], None] | None = None,
+        fast_forward: bool = True,
     ) -> None:
         self.network = network
         self._pending: Iterator["Message"] | None = (
@@ -84,6 +92,7 @@ class Simulator:
         self.deadlock_check_interval = deadlock_check_interval
         self.progress_timeout = progress_timeout
         self.on_cycle = on_cycle
+        self.fast_forward = fast_forward
         self._finished = False
         self._last_progress_cycle = 0
         self._last_work_counter = -1
@@ -112,12 +121,17 @@ class Simulator:
 
     def _check_progress(self) -> None:
         counter = self.network.work_counter
-        if counter != self._last_work_counter:
+        if counter != self._last_work_counter or self.network.is_idle():
+            # An idle network is not *stalled* -- keep the timer anchored
+            # at the end of the idle gap, so work that starts after a gap
+            # (or a fast-forward jump) gets a full timeout window instead
+            # of inheriting a stale pre-gap marker.  This also holds
+            # across run() slices, which share these markers.
             self._last_work_counter = counter
             self._last_progress_cycle = self.network.cycle
             return
         stalled_for = self.network.cycle - self._last_progress_cycle
-        if stalled_for >= self.progress_timeout and not self.network.is_idle():
+        if stalled_for >= self.progress_timeout:
             raise LivelockError(
                 f"no work performed for {stalled_for} cycles with "
                 f"{self.network.outstanding_messages()} messages outstanding "
@@ -145,6 +159,24 @@ class Simulator:
             if not more_traffic and net.is_idle():
                 self._finished = True
                 break
+            if (
+                self.fast_forward
+                and self.on_cycle is None
+                and more_traffic
+                and self._next_msg is not None
+                and net.is_idle()
+            ):
+                # Idle gap: every skipped cycle would perform zero work
+                # (stepping an idle network only advances the clock), so
+                # jumping to the next message's creation cycle -- capped at
+                # the deadline -- is cycle-exact.  Periodic deadlock checks
+                # on an idle network are no-ops and skip safely too.
+                target = min(self._next_msg.created, deadline)
+                if target > net.cycle:
+                    net.cycle = target
+                    self._last_progress_cycle = target
+                    self._last_work_counter = net.work_counter
+                    continue
             net.step()
             if (
                 self.deadlock_check_interval

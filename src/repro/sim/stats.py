@@ -115,11 +115,23 @@ class Histogram:
         return math.sqrt(v) if not math.isnan(v) else math.nan
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile from bin midpoints (q in [0, 100])."""
+        """Approximate percentile from bin midpoints (q in [0, 100]).
+
+        The exact running ``min``/``max`` anchor the edges: ``q = 0`` is
+        the minimum and ``q = 100`` the maximum, regardless of binning.
+        A target falling in the underflow bucket reports ``lo`` (the
+        bucket's upper bound); one falling in the overflow bucket reports
+        the midpoint of ``[hi, max]``, the only interval the bucket is
+        known to span -- not a silent ``max``.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"q must be in [0, 100], got {q}")
         if self.n == 0:
             return math.nan
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
         target = self.n * q / 100.0
         seen = self.underflow
         if seen >= target and self.underflow:
@@ -128,7 +140,10 @@ class Histogram:
             seen += c
             if seen >= target and c:
                 return self.lo + (i + 0.5) * self._width
-        return self.max
+        if self.overflow:
+            # Target sits among overflow samples, known to lie in [hi, max].
+            return (self.hi + self.max) / 2.0
+        return self.max  # pragma: no cover - float-roundoff fallback
 
 
 class TimeSeries:
@@ -168,6 +183,9 @@ class StatsCollector:
     counters: dict[str, int] = field(default_factory=dict)
     messages: dict[int, MessageRecord] = field(default_factory=dict)
     series: dict[str, TimeSeries] = field(default_factory=dict)
+    # Undelivered-message count, maintained incrementally so the livelock
+    # error path and per-window probes never scan the full message log.
+    outstanding: int = 0
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
@@ -177,6 +195,16 @@ class StatsCollector:
 
     def new_message(self, record: MessageRecord) -> MessageRecord:
         self.messages[record.msg_id] = record
+        if record.delivered < 0:
+            self.outstanding += 1
+        return record
+
+    def mark_delivered(self, msg_id: int, cycle: int) -> MessageRecord:
+        """Record delivery; the only sanctioned way to set ``delivered``."""
+        record = self.messages[msg_id]
+        if record.delivered < 0:
+            self.outstanding -= 1
+        record.delivered = cycle
         return record
 
     def get_series(self, name: str) -> TimeSeries:

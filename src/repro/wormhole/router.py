@@ -121,6 +121,10 @@ class WormholeRouter:
             [None] * w for _ in range(ports + 1)
         ]
         self._active: set[tuple[int, int]] = set()  # input VCs with flits
+        # Active-set registry (ActivityTracker.active_routers) this router
+        # registers with on the empty<->non-empty transitions of _active;
+        # None for routers driven standalone in unit tests.
+        self.active_set: set[int] | None = None
         self._rr: dict[int, int] = {}  # per-out-port round-robin pointer
         self._va_rr = 0  # VC-allocation rotation for adaptive fairness
         # Flits transmitted per output physical port (link utilization).
@@ -153,6 +157,8 @@ class WormholeRouter:
 
     def _enqueue(self, flit: Flit, port: int, vc: int, cycle: int) -> None:
         flit.arrival = cycle
+        if not self._active and self.active_set is not None:
+            self.active_set.add(self.node)
         self.inputs[port][vc].buffer.append(flit)
         self._active.add((port, vc))
 
@@ -281,6 +287,8 @@ class WormholeRouter:
         flit = ivc.buffer.popleft()
         if not ivc.buffer:
             self._active.discard(key)
+            if not self._active and self.active_set is not None:
+                self.active_set.discard(self.node)
         # Credit back to the upstream output VC feeding this buffer.
         up = self.upstream[port][vc]
         if up is not None:

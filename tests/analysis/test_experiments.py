@@ -78,6 +78,7 @@ class TestLoadSweep:
         assert r2.throughput > r1.throughput
 
 
+@pytest.mark.slow
 class TestFindSaturationLoad:
     def _setup(self, protocol="wormhole"):
         from repro.sim.config import WaveConfig

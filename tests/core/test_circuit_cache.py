@@ -165,3 +165,95 @@ class TestCircuitCache:
         c.note_use(e, 77)
         assert e.last_used == 77
         assert e.use_count == 1
+
+
+class TestCircuitIndex:
+    """The circuit_id -> entry index behind O(1) find_by_circuit must stay
+    consistent through the whole bind/unbind/remove lifecycle."""
+
+    def _circuit(self, cid, dst):
+        c = Circuit(circuit_id=cid, src=0, dst=dst, switch=1,
+                    state=CircuitState.ESTABLISHED)
+        c.path = [(0, 2)]
+        return c
+
+    def test_bind_indexes_and_unbind_unindexes(self):
+        c = cache()
+        e = entry(3)
+        c.insert(e)
+        circuit = self._circuit(42, 3)
+        c.bind_circuit(e, circuit)
+        assert c.find_by_circuit(42) is e
+        c.unbind_circuit(e)
+        assert e.circuit is None
+        assert c.find_by_circuit(42) is None
+
+    def test_rebind_drops_old_id(self):
+        # A re-opened entry gets a fresh circuit attempt with a new id;
+        # the stale id must not resolve any more.
+        c = cache()
+        e = entry(3)
+        c.insert(e)
+        c.bind_circuit(e, self._circuit(42, 3))
+        c.bind_circuit(e, self._circuit(43, 3))
+        assert c.find_by_circuit(42) is None
+        assert c.find_by_circuit(43) is e
+
+    def test_remove_drops_index(self):
+        c = cache()
+        e = entry(5, with_circuit=True)
+        c.insert(e)
+        cid = e.circuit.circuit_id
+        c.remove(5)
+        assert c.find_by_circuit(cid) is None
+
+    def test_unbind_without_circuit_is_noop(self):
+        c = cache()
+        e = entry(3)
+        c.insert(e)
+        c.unbind_circuit(e)
+        assert e.circuit is None
+
+
+def test_index_survives_teardown_heavy_clrp_traffic():
+    """Regression: a tiny cache under CLRP phase-2 pressure churns through
+    evictions, forced teardowns and re-opens; after draining, the index
+    must exactly mirror the entries' circuits at every node."""
+    from repro.network.message import MessageFactory
+    from repro.network.network import Network
+    from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import SimRandom
+    from repro.traffic import UniformPattern, uniform_workload
+
+    config = NetworkConfig(
+        topology="mesh",
+        dims=(3, 3),
+        protocol="clrp",
+        wormhole=WormholeConfig(vcs=1, routing="dor", buffer_depth=2),
+        wave=WaveConfig(num_switches=1, circuit_cache_size=1,
+                        replacement="lru"),
+        seed=5,
+    )
+    net = Network(config)
+    msgs = uniform_workload(
+        MessageFactory(),
+        UniformPattern(config.num_nodes),
+        num_nodes=config.num_nodes,
+        offered_load=0.3,
+        length=16,
+        duration=400,
+        rng=SimRandom(17),
+    )
+    result = Simulator(net, msgs, progress_timeout=20_000).run(100_000)
+    assert result.completed
+    assert net.stats.count("clrp.phase2_entered") > 0
+    assert net.stats.count("circuit.teardowns") > 0
+    for ni in net.interfaces:
+        engine = ni.engine
+        expected = {
+            e.circuit.circuit_id: e
+            for e in engine.cache.entries.values()
+            if e.circuit is not None
+        }
+        assert engine.cache._by_circuit == expected

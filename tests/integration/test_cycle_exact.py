@@ -1,0 +1,178 @@
+"""Cycle-exactness of the active-set stepping core.
+
+``Network.step`` (active sets + O(1) idleness) and ``Simulator``'s idle
+fast-forward are pure performance work: for any seed and workload they
+must produce *bit-identical* results to ``Network.step_reference`` (the
+original O(num_nodes) loop) driven without fast-forward.  These tests run
+both loops over the same configurations -- all three protocols, mesh and
+torus, with a bursty workload full of idle gaps (the fast-forward path's
+favourite food) -- and compare every observable: counters, per-message
+records, mode breakdown, final cycle and work counter.
+
+A separate run per configuration steps with the registry validator
+attached, asserting the ActivityTracker invariants against the O(N)
+ground truth on every cycle.
+"""
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, compile_directives, uniform_workload
+
+MAX_CYCLES = 60_000
+
+
+def make_config(protocol: str, topology: str, dims: tuple) -> NetworkConfig:
+    wave = None
+    if protocol != "wormhole":
+        wave = WaveConfig(
+            num_switches=2,
+            circuit_cache_size=2,
+            replacement="lru",
+            model_buffers=True,
+            buffer_realloc_penalty=20,
+        )
+    vcs = 2 if topology == "torus" else 1
+    return NetworkConfig(
+        topology=topology,
+        dims=dims,
+        protocol=protocol,
+        wormhole=WormholeConfig(vcs=vcs, routing="dor", buffer_depth=2),
+        wave=wave,
+        seed=11,
+    )
+
+
+def bursty_workload(protocol: str, num_nodes: int, wl_seed: int):
+    """Three short bursts separated by long idle gaps."""
+    factory = MessageFactory()
+    pattern = UniformPattern(num_nodes)
+    rng = SimRandom(wl_seed)
+    msgs = []
+    for burst, (start, load, length) in enumerate(
+        [(0, 0.25, 12), (2_500, 0.4, 33), (9_000, 0.15, 4)]
+    ):
+        burst_msgs = uniform_workload(
+            factory,
+            pattern,
+            num_nodes=num_nodes,
+            offered_load=load,
+            length=length,
+            duration=120,
+            rng=rng.fork(f"burst{burst}"),
+        )
+        for m in burst_msgs:
+            m.created += start
+        msgs.extend(burst_msgs)
+    if protocol == "carp":
+        items, _report = compile_directives(msgs, min_messages=2, min_flits=2)
+        return items
+    return msgs
+
+
+def fingerprint(net: Network, result) -> dict:
+    stats = net.stats
+    records = tuple(
+        (
+            m.msg_id, m.src, m.dst, m.length, m.created, m.injected,
+            m.delivered, None if m.mode is None else m.mode.value,
+            m.hops, m.setup_cycles,
+        )
+        for m in sorted(stats.messages.values(), key=lambda m: m.msg_id)
+    )
+    return {
+        "counters": dict(sorted(stats.counters.items())),
+        "records": records,
+        "modes": stats.mode_breakdown(),
+        "outstanding": stats.outstanding,
+        "cycle": net.cycle,
+        "work": net.work_counter,
+        "result": (result.cycles, result.completed, result.injected,
+                   result.delivered),
+    }
+
+
+def run_one(protocol, topology, dims, *, reference, on_cycle=None):
+    config = make_config(protocol, topology, dims)
+    net = Network(config)
+    items = bursty_workload(protocol, config.num_nodes, wl_seed=99)
+    if reference:
+        net.step = net.step_reference
+    sim = Simulator(
+        net,
+        items,
+        deadlock_check_interval=64,
+        progress_timeout=20_000,
+        on_cycle=on_cycle,
+        fast_forward=not reference,
+    )
+    result = sim.run(MAX_CYCLES)
+    assert result.completed, f"{protocol}/{topology} did not drain"
+    return net, result
+
+
+CONFIGS = [
+    ("wormhole", "mesh", (4, 4)),
+    ("wormhole", "torus", (3, 3)),
+    ("clrp", "mesh", (4, 4)),
+    ("clrp", "torus", (3, 3)),
+    ("carp", "mesh", (4, 4)),
+    ("carp", "torus", (3, 3)),
+]
+
+
+@pytest.mark.parametrize("protocol,topology,dims", CONFIGS)
+def test_active_set_matches_reference(protocol, topology, dims):
+    net_ref, res_ref = run_one(protocol, topology, dims, reference=True)
+    net_act, res_act = run_one(protocol, topology, dims, reference=False)
+    assert fingerprint(net_act, res_act) == fingerprint(net_ref, res_ref)
+
+
+@pytest.mark.parametrize(
+    "protocol,topology,dims",
+    [("wormhole", "mesh", (4, 4)), ("clrp", "mesh", (4, 4)),
+     ("carp", "torus", (3, 3))],
+)
+def test_activity_tracker_invariants_hold_every_cycle(
+    protocol, topology, dims
+):
+    # on_cycle disables fast-forward, so the validator sees every cycle.
+    net, _result = run_one(
+        protocol, topology, dims,
+        reference=False,
+        on_cycle=lambda n: n.activity.validate(n),
+    )
+    net.activity.validate(net)
+
+
+def test_fast_forward_skips_idle_gaps():
+    """The fast-forwarded run must do far fewer step() calls while
+    reporting the exact same final cycle."""
+    config = make_config("wormhole", "mesh", (4, 4))
+
+    def counted(reference):
+        net = Network(config)
+        items = bursty_workload("wormhole", config.num_nodes, wl_seed=7)
+        steps = 0
+        original = net.step
+
+        def stepper():
+            nonlocal steps
+            steps += 1
+            original()
+
+        net.step = stepper
+        sim = Simulator(net, items, fast_forward=not reference)
+        result = sim.run(MAX_CYCLES)
+        assert result.completed
+        return steps, result.cycles
+
+    ref_steps, ref_cycles = counted(reference=True)
+    act_steps, act_cycles = counted(reference=False)
+    assert act_cycles == ref_cycles
+    # The workload has ~10k cycles of idle gap; nearly all must be skipped.
+    assert act_steps < ref_steps / 2

@@ -8,6 +8,7 @@ the widest net in the suite -- it routinely explores corner combinations
 with buffer modelling) no hand-written scenario covers.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -71,6 +72,7 @@ def system_draws(draw):
     return config, load, length, wl_seed
 
 
+@pytest.mark.slow
 @settings(
     max_examples=60,
     deadline=None,

@@ -1,0 +1,118 @@
+"""Livelock monitor vs idle gaps, sliced runs and fast-forward.
+
+The progress monitor shares its ``_last_progress_cycle`` /
+``_last_work_counter`` markers across ``run()`` slices.  Before the
+active-set rework these markers were only refreshed by *work*, so a long
+idle gap (no work by definition) left them pointing at the pre-gap era
+and the first cycle of post-gap traffic -- whose probe or injection only
+becomes ready the *next* cycle -- tripped a spurious LivelockError.
+These tests pin the fix: idle cycles count as progress, a genuine stall
+still fires, and the timeout window is measured from the end of the gap
+(also after a fast-forward jump, which resets the markers explicitly).
+"""
+
+import pytest
+
+from repro.errors import LivelockError
+from repro.sim.engine import Simulator
+
+from tests.sim.test_engine import StubItem, StubNetwork
+
+
+class TestIdleGaps:
+    def test_idle_gap_longer_than_timeout_does_not_fire(self):
+        # Work resumes 3 cycles *after* the post-gap injection (work_every),
+        # exactly the window where the stale marker used to fire.
+        net = StubNetwork(drain_lag=30, work_every=3)
+        items = [StubItem(0), StubItem(500)]
+        sim = Simulator(net, items, progress_timeout=50, fast_forward=False)
+        result = sim.run(5000)
+        assert result.completed
+
+    def test_idle_gap_across_run_slices_does_not_fire(self):
+        net = StubNetwork(drain_lag=30, work_every=3)
+        items = [StubItem(0), StubItem(500)]
+        sim = Simulator(net, items, progress_timeout=50, fast_forward=False)
+        # Slice boundaries land inside the idle gap on purpose.
+        assert not sim.run(100).completed
+        assert not sim.run(100).completed
+        assert sim.run(5000).completed
+
+    def test_gap_after_fast_forward_does_not_fire(self):
+        net = StubNetwork(drain_lag=30, work_every=3)
+        items = [StubItem(0), StubItem(500)]
+        sim = Simulator(net, items, progress_timeout=50)
+        assert sim.run(5000).completed
+
+    def test_real_stall_after_gap_still_fires(self):
+        # The second item never performs work: the monitor must fire, and
+        # with a timeout window measured from the gap's end (cycle 500),
+        # not from the pre-gap era and not never.
+        net = StubNetwork(drain_lag=10_000, work_every=10**9)
+        items = [StubItem(0), StubItem(500)]
+        # Give the first item a finite drain so the network goes idle.
+        net.inject = _finite_first_inject(net)
+        sim = Simulator(net, items, progress_timeout=50)
+        with pytest.raises(LivelockError):
+            sim.run(5000)
+        assert 500 + 50 <= net.cycle <= 500 + 50 + 5
+
+    def test_real_stall_without_gap_still_fires(self):
+        net = StubNetwork(drain_lag=1000, work_every=10**9)
+        sim = Simulator(net, [StubItem(0)], progress_timeout=20)
+        with pytest.raises(LivelockError):
+            sim.run(100)
+
+
+def _finite_first_inject(net):
+    """First injection drains in 5 cycles, later ones never."""
+    calls = []
+    original = StubNetwork.inject
+
+    def inject(item):
+        net.drain_lag = 5 if not calls else 10_000
+        calls.append(item)
+        original(net, item)
+
+    return inject
+
+
+class TestFastForward:
+    def _counted(self, **sim_kwargs):
+        net = StubNetwork(drain_lag=5)
+        steps = []
+        original = net.step
+
+        def stepper():
+            steps.append(net.cycle)
+            original()
+
+        net.step = stepper
+        sim = Simulator(net, [StubItem(0), StubItem(1000)], **sim_kwargs)
+        result = sim.run(5000)
+        assert result.completed
+        return net, steps
+
+    def test_jumps_over_idle_gap(self):
+        net, steps = self._counted()
+        # Two drain periods of 5 cycles each; the ~995-cycle gap is skipped.
+        assert len(steps) <= 15
+        assert net.cycle >= 1000
+
+    def test_disabled_flag_steps_every_cycle(self):
+        _net, steps = self._counted(fast_forward=False)
+        assert len(steps) >= 1000
+
+    def test_on_cycle_callback_disables_fast_forward(self):
+        seen = []
+        net, steps = self._counted(on_cycle=lambda n: seen.append(n.cycle))
+        assert len(steps) >= 1000
+        assert seen == list(range(1, net.cycle + 1))
+
+    def test_jump_capped_at_deadline(self):
+        net = StubNetwork(drain_lag=0)
+        sim = Simulator(net, [StubItem(300)])
+        assert not sim.run(100).completed
+        assert net.cycle == 100  # parked at the deadline, not at 300
+        assert sim.run(5000).completed
+        assert net.injected[0][1] == 300

@@ -165,3 +165,77 @@ class TestStatsCollector:
     def test_series_cached_by_name(self):
         s = StatsCollector()
         assert s.get_series("tp") is s.get_series("tp")
+
+
+class TestPercentileEdges:
+    """Regressions for the percentile fixes: q=0 anchors at the true
+    minimum and targets landing in the overflow bucket are not silently
+    reported as interior bin midpoints."""
+
+    def test_q0_is_min_and_q100_is_max(self):
+        h = Histogram(0.0, 100.0, bins=10)
+        h.extend([12.0, 55.0, 87.0])
+        assert h.percentile(0) == 12.0
+        assert h.percentile(100) == 87.0
+
+    def test_q0_is_min_even_below_lo(self):
+        h = Histogram(10.0, 100.0, bins=10)
+        h.extend([3.0, 55.0])
+        assert h.percentile(0) == 3.0
+
+    def test_overflow_samples_reach_the_scan(self):
+        # 1 in-range sample, 9 overflow: the median sits in the overflow
+        # bucket and must report within [hi, max], not an interior bin.
+        h = Histogram(0.0, 10.0, bins=10)
+        h.add(5.0)
+        h.extend([100.0] * 9)
+        p50 = h.percentile(50)
+        assert 10.0 <= p50 <= 100.0
+
+    def test_all_overflow_median(self):
+        h = Histogram(0.0, 10.0, bins=4)
+        h.extend([20.0, 30.0, 40.0])
+        assert h.percentile(50) == (10.0 + 40.0) / 2.0
+
+    def test_monotone_across_overflow_boundary(self):
+        h = Histogram(0.0, 10.0, bins=10)
+        h.extend([1.0, 2.0, 3.0, 50.0, 60.0])
+        qs = [0, 10, 25, 50, 75, 90, 100]
+        ps = [h.percentile(q) for q in qs]
+        assert ps == sorted(ps)
+
+
+class TestOutstandingCounter:
+    """StatsCollector.outstanding is maintained incrementally and must
+    track the O(total-history) scan exactly."""
+
+    def _record(self, msg_id, delivered=-1):
+        return MessageRecord(msg_id=msg_id, src=0, dst=1, length=4,
+                             created=0, delivered=delivered)
+
+    def test_new_message_increments(self):
+        s = StatsCollector()
+        s.new_message(self._record(0))
+        s.new_message(self._record(1))
+        assert s.outstanding == 2
+
+    def test_mark_delivered_decrements_once(self):
+        s = StatsCollector()
+        s.new_message(self._record(0))
+        s.mark_delivered(0, 10)
+        s.mark_delivered(0, 12)  # idempotent on the counter
+        assert s.outstanding == 0
+        assert s.messages[0].delivered == 12
+
+    def test_predelivered_record_not_counted(self):
+        s = StatsCollector()
+        s.new_message(self._record(0, delivered=5))
+        assert s.outstanding == 0
+
+    def test_matches_scan(self):
+        s = StatsCollector()
+        for i in range(10):
+            s.new_message(self._record(i))
+        for i in range(0, 10, 2):
+            s.mark_delivered(i, 100 + i)
+        assert s.outstanding == len(s.undelivered_records()) == 5

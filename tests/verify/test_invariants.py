@@ -80,7 +80,7 @@ class TestInvariantsCatchCorruption:
         sim2.run(5000)
         circuit = net.plane.table.established()[0]
         node, port = circuit.path[0]
-        net.plane.units[node]._regs[(port, circuit.switch)].ack_returned = False
+        net.plane.units[node]._reg(port, circuit.switch).ack_returned = False
         with pytest.raises(ProtocolError):
             check_ack_monotonicity(net)
 
