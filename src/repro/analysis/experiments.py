@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
 from repro.network.network import Network
 from repro.sim.config import NetworkConfig
 from repro.sim.engine import SimulationResult, Simulator
@@ -98,33 +99,71 @@ def run_load_sweep(
     max_cycles: int = 100_000,
     warmup: int = 1000,
     label: str = "",
+    jobs: int = 1,
+    store=None,
+    progress=None,
 ) -> list[tuple[float, ExperimentResult]]:
-    """Sweep offered load; stop early past saturation.
+    """Sweep offered load; serially, stop early past saturation.
 
     Args:
         make_config: ``() -> NetworkConfig`` (fresh per point).
-        make_workload: ``(load, factory_rng_seed) -> workload list``.
+        make_workload: ``(load) -> workload list``.
         loads: offered loads (flits/node/cycle), ascending.
+        jobs: worker processes (``repro.orchestrate``); ``1`` runs
+            serially in-process.
+        store: optional :class:`~repro.orchestrate.store.ResultStore`
+            for caching/resume (routes execution through the
+            orchestrator even when ``jobs == 1``).
+        progress: optional orchestrator progress callback.
 
-    A point is *saturated* when fewer than 90% of injected messages were
-    delivered within the cycle budget; the sweep runs one saturated point
-    (to show the knee) and then stops.
+    Serially, a point is *saturated* when fewer than 90% of injected
+    messages were delivered within the cycle budget; the sweep runs one
+    saturated point (to show the knee) and then stops.  With ``jobs > 1``
+    or a ``store``, all points run (there is no serial knee to cut at)
+    through :func:`repro.orchestrate.run_jobs`: results are merged in
+    job order and are bit-identical to a serial run; failed points are
+    omitted from the returned list (their failure records live in the
+    store / progress events).
     """
-    out: list[tuple[float, ExperimentResult]] = []
-    for load in loads:
-        config = make_config()
-        workload = make_workload(load)
-        result = run_experiment(
-            config,
-            workload,
+    if jobs <= 1 and store is None and progress is None:
+        out: list[tuple[float, ExperimentResult]] = []
+        for load in loads:
+            config = make_config()
+            workload = make_workload(load)
+            result = run_experiment(
+                config,
+                workload,
+                label=f"{label}@{load:g}",
+                max_cycles=max_cycles,
+                warmup=warmup,
+            )
+            out.append((load, result))
+            if result.injected and result.delivery_ratio < 0.9:
+                break
+        return out
+
+    from repro.orchestrate import (
+        materialize_spec,
+        metrics_to_experiment_result,
+        run_jobs,
+    )
+
+    specs = [
+        materialize_spec(
+            make_config(),
+            make_workload(load),
             label=f"{label}@{load:g}",
             max_cycles=max_cycles,
             warmup=warmup,
         )
-        out.append((load, result))
-        if result.injected and result.delivery_ratio < 0.9:
-            break
-    return out
+        for load in loads
+    ]
+    outcomes = run_jobs(specs, jobs=jobs, store=store, progress=progress)
+    return [
+        (load, metrics_to_experiment_result(outcome.metrics))
+        for load, outcome in zip(loads, outcomes)
+        if outcome.ok
+    ]
 
 
 def derive_seeded_rng(seed: int, label: str) -> SimRandom:
@@ -141,6 +180,7 @@ def find_saturation_load(
     tolerance: float = 0.02,
     max_cycles: int = 60_000,
     delivery_threshold: float = 0.95,
+    store=None,
 ) -> float:
     """Binary-search the saturation point of a configuration.
 
@@ -148,20 +188,39 @@ def find_saturation_load(
     injected messages drain within the cycle budget.  Returns the highest
     sustainable load found, to within ``tolerance``.
 
+    Probes execute through the orchestrator (serially -- the search is
+    inherently sequential), so passing a ``store`` caches each probed
+    load: repeating or refining a search re-simulates only new probes.
+
     Args:
         make_config: ``() -> NetworkConfig`` (fresh per probe).
         make_workload: ``(load) -> workload list``.
+        store: optional :class:`~repro.orchestrate.store.ResultStore`.
     """
     if not 0 < lo < hi:
         raise ValueError(f"need 0 < lo < hi, got [{lo}, {hi}]")
 
+    from repro.orchestrate import materialize_spec, run_jobs
+
     def sustainable(load: float) -> bool:
-        result = run_experiment(
-            make_config(), make_workload(load), max_cycles=max_cycles
+        spec = materialize_spec(
+            make_config(),
+            make_workload(load),
+            label=f"saturation@{load:g}",
+            max_cycles=max_cycles,
         )
-        if result.injected == 0:
+        [outcome] = run_jobs([spec], jobs=1, store=store)
+        if not outcome.ok:
+            raise SimulationError(
+                f"saturation probe at load {load:g} failed: "
+                f"{outcome.failure['message']}"
+            )
+        metrics = outcome.metrics
+        if metrics["injected"] == 0:
             return True
-        return result.delivery_ratio >= delivery_threshold
+        return (
+            metrics["delivered"] / metrics["injected"] >= delivery_threshold
+        )
 
     if not sustainable(lo):
         return 0.0
@@ -183,27 +242,58 @@ def run_seed_sweep(
     *,
     max_cycles: int = 100_000,
     label: str = "",
+    jobs: int = 1,
+    store=None,
+    progress=None,
 ) -> dict:
     """Repeat one experiment across seeds; report mean and spread.
 
     Args:
         make_config: ``(seed) -> NetworkConfig``.
         make_workload: ``(seed) -> workload list``.
+        jobs: worker processes (``repro.orchestrate``); ``1`` = serial.
+        store: optional result store for caching/resume.
+        progress: optional orchestrator progress callback.
 
     Returns a dict with per-seed results plus ``latency_mean`` /
     ``latency_std`` / ``throughput_mean`` / ``throughput_std`` over the
-    delivered runs -- the error bars for any headline number.
+    delivered runs -- the error bars for any headline number.  Seed
+    replications are independent, so this parallelises embarrassingly;
+    merged results keep seed order regardless of completion order.
     """
-    results = []
-    for seed in seeds:
-        results.append(
-            run_experiment(
+    if jobs <= 1 and store is None and progress is None:
+        results = []
+        for seed in seeds:
+            results.append(
+                run_experiment(
+                    make_config(seed),
+                    make_workload(seed),
+                    label=f"{label}#{seed}",
+                    max_cycles=max_cycles,
+                )
+            )
+    else:
+        from repro.orchestrate import (
+            materialize_spec,
+            metrics_to_experiment_result,
+            run_jobs,
+        )
+
+        specs = [
+            materialize_spec(
                 make_config(seed),
                 make_workload(seed),
                 label=f"{label}#{seed}",
                 max_cycles=max_cycles,
             )
-        )
+            for seed in seeds
+        ]
+        outcomes = run_jobs(specs, jobs=jobs, store=store, progress=progress)
+        results = [
+            metrics_to_experiment_result(outcome.metrics)
+            for outcome in outcomes
+            if outcome.ok
+        ]
 
     def _mean(xs):
         return sum(xs) / len(xs) if xs else math.nan

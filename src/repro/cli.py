@@ -4,23 +4,39 @@ Usage::
 
     python -m repro run   --topology mesh --dims 8x8 --protocol clrp \
                           --load 0.2 --length 64 --duration 5000
-    python -m repro sweep --protocol clrp --loads 0.1,0.3,0.6 --length 128
-    python -m repro compare --load 0.3 --length 128
+    python -m repro sweep --protocol clrp --loads 0.1,0.3,0.6 --length 128 \
+                          --jobs 4
+    python -m repro compare --load 0.3 --length 128 --jobs 3
+    python -m repro batch campaign.json --jobs 8
 
 ``run`` simulates one configuration and prints the delivery/latency/mode
 report; ``sweep`` produces a throughput-vs-load table for one protocol;
-``compare`` runs wormhole / CLRP / CARP side by side on the same traffic.
+``compare`` runs wormhole / CLRP / CARP side by side on the same traffic;
+``batch`` executes a whole campaign file through the orchestrator with
+caching and resume (see :mod:`repro.orchestrate.campaign` for the
+schema).  ``sweep``, ``compare`` and ``batch`` accept ``--jobs N`` to
+fan points out over worker processes -- results are bit-identical to a
+serial run, merged in job order.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.errors import ConfigError
 from repro.network.message import MessageFactory
 from repro.network.network import Network
+from repro.orchestrate import (
+    JobSpec,
+    PoolProgress,
+    ResultStore,
+    WorkloadRecipe,
+    load_campaign,
+    run_jobs,
+)
 from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
@@ -67,7 +83,10 @@ def build_config(args: argparse.Namespace, protocol: str | None = None) -> Netwo
 
 def build_items(config: NetworkConfig, args: argparse.Namespace, load: float):
     net_rng = SimRandom(args.seed)
-    topology = Network(config).topology  # cheap: only used for patterns
+    # Only the topology is needed for patterns; building a full Network
+    # (routers, PCS units, caches at every node) per sweep point would be
+    # pure setup overhead.
+    topology = build_topology(config.topology, parse_dims(args.dims))
     pattern = make_pattern(args.pattern, topology, net_rng.stream("pattern"))
     msgs = uniform_workload(
         MessageFactory(),
@@ -138,53 +157,176 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.delivered == result.injected else 1
 
 
+def job_spec(
+    args: argparse.Namespace,
+    *,
+    load: float,
+    protocol: str | None = None,
+    label: str = "",
+) -> JobSpec:
+    """Turn parsed CLI arguments into one declarative sweep-point spec.
+
+    The throughput window follows ``run_experiment`` methodology: warmup
+    at ``duration // 5`` (skip fill transient), window end at the last
+    delivery -- so messages draining after the injection window still
+    count, unlike the old ``duration // 5 .. duration`` cut-off.
+    """
+    config = build_config(args, protocol)
+    recipe = WorkloadRecipe.make(
+        "uniform",
+        pattern=args.pattern,
+        load=load,
+        length=args.length,
+        duration=args.duration,
+    )
+    return JobSpec(
+        config=config,
+        workload=recipe,
+        label=label or f"{config.protocol}@{load:g}",
+        max_cycles=args.max_cycles,
+        warmup=args.duration // 5,
+        fault_fraction=getattr(args, "fault_fraction", 0.0),
+        deadlock_check_interval=args.deadlock_check,
+        progress_timeout=args.progress_timeout,
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+    path = getattr(args, "store", None)
+    return ResultStore(path) if path else None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     loads = [float(x) for x in args.loads.split(",")]
+    specs = [job_spec(args, load=load) for load in loads]
+    outcomes = run_jobs(
+        specs, jobs=args.jobs, store=_store_from_args(args),
+        timeout_s=args.job_timeout,
+    )
     rows = []
-    for load in loads:
-        config = build_config(args)
-        items = build_items(config, args, load)
-        net, result = simulate(config, items, args)
-        nodes = config.num_nodes
-        throughput = net.stats.throughput_flits_per_cycle(
-            args.duration // 5, args.duration
-        ) / nodes
+    failures = 0
+    for load, outcome in zip(loads, outcomes):
+        if not outcome.ok:
+            failures += 1
+            print(f"load {load:g}: FAILED ({outcome.failure['kind']}: "
+                  f"{outcome.failure['message'].splitlines()[0]})")
+            rows.append((load, "failed", "-", "-"))
+            continue
+        m = outcome.metrics
+        print(f"load {load:g}: throughput {m['throughput']:.3f} flits/node/cycle")
         rows.append(
-            (load, throughput, net.stats.mean_latency(),
-             f"{result.delivered}/{result.injected}")
+            (load, m["throughput"], m["mean_latency"],
+             f"{m['delivered']}/{m['injected']}")
         )
-        print(f"load {load:g}: throughput {throughput:.3f} flits/node/cycle")
     print()
     print(
         format_table(
             ["offered load", "accepted", "mean latency", "delivered"], rows
         )
     )
-    return 0
+    return 0 if failures == 0 else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    protocols = ("wormhole", "clrp", "carp")
+    specs = [
+        job_spec(args, load=args.load, protocol=protocol, label=protocol)
+        for protocol in protocols
+    ]
+    outcomes = run_jobs(
+        specs, jobs=args.jobs, store=_store_from_args(args),
+        timeout_s=args.job_timeout,
+    )
     rows = []
-    for protocol in ("wormhole", "clrp", "carp"):
-        config = build_config(args, protocol=protocol)
-        items = build_items(config, args, args.load)
-        net, result = simulate(config, items, args)
+    failures = 0
+    for protocol, outcome in zip(protocols, outcomes):
+        if not outcome.ok:
+            failures += 1
+            print(f"{protocol}: FAILED ({outcome.failure['kind']})")
+            rows.append((protocol, "failed", "-", "-"))
+            continue
+        m = outcome.metrics
         rows.append(
             (
                 protocol,
-                net.stats.mean_latency(),
-                net.stats.latency_histogram().percentile(95),
-                f"{result.delivered}/{result.injected}",
+                m["mean_latency"],
+                m["p95_latency"],
+                f"{m['delivered']}/{m['injected']}",
             )
         )
-        print(f"{protocol}: done ({result.cycles} cycles)")
+        print(f"{protocol}: done ({m['cycles']} cycles)")
     print()
     print(
         format_table(
             ["protocol", "mean latency", "p95 latency", "delivered"], rows
         )
     )
-    return 0
+    return 0 if failures == 0 else 1
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    name, specs = load_campaign(args.campaign)
+    store_path = args.store or str(
+        Path(args.campaign).with_suffix(".results.jsonl")
+    )
+    store = ResultStore(store_path)
+    print(f"campaign {name}: {len(specs)} jobs, store {store_path}, "
+          f"jobs={args.jobs}")
+
+    def progress(event: PoolProgress) -> None:
+        if event.last is None:
+            if event.cached:
+                print(f"[{event.done}/{event.total}] {event.cached} cached")
+            return
+        outcome = event.last
+        state = outcome.status
+        if not outcome.ok:
+            state = f"failed:{outcome.failure['kind']}"
+        print(f"[{event.done}/{event.total}] {state} {outcome.spec.label} "
+              f"({outcome.elapsed_s:.1f}s)")
+
+    outcomes = run_jobs(
+        specs,
+        jobs=args.jobs,
+        timeout_s=args.job_timeout,
+        retries=args.retries,
+        store=store,
+        progress=progress,
+    )
+    rows = []
+    failures = []
+    for outcome in outcomes:
+        if outcome.ok:
+            m = outcome.metrics
+            rows.append(
+                (
+                    outcome.spec.label,
+                    "cached" if outcome.from_cache else "ok",
+                    m["mean_latency"],
+                    m["throughput"],
+                    f"{m['delivered']}/{m['injected']}",
+                )
+            )
+        else:
+            failures.append(outcome)
+            rows.append(
+                (outcome.spec.label, f"failed:{outcome.failure['kind']}",
+                 "-", "-", "-")
+            )
+    print()
+    print(
+        format_table(
+            ["job", "status", "mean latency", "throughput", "delivered"],
+            rows,
+        )
+    )
+    for outcome in failures:
+        print(f"\nfailure: {outcome.spec.label} "
+              f"({outcome.failure['kind']}, {outcome.attempts} attempt(s))")
+        print(f"  {outcome.failure['message'].splitlines()[0]}")
+    print(f"\n{len(outcomes) - len(failures)}/{len(outcomes)} jobs ok; "
+          f"re-run to retry failures (completed points are cached).")
+    return 0 if not failures else 1
 
 
 def cmd_heatmap(args: argparse.Namespace) -> int:
@@ -253,8 +395,19 @@ def make_parser() -> argparse.ArgumentParser:
                        help="offered load (flits/node/cycle)")
     run_p.set_defaults(func=cmd_run)
 
+    def add_orchestration(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial; results are "
+                            "bit-identical either way)")
+        p.add_argument("--store", default=None,
+                       help="JSONL result store path for caching/resume")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock timeout in seconds "
+                            "(enforced with --jobs >= 2)")
+
     sweep_p = sub.add_parser("sweep", help="throughput vs offered load")
     add_common(sweep_p)
+    add_orchestration(sweep_p)
     sweep_p.add_argument("--protocol", default="clrp",
                          choices=["wormhole", "clrp", "carp"])
     sweep_p.add_argument("--loads", default="0.1,0.2,0.4,0.6",
@@ -263,8 +416,26 @@ def make_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="wormhole vs CLRP vs CARP")
     add_common(cmp_p)
+    add_orchestration(cmp_p)
     cmp_p.add_argument("--load", type=float, default=0.2)
     cmp_p.set_defaults(func=cmd_compare)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run a campaign file through the orchestrator "
+             "(caching + resume; see repro.orchestrate.campaign)",
+    )
+    batch_p.add_argument("campaign", help="path to a campaign JSON file")
+    batch_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial)")
+    batch_p.add_argument("--store", default=None,
+                         help="JSONL result store (default: "
+                              "<campaign>.results.jsonl next to the file)")
+    batch_p.add_argument("--job-timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds")
+    batch_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts for jobs whose worker crashed")
+    batch_p.set_defaults(func=cmd_batch)
 
     heat_p = sub.add_parser("heatmap",
                             help="link-load heat map of one run (2-D mesh)")

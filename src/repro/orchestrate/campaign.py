@@ -1,0 +1,147 @@
+"""Campaign files: a whole experiment study as one JSON document.
+
+A campaign turns "run these N configurations" into data the batch
+runner (``python -m repro batch campaign.json``) can execute, cache and
+resume.  Schema::
+
+    {
+      "name": "clrp-load-sweep",
+      "defaults": {                      # merged under every job entry
+        "topology": "mesh", "dims": "8x8", "protocol": "clrp",
+        "seed": 0, "max_cycles": 300000, "warmup": 1000,
+        "workload": {"kind": "uniform", "pattern": "uniform",
+                      "load": 0.1, "length": 64, "duration": 5000}
+      },
+      "grid": {                          # cartesian product, dotted paths
+        "workload.load": [0.05, 0.1, 0.2],
+        "seed": [0, 1]
+      },
+      "jobs": [                          # and/or explicit entries
+        {"protocol": "carp", "workload": {"load": 0.3}}
+      ]
+    }
+
+``grid`` expands to one entry per combination (6 above); explicit
+``jobs`` entries are appended after.  Every entry is deep-merged over
+``defaults`` and becomes a :class:`~repro.orchestrate.spec.JobSpec`.
+Entry fields: ``topology``, ``dims`` (list or ``"8x8"`` string),
+``protocol``, ``seed``, ``wormhole`` / ``wave`` (config kwargs),
+``workload`` (recipe dict), ``label``, ``max_cycles``, ``warmup``,
+``fault_fraction``, ``deadlock_check_interval``, ``progress_timeout``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.orchestrate.spec import JobSpec, recipe_from_dict
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+
+_SPEC_FIELDS = (
+    "max_cycles",
+    "warmup",
+    "fault_fraction",
+    "deadlock_check_interval",
+    "progress_timeout",
+)
+
+
+def _parse_dims(value) -> tuple[int, ...]:
+    if isinstance(value, str):
+        try:
+            return tuple(int(part) for part in value.lower().split("x"))
+        except ValueError:
+            raise ConfigError(f"cannot parse dims {value!r}; expected e.g. 8x8")
+    return tuple(int(v) for v in value)
+
+
+def _deep_merge(base: dict, override: dict) -> dict:
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _set_dotted(entry: dict, path: str, value) -> None:
+    parts = path.split(".")
+    node = entry
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise ConfigError(f"grid path {path!r} collides with a scalar")
+    node[parts[-1]] = value
+
+
+def expand_entries(data: dict) -> list[dict]:
+    """Apply defaults + grid expansion, returning one dict per job."""
+    defaults = data.get("defaults", {})
+    entries: list[dict] = []
+    grid = data.get("grid", {})
+    if grid:
+        if not all(isinstance(v, list) and v for v in grid.values()):
+            raise ConfigError("every grid value must be a non-empty list")
+        paths = list(grid)
+        for combo in itertools.product(*(grid[p] for p in paths)):
+            entry: dict = {}
+            for path, value in zip(paths, combo):
+                _set_dotted(entry, path, value)
+            entries.append(entry)
+    entries.extend(data.get("jobs", []))
+    if not entries:
+        raise ConfigError("campaign defines no jobs (need 'grid' and/or 'jobs')")
+    return [_deep_merge(defaults, entry) for entry in entries]
+
+
+def spec_from_entry(entry: dict) -> JobSpec:
+    """Build one JobSpec from a merged campaign entry."""
+    if "workload" not in entry:
+        raise ConfigError("campaign entry needs a 'workload' recipe")
+    protocol = entry.get("protocol", "clrp")
+    wave = None
+    if protocol != "wormhole" or "wave" in entry:
+        wave = WaveConfig(**entry.get("wave", {}))
+    config = NetworkConfig(
+        topology=entry.get("topology", "mesh"),
+        dims=_parse_dims(entry.get("dims", (8, 8))),
+        protocol=protocol,
+        wormhole=WormholeConfig(**entry.get("wormhole", {})),
+        wave=wave,
+        seed=int(entry.get("seed", 0)),
+    )
+    workload = recipe_from_dict(entry["workload"])
+    label = entry.get("label") or _default_label(config, entry["workload"])
+    kwargs = {name: entry[name] for name in _SPEC_FIELDS if name in entry}
+    return JobSpec(config=config, workload=workload, label=label, **kwargs)
+
+
+def _default_label(config: NetworkConfig, workload: dict) -> str:
+    shape = "x".join(str(d) for d in config.dims)
+    parts = [f"{config.protocol}", f"{shape}-{config.topology}"]
+    load = workload.get("load")
+    if load is not None:
+        parts.append(f"@{load:g}")
+    if config.seed:
+        parts.append(f"#{config.seed}")
+    return " ".join(parts)
+
+
+def load_campaign(path) -> tuple[str, list[JobSpec]]:
+    """Parse a campaign file into ``(name, specs)``."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read campaign {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"campaign {path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ConfigError(f"campaign {path} must be a JSON object")
+    name = str(data.get("name", path.stem))
+    specs = [spec_from_entry(entry) for entry in expand_entries(data)]
+    return name, specs

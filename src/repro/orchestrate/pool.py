@@ -1,0 +1,387 @@
+"""Multiprocessing worker pool with timeouts, crash retry and caching.
+
+:func:`run_jobs` executes a list of :class:`JobSpec`\\ s and returns one
+:class:`JobOutcome` per spec, **ordered by job index** (the merge step
+that makes parallel campaigns deterministic).  Three execution regimes:
+
+* **cached** -- the spec's content key has a successful record in the
+  :class:`~repro.orchestrate.store.ResultStore`; the job never runs.
+* **serial** (``jobs <= 1``) -- specs execute in-process one by one, the
+  degenerate case.  Failures still become structured records instead of
+  aborting the campaign; per-job timeouts need worker processes and are
+  not enforced serially.
+* **parallel** (``jobs >= 2``) -- a pool of worker processes, one
+  in-flight job per worker.  A job that *raises* yields an ``exception``
+  failure record immediately (deterministic, no retry).  A worker that
+  *dies* mid-job (hard crash) gets the job retried up to ``retries``
+  times on a fresh worker before a ``crash`` record is written.  A job
+  that exceeds ``timeout_s`` has its worker killed and yields a
+  ``timeout`` record.  The campaign always completes the remaining jobs.
+
+Workers are forked (POSIX), so recipes registered by the parent before
+the pool starts are visible in workers.  Each worker gets its own task
+pipe; results funnel through one queue.  Failure records carry the
+worker-side traceback for post-mortems.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.orchestrate.runner import execute_job
+from repro.orchestrate.spec import JobSpec
+from repro.orchestrate.store import ResultStore
+
+FAILURE_EXCEPTION = "exception"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_CRASH = "crash"
+
+
+@dataclass
+class JobOutcome:
+    """Final disposition of one spec in a campaign run."""
+
+    index: int
+    spec: JobSpec
+    status: str  # "ok" | "failed"
+    metrics: dict | None = None
+    failure: dict | None = None  # {"kind": ..., "message": ...}
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class PoolProgress:
+    """Snapshot passed to the progress callback after each resolution."""
+
+    total: int
+    done: int
+    ok: int
+    failed: int
+    cached: int
+    last: JobOutcome | None = None
+
+
+ProgressCallback = Callable[[PoolProgress], None]
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[JobOutcome]:
+    """Execute specs, returning outcomes ordered by job index.
+
+    Args:
+        jobs: worker processes; ``<= 1`` runs serially in-process.
+        timeout_s: per-job wall-clock limit (parallel mode only).
+        retries: extra attempts for jobs whose worker crashed.
+        store: result store for caching, persistence and resume.
+        progress: called after the cache scan and each job resolution.
+    """
+    specs = list(specs)
+    outcomes: dict[int, JobOutcome] = {}
+    todo: list[tuple[int, JobSpec]] = []
+
+    for index, spec in enumerate(specs):
+        metrics = store.cached_metrics(spec.key()) if store is not None else None
+        if metrics is not None:
+            outcomes[index] = JobOutcome(
+                index=index,
+                spec=spec,
+                status="ok",
+                metrics=metrics,
+                from_cache=True,
+            )
+        else:
+            todo.append((index, spec))
+
+    tally = _Tally(total=len(specs), cached=len(outcomes), progress=progress)
+    tally.emit(None)
+
+    def resolve(outcome: JobOutcome) -> None:
+        outcomes[outcome.index] = outcome
+        if store is not None:
+            store.record(
+                outcome.spec.key(),
+                spec_dict=outcome.spec.to_dict(),
+                status=outcome.status,
+                metrics=outcome.metrics,
+                failure=outcome.failure,
+                elapsed_s=outcome.elapsed_s,
+                attempts=outcome.attempts,
+            )
+        tally.emit(outcome)
+
+    if jobs <= 1:
+        for index, spec in todo:
+            resolve(_run_serial(index, spec))
+    elif todo:
+        _run_parallel(
+            todo,
+            jobs=min(jobs, len(todo)),
+            timeout_s=timeout_s,
+            retries=retries,
+            resolve=resolve,
+        )
+
+    return [outcomes[i] for i in range(len(specs))]
+
+
+class _Tally:
+    def __init__(self, total: int, cached: int, progress) -> None:
+        self.total = total
+        self.cached = cached
+        self.ok = 0
+        self.failed = 0
+        self.progress = progress
+
+    def emit(self, outcome: JobOutcome | None) -> None:
+        if outcome is not None:
+            if outcome.ok:
+                self.ok += 1
+            else:
+                self.failed += 1
+        if self.progress is not None:
+            self.progress(
+                PoolProgress(
+                    total=self.total,
+                    done=self.cached + self.ok + self.failed,
+                    ok=self.ok,
+                    failed=self.failed,
+                    cached=self.cached,
+                    last=outcome,
+                )
+            )
+
+
+def _run_serial(index: int, spec: JobSpec) -> JobOutcome:
+    start = time.perf_counter()
+    try:
+        metrics = execute_job(spec)
+    except Exception as exc:
+        return JobOutcome(
+            index=index,
+            spec=spec,
+            status="failed",
+            failure=_failure(FAILURE_EXCEPTION, exc),
+            elapsed_s=time.perf_counter() - start,
+            attempts=1,
+        )
+    return JobOutcome(
+        index=index,
+        spec=spec,
+        status="ok",
+        metrics=metrics,
+        elapsed_s=time.perf_counter() - start,
+        attempts=1,
+    )
+
+
+def _failure(kind: str, exc: BaseException | str) -> dict:
+    if isinstance(exc, BaseException):
+        message = f"{type(exc).__name__}: {exc}"
+    else:
+        message = str(exc)
+    return {"kind": kind, "message": message}
+
+
+# -- parallel machinery -------------------------------------------------
+
+
+def _worker_main(conn, result_queue) -> None:
+    """Worker loop: receive (index, spec), reply on the shared queue."""
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, spec = item
+        start = time.perf_counter()
+        try:
+            metrics = execute_job(spec)
+        except BaseException as exc:
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=20)}"
+            result_queue.put(
+                (index, "error", None, detail, time.perf_counter() - start)
+            )
+        else:
+            result_queue.put(
+                (index, "ok", metrics, None, time.perf_counter() - start)
+            )
+
+
+class _Worker:
+    def __init__(self, ctx, result_queue) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child_conn, result_queue), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+        self.current: tuple[int, JobSpec, int, float] | None = None
+
+    def assign(self, index: int, spec: JobSpec, attempt: int) -> None:
+        self.conn.send((index, spec))
+        self.current = (index, spec, attempt, time.perf_counter())
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        try:
+            if self.proc.is_alive():
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker backstop
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        self.conn.close()
+
+
+def _run_parallel(
+    todo: list[tuple[int, JobSpec]],
+    *,
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    resolve: Callable[[JobOutcome], None],
+) -> None:
+    ctx = multiprocessing.get_context("fork")
+    result_queue = ctx.Queue()
+    workers = [_Worker(ctx, result_queue) for _ in range(jobs)]
+    # attempt counts start at 1; crashes requeue with attempt + 1
+    pending: deque[tuple[int, JobSpec, int]] = deque(
+        (index, spec, 1) for index, spec in todo
+    )
+    unresolved = len(todo)
+
+    def finish_worker(worker: _Worker) -> tuple[int, JobSpec, int, float]:
+        current = worker.current
+        assert current is not None
+        worker.current = None
+        return current
+
+    try:
+        while unresolved > 0:
+            for worker in workers:
+                if worker.current is None and pending:
+                    worker.assign(*pending.popleft())
+
+            # Drain every finished result before judging liveness, so a
+            # result already queued by a since-exited worker is never
+            # misread as a crash.
+            drained = []
+            try:
+                drained.append(result_queue.get(timeout=0.05))
+                while True:
+                    drained.append(result_queue.get_nowait())
+            except queue_mod.Empty:
+                pass
+
+            for index, kind, metrics, detail, elapsed in drained:
+                worker = next(
+                    (w for w in workers if w.current and w.current[0] == index),
+                    None,
+                )
+                if worker is None:  # pragma: no cover - late result after kill
+                    continue
+                _, spec, attempt, _started = finish_worker(worker)
+                if kind == "ok":
+                    resolve(
+                        JobOutcome(
+                            index=index,
+                            spec=spec,
+                            status="ok",
+                            metrics=metrics,
+                            elapsed_s=elapsed,
+                            attempts=attempt,
+                        )
+                    )
+                else:
+                    # Deterministic in-job exception: no point retrying.
+                    resolve(
+                        JobOutcome(
+                            index=index,
+                            spec=spec,
+                            status="failed",
+                            failure=_failure(FAILURE_EXCEPTION, detail),
+                            elapsed_s=elapsed,
+                            attempts=attempt,
+                        )
+                    )
+                unresolved -= 1
+
+            now = time.perf_counter()
+            for slot, worker in enumerate(workers):
+                if worker.current is None:
+                    continue
+                index, spec, attempt, started = worker.current
+                if timeout_s is not None and now - started > timeout_s:
+                    finish_worker(worker)
+                    worker.kill()
+                    workers[slot] = _Worker(ctx, result_queue)
+                    resolve(
+                        JobOutcome(
+                            index=index,
+                            spec=spec,
+                            status="failed",
+                            failure=_failure(
+                                FAILURE_TIMEOUT,
+                                f"exceeded per-job timeout of {timeout_s:g}s",
+                            ),
+                            elapsed_s=now - started,
+                            attempts=attempt,
+                        )
+                    )
+                    unresolved -= 1
+                elif not worker.proc.is_alive():
+                    finish_worker(worker)
+                    exitcode = worker.proc.exitcode
+                    worker.kill()
+                    workers[slot] = _Worker(ctx, result_queue)
+                    if attempt <= retries:
+                        pending.appendleft((index, spec, attempt + 1))
+                    else:
+                        resolve(
+                            JobOutcome(
+                                index=index,
+                                spec=spec,
+                                status="failed",
+                                failure=_failure(
+                                    FAILURE_CRASH,
+                                    f"worker died (exit code {exitcode}) "
+                                    f"after {attempt} attempt(s)",
+                                ),
+                                elapsed_s=now - started,
+                                attempts=attempt,
+                            )
+                        )
+                        unresolved -= 1
+    finally:
+        for worker in workers:
+            worker.shutdown()
+        result_queue.close()
+        result_queue.cancel_join_thread()

@@ -1,0 +1,107 @@
+"""Executing one JobSpec: the unit of work a pool worker performs.
+
+:func:`execute_job` is deliberately the *only* path from a spec to a
+result -- the serial ``jobs=1`` degenerate case and every pool worker
+call the same function, which is what makes the parallel/serial
+bit-identical equivalence a structural property rather than a test
+hope.  It returns a plain JSON-serialisable metrics dict (picklable
+across the process boundary, storable in the JSONL result store).
+
+``run_experiment`` is resolved late (module attribute lookup at call
+time) so tests that monkeypatch
+``repro.analysis.experiments.run_experiment`` intercept orchestrated
+runs too.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import experiments as _experiments
+from repro.orchestrate.recipes import build_workload
+from repro.orchestrate.spec import JobSpec
+from repro.sim.engine import SimulationResult
+from repro.sim.rng import SimRandom
+from repro.sim.stats import StatsCollector
+from repro.topology import FaultSet, build_topology
+from repro.traffic.compiler import compile_directives
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run one spec to completion and return its metrics dict."""
+    config = spec.config
+    topology = build_topology(config.topology, config.dims)
+    items = build_workload(spec, topology)
+    if config.protocol == "carp":
+        items, _report = compile_directives(items)
+    faults = None
+    if spec.fault_fraction:
+        faults = FaultSet(topology)
+        faults.fail_random_links(
+            spec.fault_fraction, SimRandom(config.seed).fork("faults")
+        )
+    result = _experiments.run_experiment(
+        config,
+        items,
+        label=spec.label,
+        max_cycles=spec.max_cycles,
+        warmup=spec.warmup,
+        deadlock_check_interval=spec.deadlock_check_interval,
+        progress_timeout=spec.progress_timeout,
+        faults=faults,
+    )
+    return result_to_metrics(result)
+
+
+def result_to_metrics(result) -> dict:
+    """Flatten an ExperimentResult into plain JSON-able data.
+
+    Floats survive both pickling and JSON round-trips exactly (repr-based
+    encoding), so cached metrics stay bit-identical to fresh ones.
+    """
+    return {
+        "label": result.label,
+        "mean_latency": result.mean_latency,
+        "p95_latency": result.p95_latency,
+        "throughput": result.throughput,
+        "delivered": result.delivered,
+        "injected": result.injected,
+        "mode_breakdown": dict(result.mode_breakdown),
+        "counters": dict(result.counters),
+        "cycles": result.sim.cycles,
+        "completed": result.sim.completed,
+    }
+
+
+def metrics_to_experiment_result(metrics: dict):
+    """Rebuild an ExperimentResult view over a worker's metrics dict.
+
+    The embedded :class:`SimulationResult` carries the run's scalar
+    outcome (cycles, completion, counts) but an *empty* StatsCollector:
+    per-message records stay in the worker.  All headline fields
+    (latency, throughput, breakdowns, counters) are exact.
+    """
+    sim = SimulationResult(
+        cycles=metrics["cycles"],
+        stats=StatsCollector(),
+        completed=metrics["completed"],
+        injected=metrics["injected"],
+        delivered=metrics["delivered"],
+    )
+    return _experiments.ExperimentResult(
+        label=metrics["label"],
+        sim=sim,
+        mean_latency=metrics["mean_latency"],
+        p95_latency=metrics["p95_latency"],
+        throughput=metrics["throughput"],
+        delivered=metrics["delivered"],
+        injected=metrics["injected"],
+        mode_breakdown=dict(metrics["mode_breakdown"]),
+        counters=dict(metrics["counters"]),
+    )
+
+
+def delivery_ratio(metrics: dict) -> float:
+    """Delivered/injected from a metrics dict (NaN when nothing injected)."""
+    injected = metrics["injected"]
+    return metrics["delivered"] / injected if injected else math.nan

@@ -1,0 +1,184 @@
+"""Declarative job specifications for experiment campaigns.
+
+A :class:`JobSpec` is everything one simulation run needs, expressed as
+plain picklable data: the machine (:class:`~repro.sim.config.NetworkConfig`),
+a :class:`WorkloadRecipe` naming how to *build* the traffic (no closures,
+no pre-built objects), and the run controls (cycle budget, measurement
+warmup, fault fraction, monitors).  Because a spec is pure data it can
+
+* cross a process boundary to a worker (the pool in :mod:`.pool`),
+* be hashed into a stable content key (the cache in :mod:`.store`),
+* round-trip through JSON (campaign files in :mod:`.campaign`).
+
+Determinism contract: a spec fully determines its result.  Every source
+of randomness inside a job derives from ``spec.config.seed`` via
+:class:`~repro.sim.rng.SimRandom`, so executing the same spec serially,
+in a worker process, or on another machine yields bit-identical metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def _freeze(value):
+    """Normalise a JSON-ish value into a hashable, canonical form."""
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    raise ConfigError(
+        f"workload recipe parameters must be JSON-like scalars or lists, "
+        f"got {type(value).__name__}"
+    )
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` for JSON serialisation (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadRecipe:
+    """A named workload constructor plus its parameters, as pure data.
+
+    ``kind`` selects a builder from the registry in :mod:`.recipes`;
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so that two
+    recipes with the same content compare (and hash) equal regardless of
+    the order the caller supplied keyword arguments in.
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "WorkloadRecipe":
+        frozen = tuple(
+            (name, _freeze(value)) for name, value in sorted(params.items())
+        )
+        return cls(kind=kind, params=frozen)
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, **{k: _thaw(v) for k, v in self.params}}
+
+    def param(self, name: str, default=None):
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def require(self, name: str):
+        sentinel = object()
+        got = self.param(name, sentinel)
+        if got is sentinel:
+            raise ConfigError(
+                f"workload recipe {self.kind!r} requires parameter {name!r}"
+            )
+        return got
+
+
+def recipe_from_dict(data: dict) -> WorkloadRecipe:
+    """Build a recipe from a campaign-file dict: ``{"kind": ..., **params}``."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConfigError(
+            f"workload must be an object with a 'kind' field, got {data!r}"
+        )
+    params = {k: v for k, v in data.items() if k != "kind"}
+    return WorkloadRecipe.make(str(data["kind"]), **params)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-specified simulation run.
+
+    Attributes:
+        config: the machine under test (carries the master ``seed``).
+        workload: how to build the traffic (see :mod:`.recipes`).
+        label: human-readable name for reports; *excluded* from the
+            content key so relabelling a campaign does not invalidate
+            its cache.
+        max_cycles: simulation cycle budget.
+        warmup: messages delivered before this cycle are excluded from
+            the throughput window (``run_experiment`` methodology).
+        fault_fraction: static fraction of physical links to fail,
+            derived deterministically from ``config.seed``.
+        deadlock_check_interval / progress_timeout: monitor settings,
+            passed through to the :class:`~repro.sim.engine.Simulator`.
+    """
+
+    config: NetworkConfig
+    workload: WorkloadRecipe
+    label: str = ""
+    max_cycles: int = 200_000
+    warmup: int = 0
+    fault_fraction: float = 0.0
+    deadlock_check_interval: int = 0
+    progress_timeout: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_cycles < 1:
+            raise ConfigError(f"max_cycles must be >= 1, got {self.max_cycles}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if not 0 <= self.fault_fraction < 1:
+            raise ConfigError(
+                f"fault_fraction must be in [0, 1), got {self.fault_fraction}"
+            )
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["config"]["dims"] = list(self.config.dims)
+        data["workload"] = self.workload.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        cfg = dict(data["config"])
+        wormhole = WormholeConfig(**cfg.pop("wormhole"))
+        wave_data = cfg.pop("wave")
+        wave = WaveConfig(**wave_data) if wave_data is not None else None
+        config = NetworkConfig(
+            topology=cfg["topology"],
+            dims=tuple(cfg["dims"]),
+            protocol=cfg["protocol"],
+            wormhole=wormhole,
+            wave=wave,
+            seed=cfg.get("seed", 0),
+        )
+        return cls(
+            config=config,
+            workload=recipe_from_dict(data["workload"]),
+            label=data.get("label", ""),
+            max_cycles=data.get("max_cycles", 200_000),
+            warmup=data.get("warmup", 0),
+            fault_fraction=data.get("fault_fraction", 0.0),
+            deadlock_check_interval=data.get("deadlock_check_interval", 0),
+            progress_timeout=data.get("progress_timeout", 0),
+        )
+
+    # -- content key ----------------------------------------------------
+
+    def key(self) -> str:
+        """Stable content hash of everything that affects the result.
+
+        The ``label`` is cosmetic and excluded, so renaming sweep points
+        still hits the cache.  Uses canonical (sorted-keys) JSON over the
+        spec dict and BLAKE2b, the same keyed-derivation primitive the
+        simulator's RNG uses -- stable across processes and Python runs.
+        """
+        data = self.to_dict()
+        data.pop("label", None)
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()

@@ -1,0 +1,95 @@
+"""JSONL result store: campaign memory, cache and resume point.
+
+One append-only file of JSON records, one record per finished job
+attempt.  The store is keyed by the JobSpec content hash
+(:meth:`~repro.orchestrate.spec.JobSpec.key`), so:
+
+* re-running a campaign skips every point whose spec is unchanged
+  (**cache hit** -- only ``status == "ok"`` records count; failures are
+  remembered for the report but always re-executed),
+* an interrupted campaign **resumes** where it stopped -- completed
+  records are already on disk, the run picks up the remainder,
+* editing one point's parameters changes its key and re-runs exactly
+  that point.
+
+Appends are flushed per record and a torn final line (crash mid-write)
+is ignored on load, so an interrupted run never poisons its successor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+class ResultStore:
+    """Append-only JSONL store with last-record-wins semantics per key."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._loaded_records = 0
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from an interrupted append; everything
+                    # before it is intact, so resume from there.
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    self._records[key] = record
+                    self._loaded_records += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> dict | None:
+        """Latest record for a spec key, successful or not."""
+        return self._records.get(key)
+
+    def cached_metrics(self, key: str) -> dict | None:
+        """Metrics for a key iff its latest record succeeded, else None."""
+        record = self._records.get(key)
+        if record is not None and record.get("status") == "ok":
+            return record.get("metrics")
+        return None
+
+    def record(
+        self,
+        key: str,
+        *,
+        spec_dict: dict,
+        status: str,
+        metrics: dict | None = None,
+        failure: dict | None = None,
+        elapsed_s: float = 0.0,
+        attempts: int = 1,
+    ) -> dict:
+        """Append one job outcome and index it in memory."""
+        entry = {
+            "key": key,
+            "status": status,
+            "label": spec_dict.get("label", ""),
+            "elapsed_s": round(elapsed_s, 4),
+            "attempts": attempts,
+            "recorded_at": time.time(),
+            "spec": spec_dict,
+            "metrics": metrics,
+            "failure": failure,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry) + "\n")
+            fh.flush()
+        self._records[key] = entry
+        return entry

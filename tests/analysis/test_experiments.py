@@ -78,6 +78,121 @@ class TestLoadSweep:
         assert r2.throughput > r1.throughput
 
 
+class TestFindSaturationEdgeCases:
+    """Binary-search edge cases against a stubbed ``run_experiment``.
+
+    The stub derives the probed load from the workload itself (encoded
+    in the message length), so it works through the orchestrator path
+    ``find_saturation_load`` executes probes on.
+    """
+
+    def _stub_search(self, monkeypatch, saturation_point, **kwargs):
+        import math
+
+        from repro.analysis import experiments
+        from repro.network.message import Message
+        from repro.sim.config import NetworkConfig
+        from repro.sim.engine import SimulationResult
+        from repro.sim.stats import StatsCollector
+
+        calls = []
+
+        def fake_run_experiment(config, items, **kw):
+            load = (items[0].length - 1) / 1000
+            calls.append(load)
+            delivered = 100 if load <= saturation_point else 10
+            sim = SimulationResult(
+                cycles=100, stats=StatsCollector(), completed=True,
+                injected=100, delivered=delivered,
+            )
+            return experiments.ExperimentResult(
+                label="stub", sim=sim, mean_latency=1.0, p95_latency=1.0,
+                throughput=load if not math.isnan(load) else 0.0,
+                delivered=delivered, injected=100,
+            )
+
+        monkeypatch.setattr(experiments, "run_experiment", fake_run_experiment)
+
+        def make_workload(load):
+            return [Message(msg_id=0, src=0, dst=1,
+                            length=int(round(load * 1000)) + 1, created=0)]
+
+        result = experiments.find_saturation_load(
+            lambda: NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None),
+            make_workload,
+            **kwargs,
+        )
+        return result, calls
+
+    def test_lo_unsustainable_returns_zero(self, monkeypatch):
+        result, calls = self._stub_search(
+            monkeypatch, saturation_point=0.005, lo=0.02, hi=1.0
+        )
+        assert result == 0.0
+        assert calls == [0.02]  # one probe suffices
+
+    def test_hi_sustainable_returns_hi(self, monkeypatch):
+        result, calls = self._stub_search(
+            monkeypatch, saturation_point=2.0, lo=0.02, hi=0.8
+        )
+        assert result == 0.8
+        assert calls == [0.02, 0.8]
+
+    def test_converges_within_tolerance(self, monkeypatch):
+        result, calls = self._stub_search(
+            monkeypatch, saturation_point=0.43,
+            lo=0.02, hi=1.0, tolerance=0.02,
+        )
+        assert result <= 0.43  # highest *sustainable* load found
+        assert 0.43 - result <= 0.02
+        # bisection: 2 endpoint probes + ceil(log2(0.98 / 0.02)) splits
+        assert len(calls) <= 2 + 6
+
+    def test_zero_injected_counts_as_sustainable(self, monkeypatch):
+        import math
+
+        from repro.analysis import experiments
+        from repro.network.message import Message
+        from repro.sim.config import NetworkConfig
+        from repro.sim.engine import SimulationResult
+        from repro.sim.stats import StatsCollector
+
+        def fake_run_experiment(config, items, **kw):
+            sim = SimulationResult(
+                cycles=100, stats=StatsCollector(), completed=True,
+                injected=0, delivered=0,
+            )
+            return experiments.ExperimentResult(
+                label="stub", sim=sim, mean_latency=math.nan,
+                p95_latency=math.nan, throughput=math.nan,
+                delivered=0, injected=0,
+            )
+
+        monkeypatch.setattr(experiments, "run_experiment", fake_run_experiment)
+        result = experiments.find_saturation_load(
+            lambda: NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None),
+            lambda load: [Message(msg_id=0, src=0, dst=1, length=1, created=0)],
+            lo=0.1, hi=0.5,
+        )
+        assert result == 0.5  # nothing injected anywhere -> hi sustainable
+
+    def test_probe_cache_skips_repeat_searches(self, monkeypatch, tmp_path):
+        from repro.orchestrate import ResultStore
+
+        store = ResultStore(tmp_path / "probes.jsonl")
+        _, first_calls = self._stub_search(
+            monkeypatch, saturation_point=0.43,
+            lo=0.02, hi=1.0, tolerance=0.05, store=store,
+        )
+        result, second_calls = self._stub_search(
+            monkeypatch, saturation_point=0.43,
+            lo=0.02, hi=1.0, tolerance=0.05, store=store,
+        )
+        assert first_calls  # the first search simulated its probes
+        assert second_calls == []  # the repeat served every probe cached
+        assert result <= 0.43
+
+
 @pytest.mark.slow
 class TestFindSaturationLoad:
     def _setup(self, protocol="wormhole"):

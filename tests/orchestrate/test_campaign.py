@@ -1,0 +1,141 @@
+"""Campaign files and the ``python -m repro batch`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.orchestrate import expand_entries, load_campaign, spec_from_entry
+
+
+def write_campaign(path, data):
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+TINY = {
+    "name": "tiny",
+    "defaults": {
+        "dims": "4x4",
+        "max_cycles": 20000,
+        "warmup": 50,
+        "workload": {
+            "kind": "uniform", "load": 0.05, "length": 8, "duration": 150
+        },
+    },
+    "grid": {
+        "protocol": ["wormhole", "clrp"],
+        "workload.load": [0.05, 0.08],
+    },
+}
+
+
+class TestExpansion:
+    def test_grid_cartesian_product(self):
+        entries = expand_entries(TINY)
+        assert len(entries) == 4
+        assert {(e["protocol"], e["workload"]["load"]) for e in entries} == {
+            ("wormhole", 0.05), ("wormhole", 0.08),
+            ("clrp", 0.05), ("clrp", 0.08),
+        }
+        # defaults deep-merged under the dotted grid override
+        assert all(e["workload"]["length"] == 8 for e in entries)
+
+    def test_explicit_jobs_appended(self):
+        data = dict(TINY, jobs=[{"protocol": "carp"}])
+        entries = expand_entries(data)
+        assert len(entries) == 5
+        assert entries[-1]["protocol"] == "carp"
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ConfigError, match="no jobs"):
+            expand_entries({"defaults": {}})
+
+    def test_bad_grid_value_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty list"):
+            expand_entries({"grid": {"seed": 3}})
+
+
+class TestSpecFromEntry:
+    def test_builds_config_and_labels(self):
+        entries = expand_entries(TINY)
+        specs = [spec_from_entry(e) for e in entries]
+        assert {s.config.protocol for s in specs} == {"wormhole", "clrp"}
+        assert all(s.max_cycles == 20000 for s in specs)
+        assert all(s.warmup == 50 for s in specs)
+        assert len({s.key() for s in specs}) == 4
+        assert len({s.label for s in specs}) == 4
+
+    def test_wormhole_entry_gets_no_wave(self):
+        spec = spec_from_entry(expand_entries(TINY)[0])
+        if spec.config.protocol == "wormhole":
+            assert spec.config.wave is None
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(ConfigError, match="workload"):
+            spec_from_entry({"protocol": "clrp"})
+
+    def test_dims_string_or_list(self):
+        base = {"workload": {"kind": "uniform", "load": 0.1, "length": 8,
+                             "duration": 100}}
+        a = spec_from_entry(dict(base, dims="4x4"))
+        b = spec_from_entry(dict(base, dims=[4, 4]))
+        assert a.config.dims == b.config.dims == (4, 4)
+
+
+class TestLoadCampaign:
+    def test_load_names_and_counts(self, tmp_path):
+        path = write_campaign(tmp_path / "c.json", TINY)
+        name, specs = load_campaign(path)
+        assert name == "tiny"
+        assert len(specs) == 4
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_campaign(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read campaign"):
+            load_campaign(tmp_path / "absent.json")
+
+
+class TestBatchCommand:
+    def test_batch_runs_and_resumes(self, tmp_path, capsys):
+        path = write_campaign(tmp_path / "tiny.json", TINY)
+        code = main(["batch", path, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign tiny: 4 jobs" in out
+        assert "[4/4]" in out
+        assert (tmp_path / "tiny.results.jsonl").exists()
+
+        # Second invocation: everything served from the result store.
+        code = main(["batch", path, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 cached" in out
+        assert out.count("cached") >= 4
+
+    def test_batch_reports_failures_and_exit_code(self, tmp_path, capsys):
+        data = dict(TINY)
+        data["jobs"] = [
+            # invalid: offered load of 4 flits/cycle with 8-flit messages
+            # is fine, but load > length means > 1 msg/cycle -> ConfigError
+            {"workload": {"load": 9.0}, "label": "doomed"}
+        ]
+        path = write_campaign(tmp_path / "mixed.json", data)
+        code = main(["batch", path, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "failure: doomed" in out
+        assert "4/5 jobs ok" in out
+
+    def test_batch_custom_store_path(self, tmp_path, capsys):
+        path = write_campaign(tmp_path / "tiny.json", TINY)
+        store = tmp_path / "elsewhere" / "r.jsonl"
+        code = main(["batch", path, "--jobs", "1", "--store", str(store)])
+        assert code == 0
+        assert store.exists()

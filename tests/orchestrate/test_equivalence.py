@@ -1,0 +1,129 @@
+"""Acceptance: parallel campaigns are bit-identical to serial ones.
+
+``run_jobs`` executes every job through the same :func:`execute_job`
+path whether in-process or in a forked worker, and merges outcomes by
+job index -- so an 8-point CLRP load sweep at ``jobs=4`` must reproduce
+the ``jobs=1`` metrics *exactly* (floats compared with ``==``, not
+approx).
+"""
+
+from repro.analysis.experiments import run_load_sweep, run_seed_sweep
+from repro.network.message import MessageFactory
+from repro.orchestrate import run_jobs
+from repro.sim.config import NetworkConfig
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+LOADS = [0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09]
+
+
+def make_config():
+    return NetworkConfig(dims=(4, 4), protocol="clrp", seed=3)
+
+
+def make_workload(load):
+    return uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=8,
+        duration=250,
+        rng=SimRandom(3),
+    )
+
+
+def sweep(jobs):
+    return run_load_sweep(
+        make_config,
+        make_workload,
+        LOADS,
+        max_cycles=20_000,
+        warmup=50,
+        label="eq",
+        jobs=jobs,
+    )
+
+
+class TestLoadSweepEquivalence:
+    def test_eight_point_clrp_sweep_jobs4_bit_identical_to_serial(self):
+        serial = sweep(jobs=1)
+        parallel = sweep(jobs=4)
+        assert len(serial) == len(parallel) == len(LOADS)
+        for (load_s, rs), (load_p, rp) in zip(serial, parallel):
+            assert load_s == load_p
+            # Bit-identical per-point metrics: latency, throughput,
+            # mode breakdown and every counter.
+            assert rp.mean_latency == rs.mean_latency
+            assert rp.p95_latency == rs.p95_latency
+            assert rp.throughput == rs.throughput
+            assert rp.delivered == rs.delivered
+            assert rp.injected == rs.injected
+            assert rp.mode_breakdown == rs.mode_breakdown
+            assert rp.counters == rs.counters
+            assert rp.sim.cycles == rs.sim.cycles
+            assert rp.sim.completed == rs.sim.completed
+            assert rp.label == rs.label
+
+    def test_parallel_run_is_itself_deterministic(self):
+        a = sweep(jobs=4)
+        b = sweep(jobs=4)
+        for (_, ra), (_, rb) in zip(a, b):
+            assert ra.counters == rb.counters
+            assert ra.mean_latency == rb.mean_latency
+
+
+class TestSeedSweepEquivalence:
+    def test_seed_sweep_parallel_matches_serial(self):
+        def make_cfg(seed):
+            return NetworkConfig(dims=(4, 4), protocol="clrp", seed=seed)
+
+        def make_wl(seed):
+            return uniform_workload(
+                MessageFactory(),
+                UniformPattern(16),
+                num_nodes=16,
+                offered_load=0.05,
+                length=8,
+                duration=200,
+                rng=SimRandom(seed),
+            )
+
+        seeds = [0, 1, 2, 3]
+        serial = run_seed_sweep(
+            make_cfg, make_wl, seeds, max_cycles=20_000, label="s"
+        )
+        parallel = run_seed_sweep(
+            make_cfg, make_wl, seeds, max_cycles=20_000, label="s", jobs=4
+        )
+        assert parallel["latency_mean"] == serial["latency_mean"]
+        assert parallel["latency_std"] == serial["latency_std"]
+        assert parallel["throughput_mean"] == serial["throughput_mean"]
+        assert parallel["throughput_std"] == serial["throughput_std"]
+        for rs, rp in zip(serial["results"], parallel["results"]):
+            assert rp.mean_latency == rs.mean_latency
+            assert rp.counters == rs.counters
+
+
+class TestMergeOrder:
+    def test_results_merge_in_job_order_not_completion_order(self):
+        """Heavier early jobs finish last; merge must still be by index."""
+        from repro.orchestrate import JobSpec, WorkloadRecipe
+
+        specs = [
+            JobSpec(
+                config=NetworkConfig(dims=(4, 4), protocol="wormhole",
+                                     wave=None, seed=7),
+                workload=WorkloadRecipe.make(
+                    "uniform", load=load, length=8, duration=duration
+                ),
+                label=f"m@{load:g}",
+                max_cycles=20_000,
+            )
+            # First job simulates far more traffic than the rest.
+            for load, duration in [(0.2, 1500), (0.02, 100), (0.02, 120),
+                                   (0.02, 140)]
+        ]
+        outcomes = run_jobs(specs, jobs=4)
+        assert [o.spec.label for o in outcomes] == [s.label for s in specs]
+        assert all(o.ok for o in outcomes)

@@ -1,0 +1,162 @@
+"""Worker pool robustness: failures, timeouts, crashes, retries, progress.
+
+The misbehaving recipes below are registered at import time, so the
+forked workers inherit them (the pool uses the ``fork`` start method).
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.orchestrate import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    ResultStore,
+    register_recipe,
+    run_jobs,
+)
+from repro.orchestrate.spec import JobSpec, WorkloadRecipe
+from repro.sim.config import NetworkConfig
+
+
+@register_recipe("_test_raise")
+def _raise(spec, topology):
+    raise RuntimeError("deliberate recipe failure")
+
+
+@register_recipe("_test_hang")
+def _hang(spec, topology):
+    time.sleep(60)
+    return []
+
+
+@register_recipe("_test_crash")
+def _crash(spec, topology):
+    os._exit(42)  # hard worker death: no exception, no result
+
+
+@register_recipe("_test_fail_unless_flag")
+def _fail_unless_flag(spec, topology):
+    flag = Path(str(spec.workload.require("flag_path")))
+    if not flag.exists():
+        raise RuntimeError("flag file missing")
+    return _ok_items()
+
+
+def _ok_items():
+    from repro.network.message import MessageFactory
+    from repro.traffic.workloads import pair_stream_workload
+
+    return pair_stream_workload(
+        MessageFactory(), [(0, 1)], messages_per_pair=1, length=4, gap=1
+    )
+
+
+def spec_of(kind: str, *, tag: int = 0, **params) -> JobSpec:
+    return JobSpec(
+        config=NetworkConfig(dims=(2, 2), protocol="wormhole", wave=None,
+                             seed=tag),
+        workload=WorkloadRecipe.make(kind, **params),
+        label=f"{kind}#{tag}",
+        max_cycles=5_000,
+    )
+
+
+def ok_spec(tag: int = 0) -> JobSpec:
+    return spec_of(
+        "pair_stream", tag=tag,
+        pairs=[[0, 1]], messages_per_pair=1, length=4, gap=1,
+    )
+
+
+class TestFailureRecords:
+    def test_serial_exception_becomes_record(self):
+        outcomes = run_jobs(
+            [ok_spec(0), spec_of("_test_raise"), ok_spec(1)], jobs=1
+        )
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok"]
+        failure = outcomes[1].failure
+        assert failure["kind"] == FAILURE_EXCEPTION
+        assert "deliberate recipe failure" in failure["message"]
+
+    def test_parallel_exception_campaign_completes(self):
+        outcomes = run_jobs(
+            [ok_spec(0), spec_of("_test_raise"), ok_spec(1), ok_spec(2)],
+            jobs=2,
+        )
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok", "ok"]
+        assert outcomes[1].failure["kind"] == FAILURE_EXCEPTION
+        # worker-side traceback is preserved for post-mortems
+        assert "RuntimeError" in outcomes[1].failure["message"]
+
+    def test_timeout_kills_job_but_not_campaign(self):
+        outcomes = run_jobs(
+            [ok_spec(0), spec_of("_test_hang"), ok_spec(1)],
+            jobs=2,
+            timeout_s=1.0,
+        )
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok"]
+        assert outcomes[1].failure["kind"] == FAILURE_TIMEOUT
+        assert outcomes[1].elapsed_s >= 1.0
+
+    def test_crash_retried_then_recorded(self):
+        outcomes = run_jobs(
+            [spec_of("_test_crash"), ok_spec(0)], jobs=2, retries=1
+        )
+        assert [o.status for o in outcomes] == ["failed", "ok"]
+        crash = outcomes[0]
+        assert crash.failure["kind"] == FAILURE_CRASH
+        assert crash.attempts == 2  # initial + one retry
+        assert "exit code 42" in crash.failure["message"]
+
+    def test_crash_no_retries(self):
+        [outcome, _] = run_jobs(
+            [spec_of("_test_crash"), ok_spec(0)], jobs=2, retries=0
+        )
+        assert outcome.failure["kind"] == FAILURE_CRASH
+        assert outcome.attempts == 1
+
+
+class TestRetryOnlyFailedOnRerun:
+    def test_rerun_reexecutes_only_the_failure(self, tmp_path):
+        """Acceptance: failed job re-runs, cache hit on the rest."""
+        flag = tmp_path / "flag"
+        store = ResultStore(tmp_path / "results.jsonl")
+        specs = [
+            ok_spec(0),
+            spec_of("_test_fail_unless_flag", flag_path=str(flag)),
+            ok_spec(1),
+        ]
+        first = run_jobs(specs, jobs=2, store=store)
+        assert [o.status for o in first] == ["ok", "failed", "ok"]
+
+        flag.touch()  # "fix" the failing job
+        second = run_jobs(specs, jobs=2, store=store)
+        assert [o.status for o in second] == ["ok", "ok", "ok"]
+        assert [o.from_cache for o in second] == [True, False, True]
+
+
+class TestOrderingAndProgress:
+    def test_outcomes_ordered_by_job_index(self):
+        specs = [ok_spec(tag) for tag in range(5)]
+        outcomes = run_jobs(specs, jobs=3)
+        assert [o.index for o in outcomes] == list(range(5))
+        assert [o.spec.label for o in outcomes] == [s.label for s in specs]
+
+    def test_progress_counts(self):
+        events = []
+        run_jobs(
+            [ok_spec(0), spec_of("_test_raise"), ok_spec(1)],
+            jobs=1,
+            progress=lambda p: events.append(p),
+        )
+        final = events[-1]
+        assert (final.total, final.done) == (3, 3)
+        assert (final.ok, final.failed, final.cached) == (2, 1, 0)
+        # every non-initial event carries the outcome that triggered it
+        assert all(e.last is not None for e in events[1:])
+
+    def test_more_workers_than_jobs(self):
+        outcomes = run_jobs([ok_spec(0)], jobs=8)
+        assert outcomes[0].ok

@@ -1,0 +1,168 @@
+"""JobSpec / WorkloadRecipe: content keys, serialisation, recipes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.orchestrate import (
+    JobSpec,
+    WorkloadRecipe,
+    build_workload,
+    explicit_recipe,
+    materialize_spec,
+    recipe_from_dict,
+)
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.topology import build_topology
+
+
+def clrp_spec(load=0.1, seed=0, **kwargs) -> JobSpec:
+    return JobSpec(
+        config=NetworkConfig(dims=(4, 4), protocol="clrp", seed=seed),
+        workload=WorkloadRecipe.make(
+            "uniform", load=load, length=16, duration=300
+        ),
+        **kwargs,
+    )
+
+
+class TestRecipe:
+    def test_param_order_is_canonical(self):
+        a = WorkloadRecipe.make("uniform", load=0.1, length=16, duration=300)
+        b = WorkloadRecipe.make("uniform", duration=300, length=16, load=0.1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_lists_frozen_to_tuples(self):
+        recipe = WorkloadRecipe.make("pair_stream", pairs=[[0, 1], [2, 3]])
+        assert recipe.param("pairs") == ((0, 1), (2, 3))
+        assert recipe.as_dict()["pairs"] == [[0, 1], [2, 3]]
+
+    def test_rejects_unserialisable_params(self):
+        with pytest.raises(ConfigError):
+            WorkloadRecipe.make("uniform", fn=lambda: None)
+
+    def test_from_dict_round_trip(self):
+        recipe = WorkloadRecipe.make("uniform", load=0.1, length=16)
+        assert recipe_from_dict(recipe.as_dict()) == recipe
+
+    def test_missing_required_param(self):
+        spec = JobSpec(
+            config=NetworkConfig(dims=(4, 4)),
+            workload=WorkloadRecipe.make("uniform", load=0.1),
+        )
+        with pytest.raises(ConfigError, match="requires parameter"):
+            build_workload(spec, build_topology("mesh", (4, 4)))
+
+
+class TestSpecKey:
+    def test_stable_for_equal_specs(self):
+        assert clrp_spec().key() == clrp_spec().key()
+
+    def test_differs_across_content(self):
+        keys = {
+            clrp_spec().key(),
+            clrp_spec(load=0.2).key(),
+            clrp_spec(seed=1).key(),
+            clrp_spec(max_cycles=999).key(),
+            clrp_spec(fault_fraction=0.1).key(),
+        }
+        assert len(keys) == 5
+
+    def test_label_is_cosmetic(self):
+        assert clrp_spec(label="a").key() == clrp_spec(label="b").key()
+
+    def test_survives_json_round_trip(self):
+        spec = clrp_spec(label="point")
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_wave_none_round_trip(self):
+        spec = JobSpec(
+            config=NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None),
+            workload=WorkloadRecipe.make(
+                "uniform", load=0.1, length=16, duration=300
+            ),
+        )
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again.config.wave is None
+        assert again.key() == spec.key()
+
+    def test_wave_config_params_in_key(self):
+        a = clrp_spec()
+        b = JobSpec(
+            config=NetworkConfig(
+                dims=(4, 4), protocol="clrp", wave=WaveConfig(num_switches=3)
+            ),
+            workload=a.workload,
+        )
+        assert a.key() != b.key()
+
+
+class TestSpecValidation:
+    def test_bad_max_cycles(self):
+        with pytest.raises(ConfigError):
+            clrp_spec(max_cycles=0)
+
+    def test_bad_fault_fraction(self):
+        with pytest.raises(ConfigError):
+            clrp_spec(fault_fraction=1.0)
+
+
+class TestBuildWorkload:
+    def test_uniform_deterministic(self):
+        spec = clrp_spec()
+        topo = build_topology("mesh", (4, 4))
+        first = build_workload(spec, topo)
+        second = build_workload(spec, topo)
+        assert [
+            (m.msg_id, m.src, m.dst, m.length, m.created) for m in first
+        ] == [(m.msg_id, m.src, m.dst, m.length, m.created) for m in second]
+        assert first, "tiny uniform workload should produce messages"
+
+    def test_unknown_recipe_kind(self):
+        spec = JobSpec(
+            config=NetworkConfig(dims=(4, 4)),
+            workload=WorkloadRecipe.make("no_such_kind"),
+        )
+        with pytest.raises(ConfigError, match="unknown workload recipe"):
+            build_workload(spec, build_topology("mesh", (4, 4)))
+
+    def test_explicit_rebuilds_bit_identical_messages(self):
+        spec = clrp_spec()
+        topo = build_topology("mesh", (4, 4))
+        original = build_workload(spec, topo)
+        explicit = materialize_spec(spec.config, original)
+        rebuilt = build_workload(explicit, topo)
+        assert [
+            (m.msg_id, m.src, m.dst, m.length, m.created, m.circuit_hint)
+            for m in rebuilt
+        ] == [
+            (m.msg_id, m.src, m.dst, m.length, m.created, m.circuit_hint)
+            for m in original
+        ]
+
+    def test_explicit_survives_json_round_trip(self):
+        spec = clrp_spec()
+        topo = build_topology("mesh", (4, 4))
+        explicit = materialize_spec(spec.config, build_workload(spec, topo))
+        again = JobSpec.from_dict(explicit.to_dict())
+        assert again.key() == explicit.key()
+        assert [
+            (m.msg_id, m.created) for m in build_workload(again, topo)
+        ] == [(m.msg_id, m.created) for m in build_workload(explicit, topo)]
+
+    def test_explicit_rejects_non_messages(self):
+        with pytest.raises(ConfigError, match="plain messages"):
+            explicit_recipe([object()])
+
+    def test_stencil_recipe_builds(self):
+        spec = JobSpec(
+            config=NetworkConfig(dims=(4, 4)),
+            workload=WorkloadRecipe.make(
+                "stencil", phases=2, phase_gap=100, length=8
+            ),
+        )
+        items = build_workload(spec, build_topology("mesh", (4, 4)))
+        # 4x4 mesh: 2 phases x sum of node degrees (2*24 directed links)
+        assert len(items) == 2 * 48

@@ -1,0 +1,118 @@
+"""ResultStore: JSONL persistence, cache semantics, resume, torn writes."""
+
+import json
+
+from repro.orchestrate import ResultStore, run_jobs
+from repro.orchestrate.spec import JobSpec, WorkloadRecipe
+from repro.sim.config import NetworkConfig
+
+
+def tiny_spec(load=0.05, seed=0) -> JobSpec:
+    return JobSpec(
+        config=NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None,
+                             seed=seed),
+        workload=WorkloadRecipe.make(
+            "uniform", load=load, length=8, duration=150
+        ),
+        label=f"tiny@{load:g}#{seed}",
+        max_cycles=20_000,
+    )
+
+
+class TestStoreBasics:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        spec = tiny_spec()
+        store.record(
+            spec.key(), spec_dict=spec.to_dict(), status="ok",
+            metrics={"throughput": 0.25}, elapsed_s=1.0,
+        )
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.cached_metrics(spec.key()) == {"throughput": 0.25}
+
+    def test_failed_records_are_not_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        spec = tiny_spec()
+        store.record(
+            spec.key(), spec_dict=spec.to_dict(), status="failed",
+            failure={"kind": "exception", "message": "boom"},
+        )
+        assert store.cached_metrics(spec.key()) is None
+        assert store.get(spec.key())["failure"]["kind"] == "exception"
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="failed",
+                     failure={"kind": "crash", "message": "died"})
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={"throughput": 1.0})
+        reloaded = ResultStore(path)
+        assert reloaded.cached_metrics(spec.key()) == {"throughput": 1.0}
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={})
+        with path.open("a") as fh:
+            fh.write('{"key": "deadbeef", "status": "o')  # interrupted write
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.cached_metrics(spec.key()) == {}
+
+
+class TestCacheThroughRunJobs:
+    def test_second_run_is_fully_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        specs = [tiny_spec(load) for load in (0.05, 0.1)]
+        first = run_jobs(specs, jobs=1, store=store)
+        assert all(o.ok and not o.from_cache for o in first)
+
+        second = run_jobs(specs, jobs=1, store=store)
+        assert all(o.from_cache for o in second)
+        # JSON round trip preserves every metric bit-exactly.
+        for a, b in zip(first, second):
+            assert a.metrics == b.metrics
+
+    def test_cache_survives_process_restart_shape(self, tmp_path):
+        """Reload from disk (what a resumed campaign actually does)."""
+        path = tmp_path / "results.jsonl"
+        specs = [tiny_spec(load) for load in (0.05, 0.1)]
+        run_jobs(specs, jobs=1, store=ResultStore(path))
+        outcomes = run_jobs(specs, jobs=1, store=ResultStore(path))
+        assert all(o.from_cache for o in outcomes)
+
+    def test_changed_spec_misses_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        run_jobs([tiny_spec(0.05)], jobs=1, store=store)
+        [outcome] = run_jobs([tiny_spec(0.06)], jobs=1, store=store)
+        assert not outcome.from_cache
+
+    def test_interrupted_campaign_resumes(self, tmp_path):
+        """Half the campaign on disk -> only the rest executes."""
+        store = ResultStore(tmp_path / "results.jsonl")
+        specs = [tiny_spec(load) for load in (0.05, 0.08, 0.1, 0.12)]
+        run_jobs(specs[:2], jobs=1, store=store)  # "interrupted" after 2
+
+        events = []
+        outcomes = run_jobs(
+            specs, jobs=1, store=store, progress=lambda p: events.append(p)
+        )
+        assert [o.from_cache for o in outcomes] == [True, True, False, False]
+        assert events[0].cached == 2
+        assert events[-1].done == 4
+
+    def test_store_file_is_jsonl_with_specs(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_jobs([tiny_spec(0.05)], jobs=1, store=ResultStore(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 1
+        record = lines[0]
+        assert record["status"] == "ok"
+        assert record["spec"]["workload"]["kind"] == "uniform"
+        assert record["metrics"]["delivered"] == record["metrics"]["injected"]
