@@ -24,9 +24,8 @@ from repro.analysis.report import format_table
 from repro.circuits.circuit import CircuitState
 from repro.circuits.plane import WavePlane
 from repro.sim.config import WaveConfig
-from repro.sim.rng import SimRandom
 from repro.sim.stats import StatsCollector
-from repro.topology import FaultSet, build_topology
+from repro.topology import FaultSet, build_topology, derive_fault_rng
 from repro.wormhole.routing import DimensionOrderRouting, wormhole_path_available
 
 from benchmarks.common import once, publish
@@ -85,7 +84,7 @@ def run_experiment():
     for fraction in FAULT_FRACTIONS:
         topo = build_topology("mesh", DIMS)
         faults = FaultSet(topo)
-        faults.fail_random_links(fraction, SimRandom(77))
+        faults.fail_random_links(fraction, derive_fault_rng(77))
         dor = dor_survival_rate(topo, faults)
         probe_rates = [probe_success_rate(topo, faults, m)
                        for m in MISROUTE_BUDGETS]

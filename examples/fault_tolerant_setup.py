@@ -16,10 +16,10 @@ from repro import (
     MessageFactory,
     Network,
     NetworkConfig,
-    SimRandom,
     Simulator,
     WaveConfig,
     build_topology,
+    derive_fault_rng,
     format_table,
 )
 from repro.wormhole.routing import DimensionOrderRouting, wormhole_path_available
@@ -43,7 +43,7 @@ def main() -> None:
     )
     topo = build_topology(config.topology, config.dims)
     faults = FaultSet(topo)
-    n_failed = faults.fail_random_links(FAULT_FRACTION, SimRandom(2024))
+    n_failed = faults.fail_random_links(FAULT_FRACTION, derive_fault_rng(2024))
     print(f"failed {n_failed} physical links ({FAULT_FRACTION:.0%}) on an 8x8 mesh\n")
 
     net = Network(config, faults=faults)

@@ -59,6 +59,7 @@ from repro.errors import (
 from repro.network import Message, MessageFactory, Network
 from repro.sim import (
     NetworkConfig,
+    ReliabilityConfig,
     SimRandom,
     SimulationResult,
     Simulator,
@@ -67,7 +68,16 @@ from repro.sim import (
     WaveConfig,
     WormholeConfig,
 )
-from repro.topology import FaultSet, Hypercube, Mesh, Torus, build_topology
+from repro.topology import (
+    FaultEvent,
+    FaultSchedule,
+    FaultSet,
+    Hypercube,
+    Mesh,
+    Torus,
+    build_topology,
+    derive_fault_rng,
+)
 from repro.traffic import (
     LocalityWorkloadBuilder,
     TransposePattern,
@@ -91,6 +101,8 @@ __all__ = [
     "ConfigError",
     "DeadlockError",
     "ExperimentResult",
+    "FaultEvent",
+    "FaultSchedule",
     "FaultSet",
     "Hypercube",
     "LivelockError",
@@ -101,6 +113,7 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "ProtocolError",
+    "ReliabilityConfig",
     "ReproError",
     "RoutingError",
     "SimRandom",
@@ -120,6 +133,7 @@ __all__ = [
     "build_topology",
     "check_all_invariants",
     "compile_directives",
+    "derive_fault_rng",
     "format_series",
     "format_table",
     "make_pattern",

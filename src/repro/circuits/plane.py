@@ -23,7 +23,7 @@ from repro.circuits.wave import WaveTransfer
 from repro.errors import ProtocolError
 from repro.sim.config import WaveConfig
 from repro.sim.events import EventKind, EventLog
-from repro.sim.stats import StatsCollector
+from repro.sim.stats import LossRecord, StatsCollector
 from repro.topology.base import Topology
 from repro.topology.faults import FaultSet
 
@@ -43,6 +43,8 @@ class CircuitOwnerEngine(Protocol):
     def circuit_released(self, circuit: Circuit, cycle: int) -> None: ...
 
     def transfer_completed(self, transfer: WaveTransfer, cycle: int) -> None: ...
+
+    def circuit_fault(self, circuit: Circuit, cycle: int) -> None: ...
 
 
 ChannelKey = tuple[int, int, int]  # (node, out_port, switch)
@@ -375,6 +377,147 @@ class WavePlane:
             )
         )
         self.stats.bump("circuit.teardowns")
+        self.work_done += 1
+
+    # -- dynamic faults ------------------------------------------------------
+
+    def on_link_killed(self, node: int, port: int, cycle: int) -> None:
+        """React to the directed link ``(node, port)`` dying mid-run.
+
+        Every circuit holding a reservation on the link is handled by
+        state: ESTABLISHED circuits are torn down end-to-end (the
+        reservations on the surviving prefix would otherwise leak
+        forever), SETTING_UP attempts are aborted so the retried probe
+        searches around the fault exactly as it would around a busy
+        channel, and RELEASING circuits are left alone -- their teardown
+        flit performs register bookkeeping only, which works across the
+        dead link.
+        """
+        unit = self.units[node]
+        for switch in range(self.config.num_switches):
+            if unit.status(port, switch) is not ChannelStatus.RESERVED:
+                continue
+            owner = unit.owner(port, switch)
+            if owner is None:
+                continue
+            circuit = self.table.get(owner)
+            if circuit.state is CircuitState.ESTABLISHED:
+                self.fault_teardown(circuit, cycle)
+            elif circuit.state is CircuitState.SETTING_UP:
+                self._abort_setup(circuit, cycle)
+
+    def fault_teardown(self, circuit: Circuit, cycle: int) -> None:
+        """Tear down an established circuit severed by a link fault.
+
+        Unlike :meth:`start_teardown` this may interrupt an in-flight
+        transfer: wavefronts past the break are lost (recorded as a
+        :class:`~repro.sim.stats.LossRecord` unless the tail had already
+        reached the destination), and the source engine is notified via
+        ``circuit_fault`` so its cache entry stops accepting traffic.
+        The actual release still walks hop by hop as a TEARDOWN control
+        flit -- register bookkeeping works across the dead link.
+        """
+        if circuit.state is not CircuitState.ESTABLISHED:
+            return
+        severed = [
+            t for t in self.transfers if t.circuit is circuit and not t.done
+        ]
+        if severed:
+            severed_ids = set(map(id, severed))
+            self.transfers = [
+                t for t in self.transfers if id(t) not in severed_ids
+            ]
+        for transfer in severed:
+            message = transfer.message
+            if (
+                not message.delivery_notified
+                and transfer.delivered_at >= 0
+                and cycle >= transfer.delivered_at
+            ):
+                # The tail already reached the destination; only the
+                # window acks were still draining.  Deliver, don't lose.
+                message.delivery_notified = True
+                if self.deliver_message is not None:
+                    self.deliver_message(message, transfer.delivered_at)
+            if message.delivery_notified:
+                self.stats.bump("wave.transfers_cut_after_delivery")
+            else:
+                self.stats.bump("wave.transfers_severed")
+                self.stats.record_loss(
+                    LossRecord(
+                        cycle=cycle,
+                        msg_id=message.msg_id,
+                        node=circuit.src,
+                        reason="circuit_severed",
+                        flits=message.length,
+                    )
+                )
+        circuit.in_use = False
+        circuit.state = CircuitState.RELEASING
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.CIRCUIT_FAULT_TEARDOWN,
+                          circuit.src, circuit.circuit_id,
+                          severed=len(severed))
+        self.control_flits.append(
+            ControlFlit(
+                kind=ControlFlitKind.TEARDOWN,
+                circuit_id=circuit.circuit_id,
+                hop_index=circuit.released_upto,
+                ready_at=cycle + self.config.setup_hop_delay,
+            )
+        )
+        self.stats.bump("circuit.fault_teardowns")
+        self._engine(circuit.src).circuit_fault(circuit, cycle)
+        self.work_done += 1
+
+    def _abort_setup(self, circuit: Circuit, cycle: int) -> None:
+        """Abort a SETTING_UP attempt whose reserved path hit a dead link.
+
+        All outstanding reservations unwind immediately (pure register
+        bookkeeping) and the source engine gets the standard
+        ``probe_failed`` callback, so its retry policy -- next switch,
+        Force, wormhole fallback -- applies unchanged; the retried probe
+        then treats the dead link as busy and searches around it.  Covers
+        both a live probe and the ack-in-flight window (probe already
+        finished, circuit not yet established).
+        """
+        probe = next(
+            (p for p in self.probes if p.circuit_id == circuit.circuit_id),
+            None,
+        )
+        for hop_node, hop_port in reversed(circuit.path):
+            unit = self.units[hop_node]
+            unit.unmap_through((hop_port, circuit.switch))
+            unit.release(hop_port, circuit.switch, circuit.circuit_id)
+            self._wake_claimant(hop_node, hop_port, circuit.switch, cycle)
+        circuit.path.clear()
+        # Drop any control flit of this attempt (the in-flight ack, or a
+        # release request some probe aimed at it -- the circuit is dying).
+        self.control_flits = [
+            f for f in self.control_flits if f.circuit_id != circuit.circuit_id
+        ]
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.PROBE_FAULT_ABORT, circuit.src,
+                          circuit.circuit_id)
+        self.stats.bump("probe.fault_aborts")
+        if probe is not None:
+            self.probe_failed(probe, cycle)
+            return
+        # Probe already succeeded; the ack we just removed will never
+        # arrive.  Report failure through a synthetic probe record.
+        circuit.state = CircuitState.DEAD
+        ghost = Probe(
+            probe_id=-1,
+            circuit_id=circuit.circuit_id,
+            src=circuit.src,
+            dst=circuit.dst,
+            switch=circuit.switch,
+            force=False,
+            max_misroutes=0,
+        )
+        ghost.status = ProbeStatus.FAILED
+        self.stats.bump("probe.failed")
+        self._engine(circuit.src).probe_failed(ghost, circuit, cycle)
         self.work_done += 1
 
     # -- transfers ------------------------------------------------------------

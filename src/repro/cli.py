@@ -8,20 +8,30 @@ Usage::
                           --jobs 4
     python -m repro compare --load 0.3 --length 128 --jobs 3
     python -m repro batch campaign.json --jobs 8
+    python -m repro chaos --dims 8x8 --mtbf 2000 --mttr 1000 --seeds 0,1,2
 
 ``run`` simulates one configuration and prints the delivery/latency/mode
 report; ``sweep`` produces a throughput-vs-load table for one protocol;
 ``compare`` runs wormhole / CLRP / CARP side by side on the same traffic;
 ``batch`` executes a whole campaign file through the orchestrator with
 caching and resume (see :mod:`repro.orchestrate.campaign` for the
-schema).  ``sweep``, ``compare`` and ``batch`` accept ``--jobs N`` to
+schema); ``chaos`` runs a seeded random link-kill/heal campaign per
+protocol x seed with the reliability layer on and asserts the delivery
+contract -- every message delivered or reported, no deadlock.
+``sweep``, ``compare``, ``batch`` and ``chaos`` accept ``--jobs N`` to
 fan points out over worker processes -- results are bit-identical to a
 serial run, merged in job order.
+
+Any simulating subcommand takes ``--fault-fraction`` (static dead links),
+``--mtbf``/``--mttr`` (random dynamic campaign), ``--fault-schedule
+"cycle:kill|heal:node:port,..."`` (explicit events) and ``--reliable``
+(end-to-end ack/retransmit layer).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -37,10 +47,16 @@ from repro.orchestrate import (
     load_campaign,
     run_jobs,
 )
-from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.config import (
+    NetworkConfig,
+    ReliabilityConfig,
+    WaveConfig,
+    WormholeConfig,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
-from repro.topology import FaultSet, build_topology
+from repro.topology import FaultSchedule, FaultSet, build_topology
+from repro.topology.faults import derive_fault_rng
 from repro.traffic.compiler import compile_directives
 from repro.traffic.patterns import make_pattern
 from repro.traffic.workloads import uniform_workload
@@ -78,6 +94,9 @@ def build_config(args: argparse.Namespace, protocol: str | None = None) -> Netwo
         ),
         wave=wave,
         seed=args.seed,
+        reliability=(
+            ReliabilityConfig() if getattr(args, "reliable", False) else None
+        ),
     )
 
 
@@ -103,13 +122,59 @@ def build_items(config: NetworkConfig, args: argparse.Namespace, load: float):
     return msgs
 
 
+def parse_fault_schedule(text: str, topology) -> FaultSchedule:
+    """Parse ``cycle:kind:node:port,...`` into an explicit schedule."""
+    sched = FaultSchedule(topology)
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) != 4:
+            raise ConfigError(
+                f"bad fault event {part!r}; expected cycle:kind:node:port"
+            )
+        raw_cycle, kind, raw_node, raw_port = fields
+        try:
+            cycle, node, port = int(raw_cycle), int(raw_node), int(raw_port)
+        except ValueError:
+            raise ConfigError(
+                f"bad fault event {part!r}; cycle/node/port must be integers"
+            )
+        if kind == "kill":
+            sched.schedule_kill(cycle, node, port)
+        elif kind == "heal":
+            sched.schedule_heal(cycle, node, port)
+        else:
+            raise ConfigError(
+                f"bad fault event kind {kind!r}; expected kill or heal"
+            )
+    return sched
+
+
 def build_faults(config: NetworkConfig, args: argparse.Namespace):
     fraction = getattr(args, "fault_fraction", 0.0)
-    if not fraction:
+    mtbf = getattr(args, "mtbf", 0)
+    schedule_text = getattr(args, "fault_schedule", None)
+    if not fraction and not mtbf and not schedule_text:
         return None
+    if mtbf and schedule_text:
+        raise ConfigError("--mtbf and --fault-schedule are mutually exclusive")
     topo = build_topology(config.topology, parse_dims(args.dims))
-    faults = FaultSet(topo)
-    faults.fail_random_links(fraction, SimRandom(args.seed).fork("faults"))
+    if mtbf:
+        faults = FaultSchedule.random_campaign(
+            topo,
+            mtbf=mtbf,
+            mttr=getattr(args, "mttr", 0),
+            horizon=args.max_cycles,
+            rng=derive_fault_rng(args.seed),
+        )
+    elif schedule_text:
+        faults = parse_fault_schedule(schedule_text, topo)
+    else:
+        faults = FaultSet(topo)
+    if fraction:
+        faults.fail_random_links(fraction, derive_fault_rng(args.seed))
     return faults
 
 
@@ -188,6 +253,8 @@ def job_spec(
         fault_fraction=getattr(args, "fault_fraction", 0.0),
         deadlock_check_interval=args.deadlock_check,
         progress_timeout=args.progress_timeout,
+        mtbf=getattr(args, "mtbf", 0),
+        mttr=getattr(args, "mttr", 0),
     )
 
 
@@ -329,6 +396,106 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Randomized fault campaign with the delivery guarantee asserted.
+
+    Every (protocol, seed) point runs with the reliability layer forced
+    on under a seeded random kill/heal schedule.  A point passes when the
+    run drains (no deadlock -- the periodic detector is always on) and
+    every injected message is either delivered or reported as an explicit
+    DeliveryFailure: ``injected == delivered + delivery_failures``.
+    """
+    if getattr(args, "fault_schedule", None):
+        raise ConfigError("chaos derives its own schedule; drop --fault-schedule")
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    mtbf = args.mtbf or 2000
+    specs = []
+    points = []
+    for protocol in protocols:
+        for seed in seeds:
+            config = dataclasses.replace(
+                build_config(args, protocol),
+                seed=seed,
+                reliability=ReliabilityConfig(),
+            )
+            recipe = WorkloadRecipe.make(
+                "uniform",
+                pattern=args.pattern,
+                load=args.load,
+                length=args.length,
+                duration=args.duration,
+            )
+            specs.append(
+                JobSpec(
+                    config=config,
+                    workload=recipe,
+                    label=f"chaos/{protocol}#{seed}",
+                    max_cycles=args.max_cycles,
+                    fault_fraction=getattr(args, "fault_fraction", 0.0),
+                    deadlock_check_interval=args.deadlock_check or 256,
+                    progress_timeout=args.progress_timeout,
+                    mtbf=mtbf,
+                    mttr=args.mttr,
+                )
+            )
+            points.append(f"{protocol}#{seed}")
+    print(f"chaos: {len(specs)} runs ({args.dims} {args.topology}, "
+          f"mtbf={mtbf}, mttr={args.mttr}, load={args.load:g})")
+    outcomes = run_jobs(
+        specs, jobs=args.jobs, store=_store_from_args(args),
+        timeout_s=args.job_timeout,
+    )
+    rows = []
+    violations = []
+    for point, outcome in zip(points, outcomes):
+        if not outcome.ok:
+            violations.append(
+                f"{point}: {outcome.failure['kind']}: "
+                f"{outcome.failure['message'].splitlines()[0]}"
+            )
+            rows.append((point, "failed", "-", "-", "-", "-"))
+            continue
+        m = outcome.metrics
+        counters = m["counters"]
+        failures = counters.get("reliability.delivery_failures", 0)
+        kills = counters.get("fault.links_killed", 0)
+        retransmits = counters.get("reliability.retransmits", 0)
+        unaccounted = m["injected"] - m["delivered"] - failures
+        status = "ok"
+        if not m["completed"]:
+            status = "cut off"
+            violations.append(f"{point}: run did not drain in "
+                              f"{args.max_cycles} cycles")
+        if unaccounted:
+            status = "LOST"
+            violations.append(
+                f"{point}: {unaccounted} message(s) unaccounted for "
+                f"(injected {m['injected']}, delivered {m['delivered']}, "
+                f"reported failures {failures})"
+            )
+        rows.append(
+            (point, status, f"{m['delivered']}/{m['injected']}",
+             failures, retransmits, kills)
+        )
+    print()
+    print(
+        format_table(
+            ["run", "status", "delivered", "reported failures",
+             "retransmits", "links killed"],
+            rows,
+        )
+    )
+    if violations:
+        print()
+        for line in violations:
+            print(f"violation: {line}")
+        return 1
+    print("\nall runs drained: every message delivered or reported, "
+          "no deadlock detected.")
+    return 0
+
+
 def cmd_heatmap(args: argparse.Namespace) -> int:
     from repro.analysis.viz import link_loadmap, node_heatmap
 
@@ -386,6 +553,17 @@ def make_parser() -> argparse.ArgumentParser:
                        help="livelock timeout in cycles; 0 = off")
         p.add_argument("--fault-fraction", type=float, default=0.0,
                        help="fraction of physical links to fail (static)")
+        p.add_argument("--mtbf", type=int, default=0,
+                       help="mean cycles between dynamic link kills "
+                            "(network-wide, seeded); 0 = off")
+        p.add_argument("--mttr", type=int, default=0,
+                       help="cycles until a killed link heals; 0 = permanent")
+        p.add_argument("--fault-schedule", default=None,
+                       help="explicit fault events as "
+                            "'cycle:kind:node:port,...' with kind kill|heal "
+                            "(run/heatmap only)")
+        p.add_argument("--reliable", action="store_true",
+                       help="enable the end-to-end ack/retransmit layer")
 
     run_p = sub.add_parser("run", help="simulate one configuration")
     add_common(run_p)
@@ -436,6 +614,22 @@ def make_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--retries", type=int, default=1,
                          help="extra attempts for jobs whose worker crashed")
     batch_p.set_defaults(func=cmd_batch)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign asserting zero lost messages "
+             "and zero deadlocks (reliability layer forced on)",
+    )
+    add_common(chaos_p)
+    add_orchestration(chaos_p)
+    chaos_p.add_argument("--protocols", default="clrp,carp,wormhole",
+                         help="comma-separated protocols to torture")
+    chaos_p.add_argument("--seeds", default="0,1,2",
+                         help="comma-separated seeds (one run per "
+                              "protocol x seed)")
+    chaos_p.add_argument("--load", type=float, default=0.1,
+                         help="offered load (flits/node/cycle)")
+    chaos_p.set_defaults(func=cmd_chaos)
 
     heat_p = sub.add_parser("heatmap",
                             help="link-load heat map of one run (2-D mesh)")

@@ -85,6 +85,9 @@ class ProtocolEngine:
     def transfer_completed(self, transfer: WaveTransfer, cycle: int) -> None:
         raise ProtocolError(f"{type(self).__name__} owns no transfers")
 
+    def circuit_fault(self, circuit: Circuit, cycle: int) -> None:
+        raise ProtocolError(f"{type(self).__name__} owns no circuits")
+
 
 class CircuitEngineBase(ProtocolEngine):
     """Circuit lifecycle common to CLRP and CARP."""
@@ -313,6 +316,19 @@ class CircuitEngineBase(ProtocolEngine):
         else:
             self.cache.remove(entry.dest)
             self._on_slot_freed(cycle)
+
+    def circuit_fault(self, circuit: Circuit, cycle: int) -> None:
+        """A dead link severed this circuit; the plane is tearing it
+        down.  Invalidate the cache entry so no new transfer starts; when
+        the teardown completes, ``circuit_released`` re-opens (around the
+        fault) for any messages still queued, or frees the slot."""
+        entry = self._entry_for(circuit)
+        if entry is None or entry.state is not CacheEntryState.ESTABLISHED:
+            return
+        entry.state = CacheEntryState.RELEASING
+        entry.pending_release = False
+        self._buffer_waits.pop(entry.dest, None)
+        self.stats.bump("cache.fault_invalidations")
 
     # -- subclass hooks ---------------------------------------------------
 

@@ -128,11 +128,14 @@ class CLRPEngine(CircuitEngineBase):
         )
         if entry.switches_tried < budget:
             # Try the next switch modulo k; Initial Switch guarantees we
-            # stop after one full cycle.
+            # stop after one full cycle.  The Force bit comes from the
+            # entry's phase, not the failed probe: a fault-aborted attempt
+            # reports through a synthetic unforced probe.
             entry.switch = (entry.switch + 1) % self.num_switches
             entry.switches_tried += 1
             self.plane.launch_probe(
-                self.node, entry.dest, entry.switch, force=probe.force, cycle=cycle
+                self.node, entry.dest, entry.switch, force=entry.phase >= 2,
+                cycle=cycle
             )
             return
         if entry.phase == 1:

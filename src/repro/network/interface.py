@@ -15,12 +15,13 @@ Per node, the NI owns:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProtocolError
-from repro.sim.config import SwitchingMode
-from repro.sim.stats import StatsCollector
+from repro.sim.config import ReliabilityConfig, SwitchingMode
+from repro.sim.stats import DeliveryFailure, StatsCollector
 from repro.wormhole.flit import Flit, make_worm
 from repro.wormhole.router import WormholeRouter
 
@@ -28,6 +29,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import ProtocolEngine
     from repro.network.activity import ActivityTracker
     from repro.network.message import Message
+
+
+class _TrackedMessage:
+    """Reliability state for one unacknowledged message at its source."""
+
+    __slots__ = ("message", "deadline", "timeout", "attempts")
+
+    def __init__(self, message: "Message", deadline: int, timeout: int) -> None:
+        self.message = message
+        self.deadline = deadline
+        self.timeout = timeout
+        self.attempts = 0  # retransmissions performed so far
 
 
 class _PendingWorm:
@@ -71,11 +84,31 @@ class NetworkInterface:
         self.flits_delivered = 0
         self.messages_delivered = 0
         router.deliver = self.on_flit_delivered
+        # End-to-end reliability (None = layer disabled, zero overhead).
+        self.reliability: ReliabilityConfig | None = None
+        self._ack_send: Callable[[int, int, int], None] | None = None
+        self._unacked: dict[int, _TrackedMessage] = {}
+        self._timeout_heap: list[tuple[int, int]] = []
+        self._ack_heap: list[tuple[int, int]] = []
 
     # -- protocol glue -----------------------------------------------------
 
     def set_engine(self, engine: "ProtocolEngine") -> None:
         self.engine = engine
+
+    def configure_reliability(
+        self,
+        config: ReliabilityConfig,
+        ack_send: Callable[[int, int, int], None],
+    ) -> None:
+        """Enable per-message acks and retransmission.
+
+        ``ack_send(src, msg_id, due)`` routes an acknowledgment to the
+        source NI (the network wires this to ``receive_ack`` on the
+        right interface).
+        """
+        self.reliability = config
+        self._ack_send = ack_send
 
     # -- active-set hooks --------------------------------------------------
 
@@ -90,13 +123,26 @@ class NetworkInterface:
             self.tracker.engine_pending += delta
 
     def _step_work_remains(self) -> bool:
-        return any(self._queues) or (
-            self.engine is not None and self.engine.needs_cycle()
+        return (
+            any(self._queues)
+            or bool(self._unacked)
+            or bool(self._ack_heap)
+            or (self.engine is not None and self.engine.needs_cycle())
         )
 
     def on_message(self, msg: "Message", cycle: int) -> None:
         if self.engine is None:
             raise ProtocolError(f"node {self.node} has no protocol engine")
+        if self.reliability is not None and msg.msg_id not in self._unacked:
+            tracked = _TrackedMessage(
+                msg,
+                deadline=cycle + self.reliability.timeout,
+                timeout=self.reliability.timeout,
+            )
+            self._unacked[msg.msg_id] = tracked
+            heapq.heappush(self._timeout_heap, (tracked.deadline, msg.msg_id))
+            self.note_pending(1)
+            self.request_cycle()
         self.engine.on_message(msg, cycle)
 
     def on_directive(self, directive, cycle: int) -> None:
@@ -163,21 +209,108 @@ class NetworkInterface:
             self.tracker.ni_queue_flits -= pushed
         return pushed
 
+    # -- reliability -------------------------------------------------------
+
+    def receive_ack(self, msg_id: int, due: int) -> None:
+        """An ack from the destination NI will land here at ``due``."""
+        heapq.heappush(self._ack_heap, (due, msg_id))
+        self.request_cycle()
+
+    def purge_pending(self, msg_id: int) -> int:
+        """Drop not-yet-injected flits of ``msg_id`` (fault purge path).
+
+        Returns the number of flits removed from the injection queues.
+        """
+        removed = 0
+        for queue in self._queues:
+            for worm in list(queue):
+                if worm.message.msg_id != msg_id:
+                    continue
+                removed += worm.remaining
+                queue.remove(worm)
+        if removed and self.tracker is not None:
+            self.tracker.ni_queue_flits -= removed
+        return removed
+
+    def recovery_pending(self) -> bool:
+        """True while retransmit/ack timers guarantee future work here."""
+        return bool(self._unacked) or bool(self._ack_heap)
+
+    def _ack_delivery(self, rec, cycle: int) -> None:
+        """Destination side: schedule the ack back to the source NI."""
+        if self.reliability is None or self._ack_send is None:
+            return
+        delay = max(
+            1, self.distance(rec.src, rec.dst) * self.reliability.ack_delay_per_hop
+        )
+        self._ack_send(rec.src, rec.msg_id, cycle + delay)
+
+    def _reliability_cycle(self, cycle: int) -> int:
+        """Process due acks and retransmit timers; returns work done."""
+        rel = self.reliability
+        assert rel is not None
+        work = 0
+        acks = self._ack_heap
+        while acks and acks[0][0] <= cycle:
+            _, msg_id = heapq.heappop(acks)
+            tracked = self._unacked.pop(msg_id, None)
+            if tracked is None:
+                continue  # duplicate ack (retransmitted copy delivered too)
+            self.note_pending(-1)
+            self.stats.bump("reliability.acked")
+            work += 1
+        timeouts = self._timeout_heap
+        while timeouts and timeouts[0][0] <= cycle:
+            deadline, msg_id = heapq.heappop(timeouts)
+            tracked = self._unacked.get(msg_id)
+            if tracked is None or tracked.deadline != deadline:
+                continue  # acked, or superseded by a later retransmit
+            if tracked.attempts >= rel.max_retries:
+                del self._unacked[msg_id]
+                self.note_pending(-1)
+                rec = self.stats.messages[msg_id]
+                self.stats.record_delivery_failure(
+                    DeliveryFailure(
+                        msg_id=msg_id,
+                        src=rec.src,
+                        dst=rec.dst,
+                        attempts=tracked.attempts + 1,
+                        cycle=cycle,
+                        reason="retransmit budget exhausted",
+                    )
+                )
+                work += 1
+                continue
+            tracked.attempts += 1
+            tracked.timeout = min(tracked.timeout * rel.backoff, rel.max_timeout)
+            tracked.deadline = cycle + tracked.timeout
+            heapq.heappush(timeouts, (tracked.deadline, msg_id))
+            self.stats.bump("reliability.retransmits")
+            work += 1
+            assert self.engine is not None
+            self.engine.on_message(tracked.message, cycle)
+        return work
+
     # -- per-cycle -------------------------------------------------------------
 
     def pre_cycle(self, cycle: int) -> int:
-        """Engine hook plus injection pumping; returns flits injected.
+        """Engine hook, reliability timers, injection pumping.
 
-        Deregisters from the active set once drained (no queued worms and
-        no engine cycle work); idempotent, so the O(N) reference loop may
-        keep calling it on idle NIs with no observable difference.
+        Returns units of work done (flits injected plus reliability
+        actions).  Deregisters from the active set once drained (no
+        queued worms, no pending acks/retransmits, no engine cycle
+        work); idempotent, so the O(N) reference loop may keep calling
+        it on idle NIs with no observable difference.
         """
         if self.engine is not None:
             self.engine.on_cycle(cycle)
-        pushed = self._pump_injection(cycle)
+        work = 0
+        if self.reliability is not None:
+            work += self._reliability_cycle(cycle)
+        work += self._pump_injection(cycle)
         if self.tracker is not None and not self._step_work_remains():
             self.tracker.active_nis.discard(self.node)
-        return pushed
+        return work
 
     # -- delivery ---------------------------------------------------------------
 
@@ -191,9 +324,17 @@ class NetworkInterface:
         if flit.is_tail:
             rec = self.stats.messages[flit.msg_id]
             if rec.delivered >= 0:
+                # A retransmitted copy of an already-delivered message is
+                # normal under the reliability layer (e.g. the original
+                # ack raced a timeout); without it, double delivery is a
+                # protocol bug.
+                if self.reliability is not None:
+                    self.stats.bump("reliability.duplicates_suppressed")
+                    return
                 raise ProtocolError(f"message {flit.msg_id} delivered twice")
             self.stats.mark_delivered(flit.msg_id, cycle)
             self.messages_delivered += 1
+            self._ack_delivery(rec, cycle)
 
     def on_circuit_delivery(self, msg: "Message", cycle: int) -> None:
         """A wave transfer's last flit arrived here."""
@@ -203,9 +344,13 @@ class NetworkInterface:
             )
         rec = self.stats.messages[msg.msg_id]
         if rec.delivered >= 0:
+            if self.reliability is not None:
+                self.stats.bump("reliability.duplicates_suppressed")
+                return
             raise ProtocolError(f"message {msg.msg_id} delivered twice")
         self.stats.mark_delivered(msg.msg_id, cycle)
         self.messages_delivered += 1
+        self._ack_delivery(rec, cycle)
 
     # -- introspection -----------------------------------------------------------
 
@@ -219,4 +364,5 @@ class NetworkInterface:
         return (
             self.pending_wormhole_flits() == 0
             and self.pending_engine_messages() == 0
+            and not self.recovery_pending()
         )

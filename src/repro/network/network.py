@@ -28,10 +28,11 @@ from repro.network.activity import ActivityTracker
 from repro.network.interface import NetworkInterface
 from repro.network.message import Message
 from repro.sim.config import NetworkConfig
+from repro.sim.events import EventKind
 from repro.sim.rng import SimRandom
-from repro.sim.stats import MessageRecord, StatsCollector
+from repro.sim.stats import LossRecord, MessageRecord, StatsCollector
 from repro.topology import build_topology
-from repro.topology.faults import FaultSet
+from repro.topology.faults import KILL, FaultSchedule, FaultSet
 from repro.wormhole.router import WormholeRouter
 from repro.wormhole.routing import make_routing
 
@@ -54,8 +55,14 @@ class Network:
         self.rng = rng if rng is not None else SimRandom(config.seed)
         self.topology = build_topology(config.topology, config.dims)
         self.faults = faults
+        # Dynamic fault schedules drain their due events at the top of
+        # every step; a plain static FaultSet has no events to drain.
+        self.fault_schedule: FaultSchedule | None = (
+            faults if isinstance(faults, FaultSchedule) else None
+        )
         self.cycle = 0
         self.work_counter = 0
+        self.log = None  # event log, set by attach_event_log
         # Active-set registries: step() touches only registered components
         # and is_idle() reads counters instead of scanning every node.
         self.activity = ActivityTracker()
@@ -90,8 +97,11 @@ class Network:
         ]
         for router in self.routers:
             router.active_set = self.activity.active_routers
+            router.drop_sink = self._on_worm_poisoned
         for ni in self.interfaces:
             ni.tracker = self.activity
+            if config.reliability is not None:
+                ni.configure_reliability(config.reliability, self._deliver_ack)
 
         # Wave plane and protocol engines.
         self.plane: WavePlane | None = None
@@ -125,6 +135,7 @@ class Network:
 
     def attach_event_log(self, log) -> None:
         """Enable protocol event tracing (:mod:`repro.sim.events`)."""
+        self.log = log
         if self.plane is not None:
             self.plane.log = log
         for ni in self.interfaces:
@@ -154,6 +165,81 @@ class Network:
     def _deliver_circuit_message(self, msg: Message, cycle: int) -> None:
         self.interfaces[msg.dst].on_circuit_delivery(msg, cycle)
 
+    def _deliver_ack(self, src: int, msg_id: int, due: int) -> None:
+        """Reliability-layer ack arriving back at the source NI."""
+        self.interfaces[src].receive_ack(msg_id, due)
+
+    # -- dynamic faults -----------------------------------------------------
+
+    def _apply_due_faults(self, cycle: int) -> None:
+        """Drain the schedule's events due at ``cycle`` and react.
+
+        Each event is applied (fault-set membership changes) *before* its
+        protocol reaction runs, and events are processed in schedule
+        order so same-cycle heal/kill sequences stay order-faithful.
+        """
+        sched = self.fault_schedule
+        assert sched is not None
+        for ev in sched.pop_due(cycle):
+            sched.apply(ev)
+            self.work_counter += 1
+            nbr = self.topology.neighbor(ev.node, ev.port)
+            assert nbr is not None
+            if ev.kind == KILL:
+                self.stats.bump("fault.links_killed")
+                if self.log is not None:
+                    self.log.emit(
+                        cycle, EventKind.LINK_KILLED, ev.node, ev.port, nbr=nbr
+                    )
+                self._react_link_killed(ev.node, ev.port, cycle)
+                self._react_link_killed(
+                    nbr, self.topology.reverse_port(ev.node, ev.port), cycle
+                )
+            else:
+                self.stats.bump("fault.links_healed")
+                if self.log is not None:
+                    self.log.emit(
+                        cycle, EventKind.LINK_HEALED, ev.node, ev.port, nbr=nbr
+                    )
+
+    def _react_link_killed(self, node: int, port: int, cycle: int) -> None:
+        """Protocol reaction to one *directed* link going down."""
+        if self.plane is not None:
+            self.plane.on_link_killed(node, port, cycle)
+        # Worms routed across the dead link exist (as routes) only at its
+        # endpoint router; purge them network-wide.
+        for msg_id in sorted(self.routers[node].worms_routed_via(port)):
+            self._purge_worm(msg_id, node, cycle)
+
+    def _purge_worm(self, msg_id: int, node: int, cycle: int) -> None:
+        removed = 0
+        for router in self.routers:
+            removed += router.purge_message(msg_id)
+        rec = self.stats.messages.get(msg_id)
+        if rec is not None:
+            removed += self.interfaces[rec.src].purge_pending(msg_id)
+        self.stats.bump("fault.worms_purged")
+        self.stats.record_loss(
+            LossRecord(
+                cycle=cycle, msg_id=msg_id, node=node,
+                reason="link_down", flits=removed,
+            )
+        )
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.WORM_DROPPED, node, msg_id,
+                          flits=removed, reason="link_down")
+
+    def _on_worm_poisoned(self, msg_id: int, node: int, cycle: int,
+                          reason: str) -> None:
+        """A router poisoned a worm whose every route is faulty: the
+        flits drain and are dropped, so record the loss once here."""
+        self.stats.record_loss(
+            LossRecord(cycle=cycle, msg_id=msg_id, node=node, reason=reason)
+        )
+        if self.log is not None:
+            self.log.emit(cycle, EventKind.WORM_DROPPED, node, msg_id,
+                          reason=reason)
+
     # -- time ---------------------------------------------------------------
 
     def step(self) -> None:
@@ -177,6 +263,8 @@ class Network:
           guaranteed no-op in the reference loop too.
         """
         cycle = self.cycle
+        if self.fault_schedule is not None and self.fault_schedule.has_due(cycle):
+            self._apply_due_faults(cycle)
         work = 0
         tracker = self.activity
         if tracker.active_nis:
@@ -202,6 +290,8 @@ class Network:
         for the cycle-exactness tests (see tests/integration/
         test_cycle_exact.py)."""
         cycle = self.cycle
+        if self.fault_schedule is not None and self.fault_schedule.has_due(cycle):
+            self._apply_due_faults(cycle)
         work = 0
         for ni in self.interfaces:
             work += ni.pre_cycle(cycle)
@@ -240,6 +330,17 @@ class Network:
         if self.plane is not None and not self.plane.is_idle():
             return False
         return True
+
+    def recovery_pending(self) -> bool:
+        """True while any source NI holds unacked messages or queued acks.
+
+        Only meaningful with ``config.reliability`` set; the livelock
+        monitor uses this to distinguish "waiting out a retransmission
+        timer" from a genuine stall.
+        """
+        if self.config.reliability is None:
+            return False
+        return any(ni.recovery_pending() for ni in self.interfaces)
 
     def outstanding_messages(self) -> int:
         return self.stats.outstanding

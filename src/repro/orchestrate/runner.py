@@ -18,13 +18,19 @@ from __future__ import annotations
 import math
 
 from repro.analysis import experiments as _experiments
+from repro.network.network import Network
 from repro.orchestrate.recipes import build_workload
 from repro.orchestrate.spec import JobSpec
 from repro.sim.engine import SimulationResult
-from repro.sim.rng import SimRandom
 from repro.sim.stats import StatsCollector
-from repro.topology import FaultSet, build_topology
+from repro.topology import FaultSchedule, FaultSet, build_topology
+from repro.topology.faults import derive_fault_rng
 from repro.traffic.compiler import compile_directives
+from repro.verify import (
+    check_all_invariants,
+    check_fault_isolation,
+    teardown_latency,
+)
 
 
 def execute_job(spec: JobSpec) -> dict:
@@ -35,11 +41,24 @@ def execute_job(spec: JobSpec) -> dict:
     if config.protocol == "carp":
         items, _report = compile_directives(items)
     faults = None
-    if spec.fault_fraction:
-        faults = FaultSet(topology)
-        faults.fail_random_links(
-            spec.fault_fraction, SimRandom(config.seed).fork("faults")
+    if spec.mtbf:
+        faults = FaultSchedule.random_campaign(
+            topology,
+            mtbf=spec.mtbf,
+            mttr=spec.mttr,
+            horizon=spec.max_cycles,
+            rng=derive_fault_rng(config.seed),
         )
+    if spec.fault_fraction:
+        if faults is None:
+            faults = FaultSet(topology)
+        # The static fraction layers onto the same fault set; the
+        # connectivity guard in fail_random_links sees links already
+        # dead at cycle 0 but not future scheduled kills.
+        faults.fail_random_links(
+            spec.fault_fraction, derive_fault_rng(config.seed)
+        )
+    net = Network(config, faults=faults) if faults is not None else None
     result = _experiments.run_experiment(
         config,
         items,
@@ -49,7 +68,18 @@ def execute_job(spec: JobSpec) -> dict:
         deadlock_check_interval=spec.deadlock_check_interval,
         progress_timeout=spec.progress_timeout,
         faults=faults,
+        network=net,
     )
+    if net is not None:
+        # Fault runs end with a structural audit: the distributed
+        # register state must be coherent, and -- once the last kill's
+        # teardowns have had time to settle -- nothing live may still
+        # reference a dead link.
+        check_all_invariants(net)
+        if isinstance(faults, FaultSchedule) and net.cycle >= (
+            faults.last_kill_cycle + teardown_latency(net)
+        ):
+            check_fault_isolation(net)
     return result_to_metrics(result)
 
 

@@ -24,7 +24,12 @@ import json
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.sim.config import (
+    NetworkConfig,
+    ReliabilityConfig,
+    WaveConfig,
+    WormholeConfig,
+)
 
 _PRIMITIVES = (str, int, float, bool, type(None))
 
@@ -112,6 +117,11 @@ class JobSpec:
             the throughput window (``run_experiment`` methodology).
         fault_fraction: static fraction of physical links to fail,
             derived deterministically from ``config.seed``.
+        mtbf: network-wide mean cycles between dynamic link kills; 0
+            (default) disables the dynamic fault campaign.  The schedule
+            is derived deterministically from ``config.seed``.
+        mttr: cycles until a killed link heals; 0 means faults are
+            permanent.  Only meaningful with ``mtbf > 0``.
         deadlock_check_interval / progress_timeout: monitor settings,
             passed through to the :class:`~repro.sim.engine.Simulator`.
     """
@@ -124,6 +134,8 @@ class JobSpec:
     fault_fraction: float = 0.0
     deadlock_check_interval: int = 0
     progress_timeout: int = 0
+    mtbf: int = 0
+    mttr: int = 0
 
     def __post_init__(self) -> None:
         if self.max_cycles < 1:
@@ -134,6 +146,10 @@ class JobSpec:
             raise ConfigError(
                 f"fault_fraction must be in [0, 1), got {self.fault_fraction}"
             )
+        if self.mtbf < 0:
+            raise ConfigError(f"mtbf must be >= 0, got {self.mtbf}")
+        if self.mttr < 0:
+            raise ConfigError(f"mttr must be >= 0, got {self.mttr}")
 
     # -- serialisation --------------------------------------------------
 
@@ -141,6 +157,14 @@ class JobSpec:
         data = dataclasses.asdict(self)
         data["config"]["dims"] = list(self.config.dims)
         data["workload"] = self.workload.as_dict()
+        # Omit disabled-by-default fields entirely: pre-existing stored
+        # results keep their content-hash keys (see key()).
+        if data["config"].get("reliability") is None:
+            del data["config"]["reliability"]
+        if not self.mtbf:
+            del data["mtbf"]
+        if not self.mttr:
+            del data["mttr"]
         return data
 
     @classmethod
@@ -149,6 +173,10 @@ class JobSpec:
         wormhole = WormholeConfig(**cfg.pop("wormhole"))
         wave_data = cfg.pop("wave")
         wave = WaveConfig(**wave_data) if wave_data is not None else None
+        rel_data = cfg.pop("reliability", None)
+        reliability = (
+            ReliabilityConfig(**rel_data) if rel_data is not None else None
+        )
         config = NetworkConfig(
             topology=cfg["topology"],
             dims=tuple(cfg["dims"]),
@@ -156,6 +184,7 @@ class JobSpec:
             wormhole=wormhole,
             wave=wave,
             seed=cfg.get("seed", 0),
+            reliability=reliability,
         )
         return cls(
             config=config,
@@ -166,6 +195,8 @@ class JobSpec:
             fault_fraction=data.get("fault_fraction", 0.0),
             deadlock_check_interval=data.get("deadlock_check_interval", 0),
             progress_timeout=data.get("progress_timeout", 0),
+            mtbf=data.get("mtbf", 0),
+            mttr=data.get("mttr", 0),
         )
 
     # -- content key ----------------------------------------------------

@@ -19,6 +19,7 @@ Public surface:
 
 from repro.sim.config import (
     NetworkConfig,
+    ReliabilityConfig,
     ReplacementPolicyName,
     RoutingName,
     SwitchingMode,
@@ -38,6 +39,7 @@ __all__ = [
     "Histogram",
     "MessageRecord",
     "NetworkConfig",
+    "ReliabilityConfig",
     "ReplacementPolicyName",
     "RoutingName",
     "SimRandom",

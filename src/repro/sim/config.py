@@ -203,6 +203,53 @@ class WaveConfig:
 
 
 @dataclass(frozen=True)
+class ReliabilityConfig:
+    """End-to-end delivery guarantees at the network interfaces.
+
+    When attached to a :class:`NetworkConfig`, every injected message is
+    tracked at its source NI until acknowledged by the destination NI;
+    on timeout it is retransmitted with capped exponential backoff, and
+    after ``max_retries`` retransmissions it is reported as a
+    :class:`~repro.sim.stats.DeliveryFailure` -- so under dynamic faults
+    no message is ever *silently* lost.
+
+    Attributes:
+        timeout: cycles from (re)transmission to the first retry.
+        backoff: multiplier applied to the timeout after each retry.
+        max_timeout: cap on the backed-off timeout, which bounds the time
+            to the next retransmission (this is what lets the progress
+            monitor treat "blocked on fault recovery" as live).
+        max_retries: retransmissions allowed before declaring failure
+            (total send attempts = ``max_retries + 1``).
+        ack_delay_per_hop: modelled latency of the contention-free ack
+            path, cycles per hop of source-destination distance.
+    """
+
+    timeout: int = 600
+    backoff: int = 2
+    max_timeout: int = 4800
+    max_retries: int = 6
+    ack_delay_per_hop: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise ConfigError(f"timeout must be >= 1, got {self.timeout}")
+        if self.backoff < 1:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_timeout < self.timeout:
+            raise ConfigError(
+                f"max_timeout ({self.max_timeout}) must be >= timeout "
+                f"({self.timeout})"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.ack_delay_per_hop < 0:
+            raise ConfigError(
+                f"ack_delay_per_hop must be >= 0, got {self.ack_delay_per_hop}"
+            )
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Complete description of one simulated machine.
 
@@ -215,6 +262,9 @@ class NetworkConfig:
         wormhole: S0 parameters.
         wave: S1..Sk parameters; may be ``None`` only for the wormhole
             baseline.
+        reliability: end-to-end ack/retransmit parameters; ``None`` (the
+            default) disables the reliability layer entirely, preserving
+            the raw protocol behaviour.
         seed: master RNG seed -- every stochastic decision in a run derives
             from it, making runs exactly reproducible.
     """
@@ -225,6 +275,7 @@ class NetworkConfig:
     wormhole: WormholeConfig = field(default_factory=WormholeConfig)
     wave: WaveConfig | None = field(default_factory=WaveConfig)
     seed: int = 0
+    reliability: ReliabilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.topology not in ("mesh", "torus", "hypercube"):

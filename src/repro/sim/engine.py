@@ -121,7 +121,16 @@ class Simulator:
 
     def _check_progress(self) -> None:
         counter = self.network.work_counter
-        if counter != self._last_work_counter or self.network.is_idle():
+        # Waiting out a retransmission timeout is recovery, not livelock:
+        # the reliability layer guarantees bounded work (a retransmit or a
+        # DeliveryFailure) once the timer fires, so keep the stall anchor
+        # moving.  getattr: engine tests drive stub networks.
+        recovery = getattr(self.network, "recovery_pending", None)
+        if (
+            counter != self._last_work_counter
+            or self.network.is_idle()
+            or (recovery is not None and recovery())
+        ):
             # An idle network is not *stalled* -- keep the timer anchored
             # at the end of the idle gap, so work that starts after a gap
             # (or a fast-forward jump) gets a full timeout window instead
@@ -172,6 +181,15 @@ class Simulator:
                 # the deadline -- is cycle-exact.  Periodic deadlock checks
                 # on an idle network are no-ops and skip safely too.
                 target = min(self._next_msg.created, deadline)
+                # A scheduled fault event must be stepped through at its
+                # exact cycle: injection pumps *before* net.step(), so a
+                # jump past the event would let new messages see stale
+                # fault state.  getattr: bench stubs are not Networks.
+                sched = getattr(net, "fault_schedule", None)
+                if sched is not None:
+                    nxt = sched.next_event_cycle()
+                    if nxt is not None:
+                        target = min(target, nxt)
                 if target > net.cycle:
                     net.cycle = target
                     self._last_progress_cycle = target

@@ -43,6 +43,14 @@ class EventKind(Enum):
     PHASE_CHANGE = "phase_change"  # CLRP entered phase 2 / 3
     CACHE_EVICT = "cache_evict"
     BUFFER_REALLOC = "buffer_realloc"
+    # Dynamic faults (FaultSchedule): subject is the node of the dead
+    # link for link events, the message id for worm drops, the circuit id
+    # for fault teardowns / setup aborts.
+    LINK_KILLED = "link_killed"
+    LINK_HEALED = "link_healed"
+    WORM_DROPPED = "worm_dropped"
+    CIRCUIT_FAULT_TEARDOWN = "circuit_fault_teardown"
+    PROBE_FAULT_ABORT = "probe_fault_abort"
 
 
 @dataclass(frozen=True)

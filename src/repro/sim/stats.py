@@ -53,6 +53,41 @@ class MessageRecord:
         return self.delivered - self.injected
 
 
+@dataclass(frozen=True)
+class LossRecord:
+    """Structured record of payload lost to a dynamic fault.
+
+    Emitted when a dead link severs an in-flight transfer: wormhole flits
+    dropped (at the fault or drained via a poisoned route) or a wave
+    transfer cut before its tail reached the destination.  The reliability
+    layer turns these into retransmissions; without it they are the
+    ground truth for "what the fault destroyed".
+    """
+
+    cycle: int
+    msg_id: int
+    node: int
+    reason: str  # e.g. "link_down", "no_route", "circuit_severed"
+    flits: int = 0
+
+
+@dataclass(frozen=True)
+class DeliveryFailure:
+    """A message the reliability layer gave up on.
+
+    Produced only when the retransmit budget is exhausted; every injected
+    message ends as exactly one of delivered or DeliveryFailure when the
+    reliability layer is on -- never silently lost.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    attempts: int  # total send attempts, including the original
+    cycle: int
+    reason: str
+
+
 class Histogram:
     """A fixed-bin histogram with running mean/min/max.
 
@@ -183,12 +218,22 @@ class StatsCollector:
     counters: dict[str, int] = field(default_factory=dict)
     messages: dict[int, MessageRecord] = field(default_factory=dict)
     series: dict[str, TimeSeries] = field(default_factory=dict)
+    losses: list[LossRecord] = field(default_factory=list)
+    delivery_failures: list[DeliveryFailure] = field(default_factory=list)
     # Undelivered-message count, maintained incrementally so the livelock
     # error path and per-window probes never scan the full message log.
     outstanding: int = 0
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_loss(self, record: LossRecord) -> None:
+        self.losses.append(record)
+        self.bump(f"loss.{record.reason}")
+
+    def record_delivery_failure(self, failure: DeliveryFailure) -> None:
+        self.delivery_failures.append(failure)
+        self.bump("reliability.delivery_failures")
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)

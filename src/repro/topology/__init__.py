@@ -13,7 +13,12 @@ E7 in DESIGN.md).
 """
 
 from repro.topology.base import Topology, reverse_direction
-from repro.topology.faults import FaultSet
+from repro.topology.faults import (
+    FaultEvent,
+    FaultSchedule,
+    FaultSet,
+    derive_fault_rng,
+)
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh
 from repro.topology.torus import Torus
@@ -36,11 +41,14 @@ def build_topology(name: str, dims: tuple[int, ...]) -> Topology:
 
 
 __all__ = [
+    "FaultEvent",
+    "FaultSchedule",
     "FaultSet",
     "Hypercube",
     "Mesh",
     "Topology",
     "Torus",
     "build_topology",
+    "derive_fault_rng",
     "reverse_direction",
 ]

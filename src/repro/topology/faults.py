@@ -1,4 +1,4 @@
-"""Static link-fault injection.
+"""Link-fault injection: static fault sets and dynamic fault schedules.
 
 The paper highlights that the MB-m probe protocol "is very resilient to
 static faults in the network" (section 2, citing Gaughan & Yalamanchili).
@@ -6,16 +6,65 @@ Experiment E7 reproduces that: a :class:`FaultSet` marks directed links as
 dead; probes treat them exactly like busy channels (and search around
 them), while deterministic wormhole routing simply cannot use them.
 
-Faults are *static*: fixed before the run, never healed, never growing.
+:class:`FaultSchedule` extends the static model to *dynamic* faults:
+links killed (and optionally healed) at scheduled cycles mid-run, which
+is what exposes the interesting protocol behaviour -- established wave
+circuits crossing the dead link must be torn down end-to-end, in-flight
+probes must abort and search around, and wormhole flits on the link are
+dropped (experiment E7b).  The schedule only maintains *membership*; the
+protocol reactions live in :class:`~repro.network.network.Network`, which
+drains due events at the top of every cycle.
 """
 
 from __future__ import annotations
 
+import bisect
+import heapq
+from collections import deque
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import TopologyError
 from repro.sim.rng import SimRandom
 from repro.topology.base import Topology
+
+KILL = "kill"
+HEAL = "heal"
+
+
+def derive_fault_rng(seed: int) -> SimRandom:
+    """The single fault-randomness derivation for every entry point.
+
+    The CLI, the orchestrator's :func:`~repro.orchestrate.runner.execute_job`
+    and the analysis sweeps all derive fault randomness through this
+    helper, so one master seed yields one fault set (or one fault
+    schedule) no matter which entry point built it.  Static fault sets
+    draw from the child's ``"faults"`` stream (inside
+    :meth:`FaultSet.fail_random_links`); dynamic schedules draw from the
+    independent ``"fault-schedule"`` stream, so a run can carry both
+    without correlation.
+    """
+    return SimRandom(seed).fork("faults")
+
+
+def _still_connected(topology: Topology, faulty: set[tuple[int, int]]) -> bool:
+    """BFS over the healthy directed links; True iff every node is reachable."""
+    total = topology.num_nodes
+    seen = bytearray(total)
+    seen[0] = 1
+    reached = 1
+    queue: deque[int] = deque([0])
+    while queue:
+        node = queue.popleft()
+        for port in topology.connected_ports(node):
+            if (node, port) in faulty:
+                continue
+            nbr = topology.neighbor(node, port)
+            if nbr is not None and not seen[nbr]:
+                seen[nbr] = 1
+                reached += 1
+                queue.append(nbr)
+    return reached == total
 
 
 class FaultSet:
@@ -48,6 +97,23 @@ class FaultSet:
         if bidirectional:
             self._faulty.add((nbr, self.topology.reverse_port(node, port)))
 
+    def heal_link(self, node: int, port: int, *, bidirectional: bool = True) -> None:
+        """Remove a link from the fault set (no-op if it was healthy)."""
+        nbr = self.topology.neighbor(node, port)
+        if nbr is None:
+            raise TopologyError(f"({node}, {port}) is not a connected link")
+        self._faulty.discard((node, port))
+        if bidirectional:
+            self._faulty.discard((nbr, self.topology.reverse_port(node, port)))
+
+    def would_disconnect(self, node: int, port: int) -> bool:
+        """Would killing this physical link partition the healthy graph?"""
+        nbr = self.topology.neighbor(node, port)
+        if nbr is None:
+            raise TopologyError(f"({node}, {port}) is not a connected link")
+        candidate = {(node, port), (nbr, self.topology.reverse_port(node, port))}
+        return not _still_connected(self.topology, self._faulty | candidate)
+
     def fail_random_links(
         self, fraction: float, rng: SimRandom, *, keep_connected: bool = True
     ) -> int:
@@ -56,9 +122,11 @@ class FaultSet:
         Args:
             fraction: share of physical links to kill, in [0, 1).
             rng: randomness source (stream ``"faults"``).
-            keep_connected: refuse fault choices that would isolate a node
-                completely (every message to it would be undeliverable,
-                which makes liveness experiments meaningless).
+            keep_connected: refuse fault choices that would partition the
+                healthy graph (checked with a BFS per candidate, not just
+                node degree -- degree >= 1 everywhere still allows cutting
+                a mesh in half, which makes liveness experiments
+                meaningless).
 
         Returns:
             Number of physical links actually failed.
@@ -86,8 +154,12 @@ class FaultSet:
                 break
             nbr = topo.neighbor(node, port)
             assert nbr is not None
-            if keep_connected and (degree[node] <= 1 or degree[nbr] <= 1):
-                continue
+            if keep_connected:
+                # Degree is a cheap pre-filter; the BFS is the real check.
+                if degree[node] <= 1 or degree[nbr] <= 1:
+                    continue
+                if self.would_disconnect(node, port):
+                    continue
             self.fail_link(node, port)
             degree[node] -= 1
             degree[nbr] -= 1
@@ -97,3 +169,188 @@ class FaultSet:
     def healthy_ports(self, node: int, ports: Iterable[int]) -> list[int]:
         """Filter an iterable of ports down to the non-faulty ones."""
         return [p for p in ports if (node, p) not in self._faulty]
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled membership change of the fault set.
+
+    Ordering is by ``(cycle, kind, node, port)``; since ``"heal"`` sorts
+    before ``"kill"``, a same-cycle heal+kill pair applies heal first
+    (deterministically, though schedules should avoid the case).
+    """
+
+    cycle: int
+    kind: str  # KILL or HEAL
+    node: int
+    port: int
+
+
+class FaultSchedule(FaultSet):
+    """A :class:`FaultSet` whose membership changes at scheduled cycles.
+
+    The schedule is a sorted event list with a cursor.  The network
+    drains due events at the top of each cycle via :meth:`pop_due` and
+    applies each with :meth:`apply` (membership) before running its own
+    protocol reaction (teardown, purge).  Keeping application separate
+    from reaction lets the schedule be unit-tested standalone and lets
+    the simulator's idle fast-forward stop exactly at
+    :meth:`next_event_cycle`.
+    """
+
+    def __init__(
+        self, topology: Topology, events: Iterable[FaultEvent] = ()
+    ) -> None:
+        super().__init__(topology)
+        self._events: list[FaultEvent] = sorted(events)
+        self._cursor = 0
+        self.applied: list[FaultEvent] = []
+        self.last_kill_cycle = -1
+        for ev in self._events:
+            self._validate(ev)
+
+    def _validate(self, ev: FaultEvent) -> None:
+        if ev.cycle < 0:
+            raise TopologyError(f"fault event cycle must be >= 0, got {ev.cycle}")
+        if ev.kind not in (KILL, HEAL):
+            raise TopologyError(f"unknown fault event kind {ev.kind!r}")
+        if self.topology.neighbor(ev.node, ev.port) is None:
+            raise TopologyError(
+                f"({ev.node}, {ev.port}) is not a connected link"
+            )
+
+    def _insert(self, ev: FaultEvent) -> None:
+        self._validate(ev)
+        pos = bisect.bisect_right(self._events, ev)
+        if pos < self._cursor:
+            raise TopologyError(
+                f"cannot schedule {ev.kind} at cycle {ev.cycle}: events up "
+                f"to cycle {self._events[self._cursor - 1].cycle} already applied"
+            )
+        self._events.insert(pos, ev)
+
+    def schedule_kill(self, cycle: int, node: int, port: int) -> None:
+        self._insert(FaultEvent(cycle, KILL, node, port))
+
+    def schedule_heal(self, cycle: int, node: int, port: int) -> None:
+        self._insert(FaultEvent(cycle, HEAL, node, port))
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def pending(self) -> int:
+        """Events not yet applied."""
+        return len(self._events) - self._cursor
+
+    def next_event_cycle(self) -> int | None:
+        if self._cursor >= len(self._events):
+            return None
+        return self._events[self._cursor].cycle
+
+    def has_due(self, cycle: int) -> bool:
+        nxt = self.next_event_cycle()
+        return nxt is not None and nxt <= cycle
+
+    def pop_due(self, cycle: int) -> list[FaultEvent]:
+        """Advance the cursor past events due at ``cycle``; membership is
+        NOT changed -- the caller applies each with :meth:`apply` so it
+        can interleave its protocol reaction per event."""
+        out = []
+        while (
+            self._cursor < len(self._events)
+            and self._events[self._cursor].cycle <= cycle
+        ):
+            out.append(self._events[self._cursor])
+            self._cursor += 1
+        return out
+
+    def apply(self, ev: FaultEvent) -> None:
+        """Apply one event's membership change."""
+        if ev.kind == KILL:
+            self.fail_link(ev.node, ev.port)
+            if ev.cycle > self.last_kill_cycle:
+                self.last_kill_cycle = ev.cycle
+        else:
+            self.heal_link(ev.node, ev.port)
+        self.applied.append(ev)
+
+    @classmethod
+    def random_campaign(
+        cls,
+        topology: Topology,
+        *,
+        mtbf: float,
+        rng: SimRandom,
+        horizon: int,
+        mttr: int = 0,
+        keep_connected: bool = True,
+    ) -> "FaultSchedule":
+        """Generate a randomized kill/heal campaign.
+
+        Args:
+            mtbf: network-wide mean cycles between link kills (exponential
+                inter-arrival times), *not* per-link.  Smaller = harsher.
+            rng: randomness source (stream ``"fault-schedule"``); derive
+                via :func:`derive_fault_rng` for cross-entry-point
+                reproducibility.
+            horizon: no kills scheduled at or after this cycle.
+            mttr: cycles until a killed link heals; ``0`` = permanent.
+            keep_connected: skip kills that would partition the healthy
+                graph given the links already dead at that time.
+        """
+        if mtbf < 1:
+            raise TopologyError(f"mtbf must be >= 1 cycle, got {mtbf}")
+        if mttr < 0:
+            raise TopologyError(f"mttr must be >= 0, got {mttr}")
+        stream = rng.stream("fault-schedule")
+        sched = cls(topology)
+        physical = []
+        for node, port in topology.links():
+            nbr = topology.neighbor(node, port)
+            assert nbr is not None
+            if (node, port) < (nbr, topology.reverse_port(node, port)):
+                physical.append((node, port))
+        physical.sort()
+        dead: set[tuple[int, int]] = set()
+        heals: list[tuple[int, tuple[int, int]]] = []
+        t = 0
+        while True:
+            t += max(1, round(stream.expovariate(1.0 / mtbf)))
+            if t >= horizon:
+                break
+            while heals and heals[0][0] <= t:
+                _, link = heapq.heappop(heals)
+                dead.discard(link)
+            candidates = [link for link in physical if link not in dead]
+            if keep_connected:
+                directed = set()
+                for node, port in dead:
+                    nbr = topology.neighbor(node, port)
+                    directed.add((node, port))
+                    directed.add((nbr, topology.reverse_port(node, port)))
+                candidates = [
+                    (node, port)
+                    for node, port in candidates
+                    if _still_connected(
+                        topology,
+                        directed
+                        | {
+                            (node, port),
+                            (
+                                topology.neighbor(node, port),
+                                topology.reverse_port(node, port),
+                            ),
+                        },
+                    )
+                ]
+            if not candidates:
+                continue
+            node, port = stream.choice(candidates)
+            sched.schedule_kill(t, node, port)
+            dead.add((node, port))
+            if mttr > 0:
+                sched.schedule_heal(t + mttr, node, port)
+                heapq.heappush(heals, (t + mttr, (node, port)))
+        return sched

@@ -14,19 +14,30 @@
 """
 
 from repro.verify.deadlock import assert_no_deadlock, find_deadlocked_worms
-from repro.verify.invariants import check_all_invariants
+from repro.verify.invariants import (
+    check_all_invariants,
+    check_fault_isolation,
+    teardown_latency,
+)
 from repro.verify.ordering import OrderingReport, check_in_order_delivery
-from repro.verify.progress import ProbeWorkMonitor, max_message_age
+from repro.verify.progress import (
+    ProbeWorkMonitor,
+    ProgressMonitor,
+    max_message_age,
+)
 from repro.verify.waitgraph import WaitGraph, build_wait_graph
 
 __all__ = [
     "OrderingReport",
     "ProbeWorkMonitor",
+    "ProgressMonitor",
     "check_in_order_delivery",
     "WaitGraph",
     "assert_no_deadlock",
     "build_wait_graph",
     "check_all_invariants",
+    "check_fault_isolation",
     "find_deadlocked_worms",
     "max_message_age",
+    "teardown_latency",
 ]

@@ -169,6 +169,64 @@ def check_credit_sanity(network: "Network") -> None:
             down_checked.add(port)
 
 
+def teardown_latency(network: "Network") -> int:
+    """Upper bound on cycles until fault teardowns settle network-wide.
+
+    A fault-triggered TEARDOWN control flit walks the circuit's remaining
+    path one hop per ``setup_hop_delay`` cycles; no circuit is longer
+    than twice the directed link count, so after this many quiet cycles
+    every teardown launched by a kill has finished.  Zero for pure
+    wormhole networks (no circuits to tear down).
+    """
+    if network.plane is None:
+        return 0
+    wave = network.plane.config
+    return 2 * len(network.topology.links()) * wave.setup_hop_delay + 1
+
+
+def check_fault_isolation(network: "Network") -> None:
+    """No live circuit state may reference a dead link.
+
+    Deliberately NOT part of :data:`ALL_CHECKS`: it only holds once
+    :func:`teardown_latency` cycles have elapsed since the last kill
+    (teardown control flits are in flight until then).  The fault-aware
+    runners gate the call on that bound.
+    """
+    faults = network.faults
+    plane = network.plane
+    if faults is None or plane is None:
+        return
+    for circuit in plane.table.circuits.values():
+        if circuit.state not in (
+            CircuitState.ESTABLISHED,
+            CircuitState.SETTING_UP,
+        ):
+            continue
+        for node, port in circuit.path:
+            if faults.is_faulty(node, port):
+                raise ProtocolError(
+                    f"{circuit.state.value} circuit {circuit.circuit_id} "
+                    f"({circuit.src}->{circuit.dst}) still holds dead link "
+                    f"({node},{port}) after teardown latency"
+                )
+    for ni in network.interfaces:
+        engine = ni.engine
+        if not isinstance(engine, CircuitEngineBase):
+            continue
+        for dest, entry in engine.cache.entries.items():
+            if entry.state is not CacheEntryState.ESTABLISHED:
+                continue
+            c = entry.circuit
+            if c is None:
+                continue
+            for node, port in c.path:
+                if faults.is_faulty(node, port):
+                    raise ProtocolError(
+                        f"node {ni.node}: ESTABLISHED cache entry for dest "
+                        f"{dest} references dead link ({node},{port})"
+                    )
+
+
 ALL_CHECKS = (
     check_channel_exclusivity,
     check_mapping_consistency,

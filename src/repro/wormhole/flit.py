@@ -23,6 +23,11 @@ EJECT_PORT = -1
 # queue rather than from a neighbour.
 INJECT_PORT = -2
 
+# Sentinel output-port index marking a poisoned route: every candidate
+# output for the worm is faulty, so the router drains and discards its
+# flits (one per cycle, crediting upstream) instead of blocking forever.
+DROP_PORT = -3
+
 
 class Flit:
     """One flit of a wormhole message.

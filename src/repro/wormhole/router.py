@@ -31,7 +31,7 @@ from repro.sim.config import WormholeConfig
 from repro.sim.stats import StatsCollector
 from repro.topology.base import Topology
 from repro.topology.faults import FaultSet
-from repro.wormhole.flit import EJECT_PORT, Flit
+from repro.wormhole.flit import DROP_PORT, EJECT_PORT, Flit
 from repro.wormhole.routing import RoutingFunction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class InputVC:
     """One input virtual channel: a flit FIFO plus the worm's route."""
 
-    __slots__ = ("port", "vc", "buffer", "route")
+    __slots__ = ("port", "vc", "buffer", "route", "msg")
 
     def __init__(self, port: int, vc: int) -> None:
         self.port = port
@@ -50,6 +50,9 @@ class InputVC:
         # (out_port, out_vc) of the worm currently at the buffer head;
         # None when the head flit is an unrouted header (or buffer empty).
         self.route: tuple[int, int] | None = None
+        # msg_id of the routed worm (None whenever route is None); lets
+        # fault handling identify which messages cross a dead link.
+        self.msg: int | None = None
 
     def head(self) -> Flit | None:
         return self.buffer[0] if self.buffer else None
@@ -127,6 +130,10 @@ class WormholeRouter:
         self.active_set: set[int] | None = None
         self._rr: dict[int, int] = {}  # per-out-port round-robin pointer
         self._va_rr = 0  # VC-allocation rotation for adaptive fairness
+        # Called (msg_id, node, cycle, reason) when a worm is poisoned
+        # because every candidate output is faulty; wired by the network
+        # so the loss is recorded centrally.
+        self.drop_sink: Callable[[int, int, int, str], None] | None = None
         # Flits transmitted per output physical port (link utilization).
         self.link_flits: list[int] = [0] * ports
 
@@ -213,6 +220,7 @@ class WormholeRouter:
                     continue
                 self.eject_owner[granted] = key
                 ivc.route = (EJECT_PORT, granted)
+                ivc.msg = head.msg_id
                 continue
             tiers = self.routing.candidates(self.node, head.dst, head)
             choice = None
@@ -221,13 +229,38 @@ class WormholeRouter:
                 if choice is not None:
                     break
             if choice is None:
+                if self.faults is not None and self._all_routes_faulty(tiers):
+                    # Every candidate output is dead: blocking would wedge
+                    # this VC (and everything behind it) until a heal that
+                    # may never come.  Poison the route; traversal drains
+                    # the worm with a structured loss record.
+                    ivc.route = (DROP_PORT, 0)
+                    ivc.msg = head.msg_id
+                    self.stats.bump("wormhole.worms_poisoned")
+                    if self.drop_sink is not None:
+                        self.drop_sink(head.msg_id, self.node, cycle, "no_route")
+                    continue
                 self.stats.bump("wormhole.va_stall")
                 continue
             out_port, out_vc = choice
             self.outputs[out_port][out_vc].owner = key
             ivc.route = (out_port, out_vc)
+            ivc.msg = head.msg_id
             self._va_rr += 1
             self.stats.bump("wormhole.headers_routed")
+
+    def _all_routes_faulty(self, tiers) -> bool:
+        """True when every connected candidate output port is faulty."""
+        assert self.faults is not None
+        saw_candidate = False
+        for tier in tiers:
+            for port, _vcs in tier:
+                if self.downstream[port] is None:
+                    continue
+                saw_candidate = True
+                if not self.faults.is_faulty(self.node, port):
+                    return False
+        return saw_candidate
 
     def traversal_phase(self, cycle: int) -> int:
         """Switch + link traversal: move at most one flit per in/out port.
@@ -236,6 +269,10 @@ class WormholeRouter:
         """
         if not self._active:
             return 0
+        moved = 0
+        used_inputs: set[int] = set()
+        if self.faults is not None:
+            moved += self._drain_poisoned(cycle, used_inputs)
         # Gather requests per output port.
         requests: dict[int, list[tuple[int, int]]] = {}
         for key in self._active:
@@ -247,14 +284,13 @@ class WormholeRouter:
             if head is None or head.arrival >= cycle:
                 continue
             out_port, out_vc = ivc.route
+            if out_port == DROP_PORT:
+                continue  # drained by _drain_poisoned
             if out_port != EJECT_PORT:
                 if self.outputs[out_port][out_vc].credits <= 0:
                     self.stats.bump("wormhole.credit_stall")
                     continue
             requests.setdefault(out_port, []).append(key)
-
-        moved = 0
-        used_inputs: set[int] = set()
         w = self.config.vcs
         for out_port, reqs in requests.items():
             # Round-robin arbitration among requesting input VCs.
@@ -279,6 +315,38 @@ class WormholeRouter:
             moved += 1
         return moved
 
+    def _drain_poisoned(self, cycle: int, used_inputs: set[int]) -> int:
+        """Discard one flit per poisoned worm (DROP routes), crediting
+        upstream exactly as a real traversal would."""
+        dropped = 0
+        for key in list(self._active):
+            port, vc = key
+            ivc = self.inputs[port][vc]
+            if ivc.route is None or ivc.route[0] != DROP_PORT:
+                continue
+            head = ivc.head()
+            if head is None or head.arrival >= cycle:
+                continue
+            flit = ivc.buffer.popleft()
+            if not ivc.buffer:
+                self._active.discard(key)
+                if not self._active and self.active_set is not None:
+                    self.active_set.discard(self.node)
+            up = self.upstream[port][vc]
+            if up is not None:
+                up.credits += 1
+                if up.credits > up.max_credits:
+                    raise ProtocolError(
+                        f"credit overflow on node {self.node} input ({port},{vc})"
+                    )
+            self.stats.bump("wormhole.flits_dropped")
+            if flit.is_tail:
+                ivc.route = None
+                ivc.msg = None
+            used_inputs.add(port)
+            dropped += 1
+        return dropped
+
     def _move_flit(self, key: tuple[int, int], cycle: int) -> None:
         port, vc = key
         ivc = self.inputs[port][vc]
@@ -302,6 +370,7 @@ class WormholeRouter:
             if flit.is_tail:
                 self.eject_owner[out_vc] = None
                 ivc.route = None
+                ivc.msg = None
             self.stats.bump("wormhole.flits_ejected")
             return
         if flit.is_head:
@@ -317,6 +386,60 @@ class WormholeRouter:
         if flit.is_tail:
             out.owner = None
             ivc.route = None
+            ivc.msg = None
+
+    # -- fault handling ----------------------------------------------------
+
+    def worms_routed_via(self, out_port: int) -> set[int]:
+        """msg_ids of worms currently routed through output ``out_port``."""
+        out: set[int] = set()
+        for row in self.inputs:
+            for ivc in row:
+                if ivc.route is not None and ivc.route[0] == out_port:
+                    assert ivc.msg is not None
+                    out.add(ivc.msg)
+        return out
+
+    def purge_message(self, msg_id: int) -> int:
+        """Remove every flit of ``msg_id`` from this router.
+
+        Credits upstream per removed flit and releases any output VC or
+        ejection channel the worm holds, so the post-purge state satisfies
+        the credit-conservation invariant.  Returns flits removed.
+        """
+        removed = 0
+        for row in self.inputs:
+            for ivc in row:
+                if ivc.buffer and any(f.msg_id == msg_id for f in ivc.buffer):
+                    kept = [f for f in ivc.buffer if f.msg_id != msg_id]
+                    gone = len(ivc.buffer) - len(kept)
+                    ivc.buffer = deque(kept)
+                    up = self.upstream[ivc.port][ivc.vc]
+                    if up is not None:
+                        up.credits += gone
+                        if up.credits > up.max_credits:
+                            raise ProtocolError(
+                                f"credit overflow purging msg {msg_id} at "
+                                f"node {self.node} input ({ivc.port},{ivc.vc})"
+                            )
+                    removed += gone
+                if ivc.msg == msg_id and ivc.route is not None:
+                    key = (ivc.port, ivc.vc)
+                    out_port, out_vc = ivc.route
+                    if out_port == EJECT_PORT:
+                        if self.eject_owner[out_vc] == key:
+                            self.eject_owner[out_vc] = None
+                    elif out_port >= 0:
+                        out = self.outputs[out_port][out_vc]
+                        if out.owner == key:
+                            out.owner = None
+                    ivc.route = None
+                    ivc.msg = None
+                if not ivc.buffer:
+                    self._active.discard((ivc.port, ivc.vc))
+        if not self._active and self.active_set is not None:
+            self.active_set.discard(self.node)
+        return removed
 
     # -- introspection (verification / debugging) -------------------------
 
@@ -354,7 +477,9 @@ class WormholeRouter:
             if ivc.route is None and head.is_head:
                 entry["reason"] = "unrouted"
                 out.append(entry)
-            elif ivc.route is not None and ivc.route[0] != EJECT_PORT:
+            elif ivc.route is not None and ivc.route[0] not in (
+                EJECT_PORT, DROP_PORT
+            ):
                 op, ov = ivc.route
                 if self.outputs[op][ov].credits <= 0:
                     entry["reason"] = "no_credit"

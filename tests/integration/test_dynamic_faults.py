@@ -1,0 +1,184 @@
+"""Dynamic fault injection end to end (E7b foundations).
+
+Links die (and heal) mid-run: established wave circuits must be torn
+down end-to-end, in-flight worms purged with credits restored, and --
+with the reliability layer on -- every message either delivered or
+reported as an explicit DeliveryFailure.  Runs are bit-reproducible for
+a fixed seed and schedule.
+"""
+
+from repro.core.circuit_cache import CacheEntryState
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.sim.config import NetworkConfig, ReliabilityConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.topology import FaultSchedule, build_topology
+from repro.topology.faults import derive_fault_rng
+from repro.traffic import UniformPattern, uniform_workload
+from repro.verify import (
+    check_all_invariants,
+    check_fault_isolation,
+    teardown_latency,
+)
+
+
+def x_port(topo, node):
+    return next(
+        p for p in topo.connected_ports(node)
+        if topo.neighbor(node, p) == node + 1
+    )
+
+
+def drain(net, limit=60_000):
+    for _ in range(limit):
+        net.step()
+        if net.is_idle():
+            return
+    raise AssertionError(f"network not idle after {limit} cycles")
+
+
+class TestCircuitFaultTeardown:
+    def _net_with_kill(self, kill_cycle, reliability=None):
+        config = NetworkConfig(
+            dims=(4, 4), protocol="clrp", wave=WaveConfig(), seed=1,
+            reliability=reliability,
+        )
+        topo = build_topology("mesh", (4, 4))
+        sched = FaultSchedule(topo)
+        sched.schedule_kill(kill_cycle, 1, x_port(topo, 1))
+        return Network(config, faults=sched), sched
+
+    def test_established_circuit_severed_and_invalidated(self):
+        net, sched = self._net_with_kill(kill_cycle=200)
+        # Long transfer: still streaming over 0-1-2-3 when the middle
+        # link dies at cycle 200.
+        net.inject(MessageFactory().make(0, 3, 2000, 0))
+        net.run(205)  # through the kill cycle
+        assert any(r.reason == "circuit_severed" for r in net.stats.losses)
+        assert net.stats.counters["circuit.fault_teardowns"] >= 1
+        assert net.stats.counters["cache.fault_invalidations"] >= 1
+        entry = net.interfaces[0].engine.cache.lookup(3)
+        assert entry is None or entry.state is not CacheEntryState.ESTABLISHED
+        drain(net)
+        # The message is gone (no reliability layer), but nothing else is
+        # allowed to be inconsistent or reference the dead link.
+        assert not net.stats.delivered_records()
+        net.run(teardown_latency(net))
+        check_all_invariants(net)
+        check_fault_isolation(net)
+
+    def test_severed_transfer_recovered_by_retransmit(self):
+        rel = ReliabilityConfig(
+            timeout=6000, backoff=2, max_timeout=24000, max_retries=4
+        )
+        net, sched = self._net_with_kill(kill_cycle=200, reliability=rel)
+        net.inject(MessageFactory().make(0, 3, 2000, 0))
+        drain(net)
+        # The replacement circuit searches around the dead link.
+        assert len(net.stats.delivered_records()) == 1
+        assert net.stats.counters["reliability.retransmits"] >= 1
+        assert not net.stats.delivery_failures
+        net.run(teardown_latency(net))
+        check_all_invariants(net)
+        check_fault_isolation(net)
+
+    def test_setting_up_circuit_aborted_by_kill(self):
+        # Kill while the probe's reservations are still being acked: the
+        # setup unwinds and the engine retries or falls back -- no crash,
+        # no orphan reservations.
+        net, sched = self._net_with_kill(kill_cycle=3)
+        net.inject(MessageFactory().make(0, 3, 64, 0))
+        drain(net)
+        net.run(teardown_latency(net))
+        check_all_invariants(net)
+        check_fault_isolation(net)
+
+
+class TestWormholePurge:
+    def test_inflight_worm_purged_with_credits_restored(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        topo = build_topology("mesh", (4, 4))
+        sched = FaultSchedule(topo)
+        sched.schedule_kill(6, 1, x_port(topo, 1))
+        net = Network(config, faults=sched)
+        net.inject(MessageFactory().make(0, 3, 64, 0))
+        drain(net)
+        assert any(r.reason == "link_down" for r in net.stats.losses)
+        assert net.stats.counters["fault.worms_purged"] >= 1
+        assert not net.stats.delivered_records()
+        # Credit sanity after the purge is the critical part: every
+        # dropped flit must have returned its credit upstream.
+        check_all_invariants(net)
+
+    def test_unaffected_traffic_still_delivers(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        topo = build_topology("mesh", (4, 4))
+        sched = FaultSchedule(topo)
+        sched.schedule_kill(6, 1, x_port(topo, 1))
+        net = Network(config, faults=sched)
+        factory = MessageFactory()
+        net.inject(factory.make(0, 3, 64, 0))   # crosses the dying link
+        net.inject(factory.make(12, 15, 64, 0))  # disjoint row, unaffected
+        drain(net)
+        delivered = net.stats.delivered_records()
+        assert len(delivered) == 1
+        assert delivered[0].src == 12
+        check_all_invariants(net)
+
+
+class TestRandomizedCampaign:
+    def _run(self, protocol, seed):
+        wave = None if protocol == "wormhole" else WaveConfig()
+        config = NetworkConfig(
+            dims=(4, 4), protocol=protocol, wave=wave, seed=seed,
+            reliability=ReliabilityConfig(
+                timeout=128, backoff=2, max_timeout=1024, max_retries=8
+            ),
+        )
+        topo = build_topology("mesh", (4, 4))
+        sched = FaultSchedule.random_campaign(
+            topo, mtbf=300, mttr=150, horizon=1500,
+            rng=derive_fault_rng(seed),
+        )
+        net = Network(config, faults=sched)
+        workload = uniform_workload(
+            MessageFactory(),
+            UniformPattern(16),
+            num_nodes=16,
+            offered_load=0.05,
+            length=16,
+            duration=800,
+            rng=SimRandom(seed),
+        )
+        sim = Simulator(
+            net, workload, deadlock_check_interval=128, progress_timeout=4000
+        )
+        result = sim.run(60_000)
+        assert result.completed, "campaign run must drain"
+        failures = len(net.stats.delivery_failures)
+        assert result.injected == result.delivered + failures, (
+            "every message must be delivered or explicitly reported"
+        )
+        check_all_invariants(net)
+        if net.cycle >= sched.last_kill_cycle + teardown_latency(net):
+            check_fault_isolation(net)
+        return dict(net.stats.counters), result
+
+    def test_no_silent_loss_clrp(self):
+        counters, result = self._run("clrp", 0)
+        assert counters.get("fault.links_killed", 0) >= 1
+        assert result.delivered > 0
+
+    def test_no_silent_loss_wormhole(self):
+        counters, result = self._run("wormhole", 0)
+        assert counters.get("fault.links_killed", 0) >= 1
+        assert result.delivered > 0
+
+    def test_bit_deterministic_repeat(self):
+        c1, r1 = self._run("clrp", 3)
+        c2, r2 = self._run("clrp", 3)
+        assert c1 == c2
+        assert (r1.cycles, r1.delivered, r1.injected) == (
+            r2.cycles, r2.delivered, r2.injected
+        )

@@ -166,3 +166,52 @@ class TestBuildWorkload:
         items = build_workload(spec, build_topology("mesh", (4, 4)))
         # 4x4 mesh: 2 phases x sum of node degrees (2*24 directed links)
         assert len(items) == 2 * 48
+
+
+class TestFaultAndReliabilityFields:
+    def test_defaults_omitted_from_dict(self):
+        """Disabled fields must vanish from to_dict so pre-existing
+        stored results keep their content-hash keys."""
+        data = clrp_spec().to_dict()
+        assert "mtbf" not in data
+        assert "mttr" not in data
+        assert "reliability" not in data["config"]
+
+    def test_mtbf_round_trip(self):
+        spec = clrp_spec(mtbf=1500, mttr=700)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.mtbf == 1500 and again.mttr == 700
+
+    def test_reliability_round_trip(self):
+        from repro.sim.config import ReliabilityConfig
+
+        config = NetworkConfig(
+            dims=(4, 4), protocol="clrp",
+            reliability=ReliabilityConfig(timeout=99, max_retries=3),
+        )
+        spec = JobSpec(
+            config=config,
+            workload=WorkloadRecipe.make(
+                "uniform", load=0.1, length=16, duration=300
+            ),
+        )
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.config.reliability.timeout == 99
+
+    def test_mtbf_changes_key(self):
+        assert clrp_spec().key() != clrp_spec(mtbf=1000).key()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            clrp_spec(mtbf=-1)
+        with pytest.raises(ConfigError):
+            clrp_spec(mttr=-1)
+
+    def test_json_round_trip_with_faults(self):
+        import json
+
+        spec = clrp_spec(mtbf=800, mttr=200)
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert JobSpec.from_dict(data).key() == spec.key()

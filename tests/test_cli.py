@@ -170,3 +170,56 @@ class TestFaultFlag:
         # codes are legitimate; what matters is it runs and reports.
         assert code in (0, 1)
         assert "machine" in capsys.readouterr().out
+
+
+class TestDynamicFaultFlags:
+    def test_run_with_mtbf(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "clrp", "--load", "0.05",
+            "--length", "16", "--duration", "500", "--mtbf", "600",
+            "--mttr", "300", "--max-cycles", "50000",
+        ])
+        assert code == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_run_with_explicit_schedule_and_reliability(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "wormhole", "--load",
+            "0.05", "--length", "8", "--duration", "300",
+            "--fault-schedule", "50:kill:5:0,150:heal:5:0", "--reliable",
+            "--max-cycles", "50000",
+        ])
+        assert code == 0
+
+    def test_mtbf_and_schedule_are_exclusive(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--protocol", "wormhole",
+            "--mtbf", "100", "--fault-schedule", "50:kill:5:0",
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_schedule_spec_rejected(self, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--fault-schedule", "50:explode:5:0",
+        ])
+        assert code == 2
+
+
+class TestChaos:
+    def test_chaos_smoke_passes(self, capsys):
+        code = main([
+            "chaos", "--dims", "4x4", "--duration", "300", "--max-cycles",
+            "40000", "--mtbf", "500", "--mttr", "250", "--seeds", "0",
+            "--protocols", "clrp,wormhole", "--length", "8", "--load", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all runs drained" in out
+        assert "clrp#0" in out and "wormhole#0" in out
+
+    def test_chaos_rejects_explicit_schedule(self, capsys):
+        code = main([
+            "chaos", "--dims", "4x4", "--fault-schedule", "10:kill:0:0",
+        ])
+        assert code == 2

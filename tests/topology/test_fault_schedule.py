@@ -1,0 +1,194 @@
+"""Dynamic fault schedules: events, campaigns, and the connectivity guard."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.rng import SimRandom
+from repro.topology import FaultSchedule, FaultSet, Mesh
+from repro.topology.faults import (
+    HEAL,
+    KILL,
+    FaultEvent,
+    _still_connected,
+    derive_fault_rng,
+)
+
+
+def port_toward(topo, node, nbr):
+    return next(
+        p for p in topo.connected_ports(node) if topo.neighbor(node, p) == nbr
+    )
+
+
+class TestFaultEvent:
+    def test_ordered_by_cycle_first(self):
+        assert FaultEvent(5, KILL, 9, 9) < FaultEvent(6, HEAL, 0, 0)
+
+    def test_heal_sorts_before_kill_same_cycle(self):
+        kill = FaultEvent(10, KILL, 0, 0)
+        heal = FaultEvent(10, HEAL, 0, 0)
+        assert sorted([kill, heal]) == [heal, kill]
+
+
+class TestFaultSchedule:
+    def test_schedule_pop_apply_flow(self):
+        sched = FaultSchedule(Mesh((4, 4)))
+        sched.schedule_kill(100, 0, 0)
+        sched.schedule_kill(50, 1, 0)
+        assert sched.next_event_cycle() == 50
+        assert not sched.has_due(49)
+        assert sched.has_due(50)
+        due = sched.pop_due(50)
+        assert [ev.cycle for ev in due] == [50]
+        # pop_due advances the cursor but does NOT change membership.
+        assert not sched.is_faulty(1, 0)
+        sched.apply(due[0])
+        assert sched.is_faulty(1, 0)
+        assert sched.last_kill_cycle == 50
+        assert sched.pending == 1
+        assert sched.applied == due
+
+    def test_heal_restores_link(self):
+        sched = FaultSchedule(Mesh((4, 4)))
+        sched.schedule_kill(10, 0, 0)
+        sched.schedule_heal(20, 0, 0)
+        for ev in sched.pop_due(20):
+            sched.apply(ev)
+        assert not sched.is_faulty(0, 0)
+        assert len(sched) == 0
+        assert sched.last_kill_cycle == 10
+
+    def test_cannot_schedule_into_past(self):
+        sched = FaultSchedule(Mesh((4, 4)))
+        sched.schedule_kill(10, 0, 0)
+        sched.pop_due(10)
+        with pytest.raises(TopologyError, match="already applied"):
+            sched.schedule_kill(5, 1, 0)
+
+    def test_rejects_unconnected_link(self):
+        sched = FaultSchedule(Mesh((4, 4)))
+        with pytest.raises(TopologyError):
+            sched.schedule_kill(10, 0, 1)  # x-minus at the corner
+
+    def test_rejects_negative_cycle(self):
+        sched = FaultSchedule(Mesh((4, 4)))
+        with pytest.raises(TopologyError):
+            sched.schedule_kill(-1, 0, 0)
+
+    def test_constructor_sorts_events(self):
+        topo = Mesh((4, 4))
+        events = [FaultEvent(30, KILL, 1, 0), FaultEvent(10, KILL, 0, 0)]
+        sched = FaultSchedule(topo, events)
+        assert [ev.cycle for ev in sched.events] == [10, 30]
+
+
+class TestRandomCampaign:
+    def test_deterministic_for_fixed_seed(self):
+        topo = Mesh((4, 4))
+        a = FaultSchedule.random_campaign(
+            topo, mtbf=200, rng=derive_fault_rng(7), horizon=4000, mttr=100
+        )
+        b = FaultSchedule.random_campaign(
+            topo, mtbf=200, rng=derive_fault_rng(7), horizon=4000, mttr=100
+        )
+        assert a.events == b.events
+        assert a.events, "mtbf=200 over 4000 cycles must produce kills"
+
+    def test_kills_within_horizon_and_paired_heals(self):
+        topo = Mesh((4, 4))
+        sched = FaultSchedule.random_campaign(
+            topo, mtbf=300, rng=derive_fault_rng(1), horizon=3000, mttr=150
+        )
+        kills = [ev for ev in sched.events if ev.kind == KILL]
+        heals = [ev for ev in sched.events if ev.kind == HEAL]
+        assert all(ev.cycle < 3000 for ev in kills)
+        assert len(heals) == len(kills)
+        healed = {(ev.cycle, ev.node, ev.port) for ev in heals}
+        for ev in kills:
+            assert (ev.cycle + 150, ev.node, ev.port) in healed
+
+    def test_no_heals_when_mttr_zero(self):
+        topo = Mesh((4, 4))
+        sched = FaultSchedule.random_campaign(
+            topo, mtbf=200, rng=derive_fault_rng(2), horizon=4000
+        )
+        assert all(ev.kind == KILL for ev in sched.events)
+
+    def test_keep_connected_throughout_replay(self):
+        topo = Mesh((4, 4))
+        sched = FaultSchedule.random_campaign(
+            topo, mtbf=100, rng=derive_fault_rng(3), horizon=5000, mttr=400
+        )
+        for ev in sched.events:
+            sched.apply(ev)
+            assert _still_connected(topo, sched._faulty)
+
+    def test_mtbf_validation(self):
+        with pytest.raises(TopologyError):
+            FaultSchedule.random_campaign(
+                Mesh((4, 4)), mtbf=0, rng=derive_fault_rng(0), horizon=100
+            )
+        with pytest.raises(TopologyError):
+            FaultSchedule.random_campaign(
+                Mesh((4, 4)), mtbf=10, rng=derive_fault_rng(0), horizon=100,
+                mttr=-1,
+            )
+
+
+class TestConnectivityGuard:
+    """Regression: the guard must be a real BFS, not a degree check."""
+
+    def test_degree_guard_alone_is_insufficient(self):
+        # Cut 3 of the 4 links crossing the middle of a 4x4 mesh.  Every
+        # node still has degree >= 2, but killing the 4th would split the
+        # mesh in half -- only the BFS sees that.
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        crossing = [(4 + x, port_toward(topo, 4 + x, 8 + x)) for x in range(4)]
+        for node, port in crossing[:3]:
+            faults.fail_link(node, port)
+        node, port = crossing[3]
+        nbr = topo.neighbor(node, port)
+        assert len(faults.healthy_ports(node, topo.connected_ports(node))) >= 2
+        assert len(faults.healthy_ports(nbr, topo.connected_ports(nbr))) >= 2
+        assert faults.would_disconnect(node, port)
+
+    def test_fail_random_links_never_partitions(self):
+        for seed in range(6):
+            topo = Mesh((4, 4))
+            faults = FaultSet(topo)
+            faults.fail_random_links(0.4, SimRandom(seed))
+            assert _still_connected(topo, faults._faulty), f"seed {seed}"
+
+    def test_random_links_refuse_final_cut(self):
+        # With the middle almost severed, random failing must leave the
+        # last crossing link alone no matter how high the target.
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        crossing = [(4 + x, port_toward(topo, 4 + x, 8 + x)) for x in range(4)]
+        for node, port in crossing[:3]:
+            faults.fail_link(node, port)
+        faults.fail_random_links(0.5, SimRandom(9))
+        assert _still_connected(topo, faults._faulty)
+
+
+class TestHealLink:
+    def test_heal_unconnected_raises(self):
+        faults = FaultSet(Mesh((4, 4)))
+        with pytest.raises(TopologyError):
+            faults.heal_link(0, 1)
+
+    def test_heal_is_bidirectional_by_default(self):
+        topo = Mesh((4, 4))
+        faults = FaultSet(topo)
+        faults.fail_link(5, 0)
+        faults.heal_link(5, 0)
+        assert len(faults) == 0
+
+
+class TestDeriveFaultRng:
+    def test_matches_legacy_derivation(self):
+        a, b = FaultSet(Mesh((4, 4))), FaultSet(Mesh((4, 4)))
+        a.fail_random_links(0.25, derive_fault_rng(3))
+        b.fail_random_links(0.25, SimRandom(3).fork("faults"))
+        assert a._faulty == b._faulty

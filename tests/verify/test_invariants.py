@@ -103,3 +103,42 @@ class TestInvariantsCatchCorruption:
         net.routers[0].outputs[0][0].credits = 99
         with pytest.raises(ProtocolError):
             check_credit_sanity(net)
+
+
+class TestFaultIsolation:
+    """check_fault_isolation (gated, not in ALL_CHECKS)."""
+
+    def test_clean_without_faults(self):
+        from repro.verify import check_fault_isolation
+
+        net, sim = loaded_net()
+        sim.run(5000)
+        check_fault_isolation(net)  # no fault set attached: vacuous pass
+
+    def test_detects_live_circuit_over_dead_link(self):
+        from repro.topology import FaultSet, build_topology
+        from repro.verify import check_fault_isolation
+
+        topo = build_topology("mesh", (4, 4))
+        faults = FaultSet(topo)
+        net = Network(
+            NetworkConfig(dims=(4, 4), protocol="clrp"), faults=faults
+        )
+        factory = MessageFactory()
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        Simulator(net, []).run(5000)
+        circuit = net.plane.table.established()[0]
+        node, port = circuit.path[0]
+        # Kill the link under the established circuit WITHOUT running the
+        # protocol reaction: the checker must flag the stale reference.
+        faults.fail_link(node, port)
+        with pytest.raises(ProtocolError):
+            check_fault_isolation(net)
+
+    def test_teardown_latency_positive_for_wave(self):
+        from repro.verify import teardown_latency
+
+        net, _sim = loaded_net()
+        assert teardown_latency(net) > 0
+        worm_net = Network(NetworkConfig(dims=(4, 4), protocol="wormhole"))
+        assert teardown_latency(worm_net) == 0

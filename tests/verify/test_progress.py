@@ -9,7 +9,7 @@ from repro.sim.config import NetworkConfig, WaveConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
 from repro.traffic import UniformPattern, uniform_workload
-from repro.verify import ProbeWorkMonitor, max_message_age
+from repro.verify import ProbeWorkMonitor, ProgressMonitor, max_message_age
 
 
 class TestProbeWorkMonitor:
@@ -51,6 +51,18 @@ class TestProbeWorkMonitor:
         with pytest.raises(LivelockError):
             monitor.check()
 
+    def test_exactly_at_bound_is_legal(self):
+        """The MB-m bound is inclusive: work == bound() must not trip."""
+        config = NetworkConfig(dims=(4, 4), protocol="clrp")
+        net = Network(config)
+        monitor = ProbeWorkMonitor(net, max_waits=0)
+        circuit, probe = net.plane.launch_probe(0, 5, 0, force=False, cycle=0)
+        probe.hops = monitor.bound()
+        monitor.check()  # no raise
+        probe.backtracks = 1  # work = bound() + 1
+        with pytest.raises(LivelockError):
+            monitor.check()
+
 
 class TestMessageAge:
     def test_zero_when_all_delivered(self):
@@ -71,6 +83,71 @@ class TestMessageAge:
         net.inject(factory.make(0, 15, 4096, 0))
         net.run(10)
         assert max_message_age(net) == 10
+
+
+class TestMessageAgeIdle:
+    def test_zero_on_empty_idle_network(self):
+        """A network that never saw a message has no age to report."""
+        net = Network(NetworkConfig(dims=(4, 4), protocol="clrp"))
+        assert net.is_idle()
+        assert max_message_age(net) == 0
+        net.run(50)  # stays zero no matter how long it idles
+        assert max_message_age(net) == 0
+
+
+class _StubNetwork:
+    """Minimal surface the ProgressMonitor reads."""
+
+    def __init__(self):
+        self.work_counter = 0
+        self.cycle = 0
+        self.idle = False
+        self.recovery = False
+
+    def is_idle(self):
+        return self.idle
+
+    def recovery_pending(self):
+        return self.recovery
+
+    def outstanding_messages(self):
+        return 1
+
+
+class TestProgressMonitor:
+    def test_classifications(self):
+        net = _StubNetwork()
+        mon = ProgressMonitor(net, stall_threshold=10)
+        net.work_counter, net.cycle = 1, 1
+        assert mon.observe() == "progressing"
+        net.cycle = 2
+        assert mon.observe() == "stalled"
+        net.recovery, net.cycle = True, 3
+        assert mon.observe() == "fault_recovery"
+        net.recovery, net.idle, net.cycle = False, True, 4
+        assert mon.observe() == "idle"
+
+    def test_check_raises_once_threshold_reached(self):
+        net = _StubNetwork()
+        mon = ProgressMonitor(net, stall_threshold=5)
+        for cycle in range(1, 5):
+            net.cycle = cycle
+            mon.check()  # stalled, but under the threshold
+        net.cycle = 6
+        with pytest.raises(LivelockError):
+            mon.check()
+
+    def test_fault_recovery_defers_livelock(self):
+        net = _StubNetwork()
+        net.recovery = True
+        mon = ProgressMonitor(net, stall_threshold=5)
+        for cycle in range(1, 50):
+            net.cycle = cycle
+            mon.check()  # recovery pending: anchor keeps moving
+        net.recovery = False
+        net.cycle = 54  # 5 cycles past the last recovery observation
+        with pytest.raises(LivelockError):
+            mon.check()
 
 
 class TestEngineProgressTimeout:
