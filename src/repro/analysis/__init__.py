@@ -10,7 +10,12 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.timeline import TimelineTracker, TimelineWindow
 from repro.analysis.report import format_series, format_table
-from repro.analysis.utilization import UtilizationReport, measure_utilization
+from repro.analysis.utilization import (
+    UtilizationReport,
+    UtilizationSnapshot,
+    measure_utilization,
+    snapshot_utilization,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -21,9 +26,11 @@ __all__ = [
     "latency_breakdown",
     "run_seed_sweep",
     "UtilizationReport",
+    "UtilizationSnapshot",
     "format_series",
     "format_table",
     "measure_utilization",
+    "snapshot_utilization",
     "run_experiment",
     "run_load_sweep",
 ]

@@ -49,6 +49,7 @@ def run_experiment(
     progress_timeout: int = 0,
     faults: FaultSet | None = None,
     network: Network | None = None,
+    sampler=None,
 ) -> ExperimentResult:
     """Simulate one configuration against one workload.
 
@@ -59,6 +60,8 @@ def run_experiment(
         network: pre-built network (for fault experiments needing a shared
             FaultSet built against the network's topology); otherwise one
             is built from ``config``.
+        sampler: optional :class:`~repro.observe.metrics.NetworkSampler`
+            passed through to the :class:`Simulator`.
     """
     net = network if network is not None else Network(config, faults=faults)
     sim = Simulator(
@@ -66,6 +69,7 @@ def run_experiment(
         workload,
         deadlock_check_interval=deadlock_check_interval,
         progress_timeout=progress_timeout,
+        sampler=sampler,
     )
     result = sim.run(max_cycles)
     stats = net.stats

@@ -13,8 +13,16 @@ This module turns a finished run into per-link utilization figures:
 * concentration statistics (max, mean, Gini coefficient) that expose
   hotspots.
 
-Circuit attribution uses the circuit table: every completed transfer
-pushed ``message.length`` flits across each hop of its circuit.
+Circuit attribution uses the wave plane's persistent per-channel tally
+(``plane.streamed_by_channel``), not the circuit table: circuits torn
+down by CLRP replacement or fault recovery keep their streamed flits in
+the numerator.
+
+Warmup exclusion works on *deltas*: take a :func:`snapshot_utilization`
+at the end of warmup and pass it as ``baseline`` so both numerator and
+denominator cover the same window.  Passing ``since_cycle`` alone (the
+old warmup API, which shrank only the denominator and could report
+utilization above 1.0) is rejected.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import Network
+
+#: Summary kinds accepted by :meth:`UtilizationReport.summary`.
+SUMMARY_KINDS = ("wormhole", "circuit")
 
 
 @dataclass
@@ -52,6 +63,11 @@ class UtilizationReport:
         return (n + 1 - 2 * weighted / total) / n
 
     def summary(self, kind: str = "wormhole") -> dict[str, float]:
+        if kind not in SUMMARY_KINDS:
+            raise ValueError(
+                f"unknown utilization kind {kind!r}; expected one of "
+                f"{', '.join(SUMMARY_KINDS)}"
+            )
         values = list(
             (self.wormhole if kind == "wormhole" else self.circuit).values()
         )
@@ -64,30 +80,85 @@ class UtilizationReport:
         }
 
 
-def measure_utilization(network: "Network", *, since_cycle: int = 0) -> UtilizationReport:
+@dataclass(frozen=True)
+class UtilizationSnapshot:
+    """Counter state at one instant, for windowed (post-warmup) measures."""
+
+    cycle: int
+    # Directed link (node, port) -> cumulative flits transmitted.
+    link_flits: dict[tuple[int, int], int]
+    # Wave channel (node, port, switch) -> cumulative flits streamed.
+    streamed: dict[tuple[int, int, int], int]
+
+
+def snapshot_utilization(network: "Network") -> UtilizationSnapshot:
+    """Capture the utilization counters at the network's current cycle."""
+    link_flits = {
+        (router.node, port): flits
+        for router in network.routers
+        for port, flits in enumerate(router.link_flits)
+        if router.downstream[port] is not None
+    }
+    streamed = (
+        dict(network.plane.streamed_by_channel)
+        if network.plane is not None
+        else {}
+    )
+    return UtilizationSnapshot(
+        cycle=network.cycle, link_flits=link_flits, streamed=streamed
+    )
+
+
+def measure_utilization(
+    network: "Network",
+    *,
+    since_cycle: int = 0,
+    baseline: UtilizationSnapshot | None = None,
+) -> UtilizationReport:
     """Build a :class:`UtilizationReport` from a (finished) network.
 
-    ``since_cycle`` subtracts a warmup prefix from the denominator; the
-    numerators are whole-run totals, so use 0 unless the run was reset.
+    With no arguments the report covers the whole run.  To exclude a
+    warmup prefix, snapshot at the end of warmup and pass it back::
+
+        base = snapshot_utilization(net)   # at cycle W
+        ... run the measured window ...
+        report = measure_utilization(net, baseline=base)
+
+    Both numerators and the denominator are then deltas over the same
+    ``[base.cycle, net.cycle)`` window, so every utilization lands in
+    [0, 1] (up to the streaming-rate normalisation).  ``since_cycle``
+    alone is rejected: subtracting warmup cycles from the denominator
+    while keeping whole-run numerators inflates utilization past 1.0.
     """
+    if baseline is not None:
+        if since_cycle and since_cycle != baseline.cycle:
+            raise ValueError(
+                f"since_cycle={since_cycle} conflicts with "
+                f"baseline.cycle={baseline.cycle}"
+            )
+        since_cycle = baseline.cycle
+    elif since_cycle:
+        raise ValueError(
+            "since_cycle without a baseline snapshot would divide "
+            "whole-run flit totals by a warmup-shortened denominator; "
+            "capture snapshot_utilization(network) at the warmup "
+            "boundary and pass it as baseline="
+        )
     cycles = max(1, network.cycle - since_cycle)
+    base_links = baseline.link_flits if baseline is not None else {}
+    base_streamed = baseline.streamed if baseline is not None else {}
     report = UtilizationReport(cycles=cycles)
     for router in network.routers:
         for port, flits in enumerate(router.link_flits):
             if router.downstream[port] is None:
                 continue
-            report.wormhole[(router.node, port)] = flits / cycles
+            key = (router.node, port)
+            report.wormhole[key] = (flits - base_links.get(key, 0)) / cycles
     if network.plane is not None:
         rate = network.plane.config.flits_per_cycle
         capacity = cycles * rate
-        flits_by_channel: dict[tuple[int, int, int], int] = {}
-        for circuit in network.plane.table.circuits.values():
-            if circuit.flits_streamed == 0:
-                continue
-            for key in circuit.hop_channels():
-                flits_by_channel[key] = (
-                    flits_by_channel.get(key, 0) + circuit.flits_streamed
-                )
-        for key, flits in flits_by_channel.items():
-            report.circuit[key] = flits / capacity
+        for key, flits in network.plane.streamed_by_channel.items():
+            delta = flits - base_streamed.get(key, 0)
+            if delta:
+                report.circuit[key] = delta / capacity
     return report

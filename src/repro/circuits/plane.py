@@ -84,6 +84,10 @@ class WavePlane:
         self.work_done = 0  # incremented by every state-changing event
         # Optional protocol event trace (repro.sim.events).
         self.log: EventLog | None = None
+        # Persistent flits-streamed tally per channel.  Circuits can be
+        # torn down (CLRP replacement, fault recovery) and eventually
+        # pruned from the table; utilization must not lose their traffic.
+        self.streamed_by_channel: dict[ChannelKey, int] = {}
 
     # -- registration -----------------------------------------------------
 
@@ -665,6 +669,10 @@ class WavePlane:
             circuit.in_use = False
             circuit.uses += 1
             circuit.flits_streamed += transfer.length
+            for key in circuit.hop_channels():
+                self.streamed_by_channel[key] = (
+                    self.streamed_by_channel.get(key, 0) + transfer.length
+                )
             if self.log is not None:
                 self.log.emit(cycle, EventKind.TRANSFER_COMPLETE, circuit.src,
                               transfer.message.msg_id,

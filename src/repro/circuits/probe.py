@@ -28,6 +28,7 @@ from enum import Enum
 from typing import TYPE_CHECKING
 
 from repro.errors import ProtocolError
+from repro.sim.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuits.plane import WavePlane
@@ -164,6 +165,10 @@ class Probe:
             self.status = ProbeStatus.WAITING
             self.waits += 1
             plane.stats.bump("probe.waits")
+            if plane.log is not None:
+                plane.log.emit(cycle, EventKind.PROBE_WAIT, self.at_node,
+                               self.probe_id, circuit=self.circuit_id,
+                               victims=len(victims))
         for _port, circuit_id in victims:
             if circuit_id in self.requested_releases:
                 continue

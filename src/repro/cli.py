@@ -26,6 +26,15 @@ Any simulating subcommand takes ``--fault-fraction`` (static dead links),
 ``--mtbf``/``--mttr`` (random dynamic campaign), ``--fault-schedule
 "cycle:kill|heal:node:port,..."`` (explicit events) and ``--reliable``
 (end-to-end ack/retransmit layer).
+
+Observability: ``repro trace <args>`` runs one configuration with event
+tracing on and exports a Perfetto-loadable Chrome trace JSON (plus an
+optional JSONL metrics dump); ``run`` and ``heatmap`` accept ``--trace``
+/ ``--trace-limit`` / ``--trace-out`` for the same export, and every
+simulating subcommand takes ``--metrics-every N`` to sample the metric
+registry on an N-cycle cadence (sweep/compare/chaos/batch jobs then
+carry per-job ``observe`` summaries in their result store).  ``-v``
+(before the subcommand) raises log verbosity to DEBUG.
 """
 
 from __future__ import annotations
@@ -39,6 +48,15 @@ from repro.analysis.report import format_table
 from repro.errors import ConfigError
 from repro.network.message import MessageFactory
 from repro.network.network import Network
+from repro.observe import (
+    DEFAULT_TRACE_LIMIT,
+    NetworkSampler,
+    Tracer,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.observe.logbook import configure as configure_logging
+from repro.observe.logbook import get_logger
 from repro.orchestrate import (
     JobSpec,
     PoolProgress,
@@ -60,6 +78,8 @@ from repro.topology.faults import derive_fault_rng
 from repro.traffic.compiler import compile_directives
 from repro.traffic.patterns import make_pattern
 from repro.traffic.workloads import uniform_workload
+
+logger = get_logger("cli")
 
 
 def parse_dims(text: str) -> tuple[int, ...]:
@@ -178,22 +198,70 @@ def build_faults(config: NetworkConfig, args: argparse.Namespace):
     return faults
 
 
+@dataclasses.dataclass
+class Observed:
+    """Observability instruments attached to a direct-run simulation."""
+
+    tracer: Tracer | None = None
+    sampler: NetworkSampler | None = None
+
+    @property
+    def registry(self):
+        return self.sampler.registry if self.sampler is not None else None
+
+
+def build_observability(net: Network, args: argparse.Namespace) -> Observed:
+    """Attach tracer/sampler to a network per the CLI flags."""
+    obs = Observed()
+    if getattr(args, "trace", False):
+        obs.tracer = Tracer(getattr(args, "trace_limit", DEFAULT_TRACE_LIMIT))
+        net.attach_event_log(obs.tracer)
+    every = getattr(args, "metrics_every", 0)
+    if getattr(args, "metrics_out", None) and not every:
+        raise ConfigError("--metrics-out requires --metrics-every N")
+    if every:
+        obs.sampler = NetworkSampler(net, every)
+    return obs
+
+
+def export_observability(args: argparse.Namespace, obs: Observed) -> None:
+    """Write trace JSON / metrics JSONL outputs requested by the flags."""
+    if obs.tracer is not None:
+        out = getattr(args, "trace_out", None) or "repro-trace.json"
+        count = write_chrome_trace(out, obs.tracer, registry=obs.registry)
+        s = obs.tracer.summary()
+        logger.info(
+            "trace: %d event(s) retained of %d emitted (%d dropped) "
+            "-> %s (%d trace events)",
+            s["retained"], s["emitted"], s["dropped"], out, count,
+        )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and obs.registry is not None:
+        lines = write_metrics_jsonl(metrics_out, obs.registry)
+        logger.info("metrics: %d sample(s) -> %s", lines, metrics_out)
+
+
 def simulate(config: NetworkConfig, items, args: argparse.Namespace):
     net = Network(config, faults=build_faults(config, args))
+    obs = build_observability(net, args)
     sim = Simulator(
         net,
         items,
         deadlock_check_interval=args.deadlock_check,
         progress_timeout=args.progress_timeout,
+        sampler=obs.sampler,
     )
     result = sim.run(args.max_cycles)
-    return net, result
+    if obs.sampler is not None:
+        obs.sampler.flush(net)
+    export_observability(args, obs)
+    return net, result, obs
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = build_config(args)
     items = build_items(config, args, args.load)
-    net, result = simulate(config, items, args)
+    net, result, _obs = simulate(config, items, args)
     print(f"machine : {config.describe()}")
     print(f"result  : {result.summary()}")
     breakdown = net.stats.mode_breakdown()
@@ -255,6 +323,7 @@ def job_spec(
         progress_timeout=args.progress_timeout,
         mtbf=getattr(args, "mtbf", 0),
         mttr=getattr(args, "mttr", 0),
+        metrics_every=getattr(args, "metrics_every", 0),
     )
 
 
@@ -275,12 +344,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for load, outcome in zip(loads, outcomes):
         if not outcome.ok:
             failures += 1
-            print(f"load {load:g}: FAILED ({outcome.failure['kind']}: "
-                  f"{outcome.failure['message'].splitlines()[0]})")
+            logger.info("load %g: FAILED (%s: %s)", load,
+                        outcome.failure["kind"],
+                        outcome.failure["message"].splitlines()[0])
             rows.append((load, "failed", "-", "-"))
             continue
         m = outcome.metrics
-        print(f"load {load:g}: throughput {m['throughput']:.3f} flits/node/cycle")
+        logger.info("load %g: throughput %.3f flits/node/cycle",
+                    load, m["throughput"])
         rows.append(
             (load, m["throughput"], m["mean_latency"],
              f"{m['delivered']}/{m['injected']}")
@@ -309,7 +380,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for protocol, outcome in zip(protocols, outcomes):
         if not outcome.ok:
             failures += 1
-            print(f"{protocol}: FAILED ({outcome.failure['kind']})")
+            logger.info("%s: FAILED (%s)", protocol, outcome.failure["kind"])
             rows.append((protocol, "failed", "-", "-"))
             continue
         m = outcome.metrics
@@ -321,7 +392,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 f"{m['delivered']}/{m['injected']}",
             )
         )
-        print(f"{protocol}: done ({m['cycles']} cycles)")
+        logger.info("%s: done (%d cycles)", protocol, m["cycles"])
     print()
     print(
         format_table(
@@ -337,20 +408,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
         Path(args.campaign).with_suffix(".results.jsonl")
     )
     store = ResultStore(store_path)
-    print(f"campaign {name}: {len(specs)} jobs, store {store_path}, "
-          f"jobs={args.jobs}")
+    logger.info("campaign %s: %d jobs, store %s, jobs=%d",
+                name, len(specs), store_path, args.jobs)
 
     def progress(event: PoolProgress) -> None:
         if event.last is None:
             if event.cached:
-                print(f"[{event.done}/{event.total}] {event.cached} cached")
+                logger.info("[%d/%d] %d cached",
+                            event.done, event.total, event.cached)
             return
         outcome = event.last
         state = outcome.status
         if not outcome.ok:
             state = f"failed:{outcome.failure['kind']}"
-        print(f"[{event.done}/{event.total}] {state} {outcome.spec.label} "
-              f"({outcome.elapsed_s:.1f}s)")
+        logger.info("[%d/%d] %s %s (%.1fs)", event.done, event.total,
+                    state, outcome.spec.label, outcome.elapsed_s)
 
     outcomes = run_jobs(
         specs,
@@ -437,11 +509,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     progress_timeout=args.progress_timeout,
                     mtbf=mtbf,
                     mttr=args.mttr,
+                    metrics_every=getattr(args, "metrics_every", 0),
                 )
             )
             points.append(f"{protocol}#{seed}")
-    print(f"chaos: {len(specs)} runs ({args.dims} {args.topology}, "
-          f"mtbf={mtbf}, mttr={args.mttr}, load={args.load:g})")
+    logger.info("chaos: %d runs (%s %s, mtbf=%d, mttr=%d, load=%g)",
+                len(specs), args.dims, args.topology, mtbf, args.mttr,
+                args.load)
     outcomes = run_jobs(
         specs, jobs=args.jobs, store=_store_from_args(args),
         timeout_s=args.job_timeout,
@@ -496,12 +570,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one configuration fully traced and export the Perfetto JSON.
+
+    ``args.trace`` is forced on by the subcommand defaults, so
+    :func:`simulate` attaches the ring-buffer tracer and writes the
+    Chrome trace (plus the JSONL metrics dump when requested); this
+    command adds the per-kind event census on top of the run report.
+    """
+    config = build_config(args)
+    items = build_items(config, args, args.load)
+    net, result, obs = simulate(config, items, args)
+    print(f"machine : {config.describe()}")
+    print(f"result  : {result.summary()}")
+    summary = obs.tracer.summary()
+    print()
+    print(
+        format_table(
+            ["event kind", "count"],
+            sorted(obs.tracer.kind_counts().items()),
+        )
+    )
+    span = f"{summary['first_cycle']}..{summary['last_cycle']}"
+    print(f"\n{summary['retained']} event(s) over cycles {span}"
+          + (f" ({summary['dropped']} dropped; raise --trace-limit)"
+             if summary["dropped"] else ""))
+    return 0 if result.delivered == result.injected else 1
+
+
 def cmd_heatmap(args: argparse.Namespace) -> int:
     from repro.analysis.viz import link_loadmap, node_heatmap
 
     config = build_config(args)
     items = build_items(config, args, args.load)
-    net, result = simulate(config, items, args)
+    net, result, _obs = simulate(config, items, args)
     print(f"machine : {config.describe()}")
     print(f"result  : {result.summary()}\n")
     print(link_loadmap(net, title=f"link load at offered {args.load:g}"))
@@ -520,6 +622,9 @@ def make_parser() -> argparse.ArgumentParser:
         description="Wave-switching network simulator "
                     "(Duato/Lopez/Yalamanchili, IPPS 1997 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise log verbosity (-v debug, -vv adds "
+                             "logger names); give before the subcommand")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -564,14 +669,48 @@ def make_parser() -> argparse.ArgumentParser:
                             "(run/heatmap only)")
         p.add_argument("--reliable", action="store_true",
                        help="enable the end-to-end ack/retransmit layer")
+        p.add_argument("--metrics-every", type=int, default=0,
+                       help="sample observability metrics every N cycles; "
+                            "0 = off")
+
+    def add_trace_flags(p: argparse.ArgumentParser, *,
+                        toggle: bool = True) -> None:
+        if toggle:
+            p.add_argument("--trace", action="store_true",
+                           help="record a structured event trace and "
+                                "export Chrome/Perfetto JSON")
+        p.add_argument("--trace-limit", type=int,
+                       default=DEFAULT_TRACE_LIMIT,
+                       help="trace ring-buffer capacity in events "
+                            "(oldest dropped first)")
+        p.add_argument("--trace-out", default=None,
+                       help="trace JSON output path "
+                            "(default repro-trace.json)")
+        p.add_argument("--metrics-out", default=None,
+                       help="JSONL metrics dump path "
+                            "(requires --metrics-every)")
 
     run_p = sub.add_parser("run", help="simulate one configuration")
     add_common(run_p)
+    add_trace_flags(run_p)
     run_p.add_argument("--protocol", default="clrp",
                        choices=["wormhole", "clrp", "carp"])
     run_p.add_argument("--load", type=float, default=0.2,
                        help="offered load (flits/node/cycle)")
     run_p.set_defaults(func=cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one configuration fully traced and export a "
+             "Perfetto-loadable Chrome trace JSON",
+    )
+    add_common(trace_p)
+    add_trace_flags(trace_p, toggle=False)
+    trace_p.add_argument("--protocol", default="clrp",
+                         choices=["wormhole", "clrp", "carp"])
+    trace_p.add_argument("--load", type=float, default=0.2,
+                         help="offered load (flits/node/cycle)")
+    trace_p.set_defaults(func=cmd_trace, trace=True)
 
     def add_orchestration(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1,
@@ -634,6 +773,7 @@ def make_parser() -> argparse.ArgumentParser:
     heat_p = sub.add_parser("heatmap",
                             help="link-load heat map of one run (2-D mesh)")
     add_common(heat_p)
+    add_trace_flags(heat_p)
     heat_p.add_argument("--protocol", default="wormhole",
                         choices=["wormhole", "clrp", "carp"])
     heat_p.add_argument("--load", type=float, default=0.3)
@@ -645,6 +785,10 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
+    # Bind the log handler to the *current* stdout (it may be a capture
+    # or a pipe) once per invocation; progress/diagnostic lines flow
+    # through the "repro" logger, report output stays on plain print.
+    configure_logging(verbose=args.verbose)
     try:
         return args.func(args)
     except ConfigError as exc:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProtocolError
 from repro.sim.config import ReliabilityConfig, SwitchingMode
+from repro.sim.events import EventKind, EventLog
 from repro.sim.stats import DeliveryFailure, StatsCollector
 from repro.wormhole.flit import Flit, make_worm
 from repro.wormhole.router import WormholeRouter
@@ -90,6 +91,8 @@ class NetworkInterface:
         self._unacked: dict[int, _TrackedMessage] = {}
         self._timeout_heap: list[tuple[int, int]] = []
         self._ack_heap: list[tuple[int, int]] = []
+        # Optional event trace (set by Network.attach_event_log).
+        self.log: EventLog | None = None
 
     # -- protocol glue -----------------------------------------------------
 
@@ -286,6 +289,10 @@ class NetworkInterface:
             tracked.deadline = cycle + tracked.timeout
             heapq.heappush(timeouts, (tracked.deadline, msg_id))
             self.stats.bump("reliability.retransmits")
+            if self.log is not None:
+                self.log.emit(cycle, EventKind.RETRANSMIT, self.node, msg_id,
+                              attempt=tracked.attempts,
+                              timeout=tracked.timeout)
             work += 1
             assert self.engine is not None
             self.engine.on_message(tracked.message, cycle)

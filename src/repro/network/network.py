@@ -134,11 +134,22 @@ class Network:
             ]
 
     def attach_event_log(self, log) -> None:
-        """Enable protocol event tracing (:mod:`repro.sim.events`)."""
+        """Enable protocol event tracing (:mod:`repro.sim.events`).
+
+        Accepts any sink speaking the ``emit`` protocol -- an
+        :class:`~repro.sim.events.EventLog` or a bounded
+        :class:`~repro.observe.trace.Tracer` ring buffer -- and wires it
+        into every emitting component: the wave plane, the protocol
+        engines, the wormhole routers (worm head/tail advance) and the
+        network interfaces (retransmits).
+        """
         self.log = log
         if self.plane is not None:
             self.plane.log = log
+        for router in self.routers:
+            router.log = log
         for ni in self.interfaces:
+            ni.log = log
             if ni.engine is not None:
                 ni.engine.log = log
 

@@ -1,0 +1,41 @@
+"""Cycle-level observability: tracing, metric sampling, trace export.
+
+Three layers, composable and all off by default:
+
+* :class:`~repro.observe.trace.Tracer` -- bounded ring buffer of typed
+  protocol events, attached via ``Network.attach_event_log``;
+* :class:`~repro.observe.metrics.NetworkSampler` /
+  :class:`~repro.observe.metrics.MetricRegistry` -- cadence-sampled
+  gauge and counter time series;
+* :mod:`~repro.observe.export` -- Chrome trace-event / Perfetto JSON
+  and JSONL metric dumps.
+
+See ``docs/OBSERVABILITY.md`` for the walkthrough.
+"""
+
+from repro.observe.export import (
+    chrome_trace,
+    chrome_trace_events,
+    read_metrics_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.observe.logbook import configure, get_logger
+from repro.observe.metrics import MetricRegistry, NetworkSampler
+from repro.observe.trace import DEFAULT_TRACE_LIMIT, Tracer
+
+__all__ = [
+    "DEFAULT_TRACE_LIMIT",
+    "MetricRegistry",
+    "NetworkSampler",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "configure",
+    "get_logger",
+    "read_metrics_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

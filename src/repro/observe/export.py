@@ -1,0 +1,310 @@
+"""Exporters: Chrome trace-event / Perfetto JSON and JSONL metric dumps.
+
+The Chrome trace-event format (also loaded by Perfetto's
+``ui.perfetto.dev``) is a JSON object with a ``traceEvents`` list; each
+event carries a phase ``ph``, a timestamp ``ts`` (microseconds -- we map
+one simulated cycle to one microsecond), and process/thread ids ``pid``
+/ ``tid``.  The export maps the simulation onto it as:
+
+* **one track per router** -- ``pid 0`` is the machine, ``tid n`` is
+  router ``n`` (named via ``M`` metadata events);
+* **slices** (``ph "X"``) on the source router's track for each
+  circuit's life: a ``setup c<id>`` slice from probe launch to
+  establishment and a ``circuit c<id>`` slice from establishment to
+  release (or the end of the trace);
+* **flow events** (``ph "s"/"t"/"f"``) with ``id = circuit id`` linking
+  a probe's hops -- instants on the tracks of the nodes it visited -- to
+  its circuit's lifetime slice;
+* **instants** (``ph "i"``) for probe hops/backtracks/waits, worm
+  head/tail advances, teardowns, retransmits; fault kills/heals get
+  global scope (``"g"``) so they cut across every track;
+* **counter tracks** (``ph "C"``) for every series of an optional
+  :class:`~repro.observe.metrics.MetricRegistry`.
+
+:func:`validate_chrome_trace` schema-checks an exported object (CI runs
+it against a traced smoke sim); :func:`write_metrics_jsonl` dumps a
+registry as one self-describing JSON object per sample.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observe.metrics import MetricRegistry
+from repro.sim.events import Event, EventKind, EventLog
+
+_PID = 0
+
+_PROBE_KINDS = {
+    EventKind.PROBE_LAUNCH,
+    EventKind.PROBE_HOP,
+    EventKind.PROBE_BACKTRACK,
+    EventKind.PROBE_WAIT,
+    EventKind.PROBE_FAIL,
+}
+
+#: Phases the exporter emits; the validator accepts exactly these.
+_KNOWN_PHASES = {"X", "i", "s", "t", "f", "C", "M"}
+
+
+def _instant(ev: Event, *, name: str, cat: str, scope: str = "t") -> dict:
+    out = {
+        "name": name,
+        "cat": cat,
+        "ph": "i",
+        "ts": ev.cycle,
+        "pid": _PID,
+        "tid": ev.node,
+        "s": scope,
+    }
+    if ev.detail:
+        out["args"] = {k: _jsonable(v) for k, v in ev.detail.items()}
+    return out
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _flow(ph: str, ev: Event, flow_id: int, *, name: str) -> dict:
+    out = {
+        "name": name,
+        "cat": "circuit-flow",
+        "ph": ph,
+        "id": flow_id,
+        "ts": ev.cycle,
+        "pid": _PID,
+        "tid": ev.node,
+    }
+    if ph == "f":
+        out["bp"] = "e"  # bind to the enclosing slice
+    return out
+
+
+def chrome_trace_events(
+    log: EventLog, *, registry: MetricRegistry | None = None
+) -> list[dict]:
+    """Render a log/tracer (and optional metric registry) as trace events."""
+    events: list[dict] = []
+    tracks: set[int] = set()
+    end_cycle = 0
+
+    # First pass: circuit lifecycle anchors for the slice/flow rendering.
+    launched: dict[int, Event] = {}  # circuit_id -> PROBE_LAUNCH
+    established: dict[int, Event] = {}
+    released: dict[int, Event] = {}
+    for ev in log:
+        end_cycle = max(end_cycle, ev.cycle)
+        tracks.add(ev.node)
+        if ev.kind is EventKind.PROBE_LAUNCH:
+            circuit = ev.detail.get("circuit")
+            if isinstance(circuit, int):
+                launched[circuit] = ev
+        elif ev.kind is EventKind.CIRCUIT_ESTABLISHED:
+            established[ev.subject] = ev
+        elif ev.kind in (EventKind.CIRCUIT_RELEASED,
+                         EventKind.CIRCUIT_FAULT_TEARDOWN):
+            released.setdefault(ev.subject, ev)
+
+    # Circuit slices: setup (launch -> established) and live
+    # (established -> released/end), on the source router's track.
+    for circuit_id, est in sorted(established.items()):
+        start = launched.get(circuit_id)
+        if start is not None and est.cycle >= start.cycle:
+            events.append({
+                "name": f"setup c{circuit_id}",
+                "cat": "circuit",
+                "ph": "X",
+                "ts": start.cycle,
+                "dur": est.cycle - start.cycle,
+                "pid": _PID,
+                "tid": est.node,
+                "args": {"circuit": circuit_id},
+            })
+        rel = released.get(circuit_id)
+        end = rel.cycle if rel is not None else end_cycle
+        events.append({
+            "name": f"circuit c{circuit_id}",
+            "cat": "circuit",
+            "ph": "X",
+            "ts": est.cycle,
+            "dur": max(0, end - est.cycle),
+            "pid": _PID,
+            "tid": est.node,
+            "args": {
+                "circuit": circuit_id,
+                "dst": _jsonable(est.detail.get("dst")),
+                "hops": _jsonable(est.detail.get("hops")),
+            },
+        })
+
+    for ev in log:
+        kind = ev.kind
+        if kind in _PROBE_KINDS:
+            circuit = ev.detail.get("circuit")
+            events.append(_instant(ev, name=kind.value, cat="probe"))
+            if isinstance(circuit, int):
+                if kind is EventKind.PROBE_LAUNCH:
+                    events.append(
+                        _flow("s", ev, circuit, name="circuit setup")
+                    )
+                elif kind is EventKind.PROBE_HOP:
+                    events.append(
+                        _flow("t", ev, circuit, name="circuit setup")
+                    )
+        elif kind is EventKind.CIRCUIT_ESTABLISHED:
+            if ev.subject in launched:
+                events.append(
+                    _flow("f", ev, ev.subject, name="circuit setup")
+                )
+        elif kind in (EventKind.WORM_HEAD_ADVANCE,
+                      EventKind.WORM_TAIL_ADVANCE):
+            events.append(
+                _instant(ev, name=f"{kind.value} m{ev.subject}",
+                         cat="wormhole")
+            )
+        elif kind in (EventKind.LINK_KILLED, EventKind.LINK_HEALED):
+            events.append(
+                _instant(ev, name=kind.value, cat="fault", scope="g")
+            )
+        elif kind in (EventKind.CIRCUIT_RESERVED, EventKind.ACK_HOP,
+                      EventKind.RELEASE_REQUESTED, EventKind.TEARDOWN_START,
+                      EventKind.TRANSFER_START, EventKind.TRANSFER_DELIVERED,
+                      EventKind.TRANSFER_COMPLETE, EventKind.PHASE_CHANGE,
+                      EventKind.CACHE_EVICT, EventKind.BUFFER_REALLOC,
+                      EventKind.CIRCUIT_FAULT_TEARDOWN,
+                      EventKind.PROBE_FAULT_ABORT, EventKind.WORM_DROPPED,
+                      EventKind.RETRANSMIT):
+            events.append(_instant(ev, name=kind.value, cat="protocol"))
+        # CIRCUIT_ESTABLISHED / CIRCUIT_RELEASED render as slices above.
+
+    if registry is not None:
+        for name in sorted(registry.series):
+            ts = registry.series[name]
+            for cycle, value in zip(ts.times, ts.values):
+                events.append({
+                    "name": name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {"value": value},
+                })
+
+    meta: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID,
+        "tid": 0,
+        "args": {"name": "repro wave-switching simulation"},
+    }]
+    for tid in sorted(tracks):
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": f"router {tid}"},
+        })
+    return meta + events
+
+
+def chrome_trace(
+    log: EventLog, *, registry: MetricRegistry | None = None
+) -> dict:
+    """Full trace object: ``{"traceEvents": [...], ...}`` (validated)."""
+    obj = {
+        "traceEvents": chrome_trace_events(log, registry=registry),
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1 ts = 1 simulated cycle (as us)"},
+    }
+    validate_chrome_trace(obj)
+    return obj
+
+
+def write_chrome_trace(
+    path, log: EventLog, *, registry: MetricRegistry | None = None
+) -> int:
+    """Write a validated trace JSON file; returns the event count."""
+    obj = chrome_trace(log, registry=registry)
+    Path(path).write_text(json.dumps(obj) + "\n", encoding="utf-8")
+    return len(obj["traceEvents"])
+
+
+def validate_chrome_trace(obj) -> None:
+    """Schema-check a trace object; raises ``ValueError`` on violations.
+
+    Checks the fields the Perfetto / ``chrome://tracing`` loaders
+    require: a ``traceEvents`` list of objects, each with a known phase,
+    a string name, integer ``pid``/``tid``, a numeric non-negative
+    ``ts`` (except ``M`` metadata, which may omit it), ``dur`` on
+    complete events, ``id`` on flow events, and a scope on instants.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace object must carry a 'traceEvents' list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: events must be objects")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where}: missing event name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            raise ValueError(f"{where}: pid/tid must be integers")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where}: ts must be a number >= 0")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: complete event needs dur >= 0")
+        if ph in ("s", "t", "f") and not isinstance(ev.get("id"), int):
+            raise ValueError(f"{where}: flow event needs an integer id")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"{where}: instant needs scope t/p/g")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"{where}: counter event needs args")
+
+
+def write_metrics_jsonl(path, registry: MetricRegistry) -> int:
+    """Dump a registry as JSONL: one ``{"series", "cycle", "value"}``
+    object per sample, in series-name then time order.  Returns the
+    number of lines written."""
+    lines = 0
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for name in sorted(registry.series):
+            ts = registry.series[name]
+            for cycle, value in zip(ts.times, ts.values):
+                fh.write(json.dumps(
+                    {"series": name, "cycle": cycle, "value": value}
+                ) + "\n")
+                lines += 1
+    return lines
+
+
+def read_metrics_jsonl(path) -> MetricRegistry:
+    """Inverse of :func:`write_metrics_jsonl` (round-trip for analysis)."""
+    registry = MetricRegistry()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        registry.record(row["series"], row["cycle"], row["value"])
+    return registry

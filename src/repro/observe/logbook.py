@@ -1,0 +1,51 @@
+"""Leveled logging for the simulator and CLI.
+
+Everything that is not *report output* (tables, summaries the user asked
+for) goes through the ``repro`` logger: progress lines at INFO,
+diagnostic chatter (fault campaigns, sampler cadence, trace drops) at
+DEBUG.  Report output stays on plain ``print`` in the CLI's output
+paths, which are the only places ruff's ``T201`` rule exempts.
+
+:func:`configure` is called once per CLI ``main()`` invocation; it
+rebinds the handler to the *current* ``sys.stdout`` so pytest's capsys
+redirection sees logger output exactly like print output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The package logger, or a ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(*, verbose: int = 0, stream=None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger.
+
+    verbose 0 -> INFO (progress lines only), 1 -> DEBUG, 2+ -> DEBUG
+    with cycle-stamped formatting.  Replaces any previous handler so
+    repeated ``main()`` calls (tests) bind the current stdout.
+    """
+    logger = logging.getLogger(ROOT_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    if verbose >= 2:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose >= 1 else logging.INFO)
+    logger.propagate = False
+    return logger

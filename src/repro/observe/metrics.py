@@ -1,0 +1,192 @@
+"""Metric registry: named gauges and counters sampled into time series.
+
+The tracer (:mod:`repro.observe.trace`) answers "what happened";
+this module answers "how much, over time".  A :class:`MetricRegistry`
+is a namespace of :class:`~repro.sim.stats.TimeSeries`; a
+:class:`NetworkSampler` walks a live network on a configurable cadence
+and records the standard instrument set:
+
+* per-link wormhole utilization (flit deltas per interval, so a sample
+  is the *interval's* utilization, not a lifetime average) -- mean and
+  max across links, optionally one series per directed link;
+* circuit-plane streamed flits per interval (from the plane's
+  persistent per-channel tally, so torn-down circuits keep counting);
+* occupancy gauges: in-flight probes / control flits / transfers,
+  outstanding messages;
+* deltas of every :class:`~repro.sim.stats.StatsCollector` counter
+  (``probe.backtracks``, ``wormhole.credit_stall``, ...), under
+  ``ctr.``.
+
+Sampling is pull-based: the :class:`~repro.sim.engine.Simulator` calls
+:meth:`NetworkSampler.maybe_sample` once per stepped cycle (one ``None``
+check when no sampler is attached) and caps idle fast-forward jumps at
+:attr:`NetworkSampler.next_due`, so cadence points land on exact cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.sim.stats import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import Network
+
+
+class MetricRegistry:
+    """A namespace of named time series with summary statistics."""
+
+    def __init__(self) -> None:
+        self.series: dict[str, TimeSeries] = {}
+
+    def series_for(self, name: str) -> TimeSeries:
+        got = self.series.get(name)
+        if got is None:
+            got = TimeSeries(name)
+            self.series[name] = got
+        return got
+
+    def record(self, name: str, cycle: int, value: float) -> None:
+        self.series_for(name).record(cycle, value)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-series ``{n, mean, max, last}`` -- JSON-able, used as the
+        per-job metric summary carried by orchestrator result stores."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self.series):
+            ts = self.series[name]
+            if not ts.values:
+                out[name] = {"n": 0, "mean": math.nan, "max": math.nan,
+                             "last": math.nan}
+                continue
+            out[name] = {
+                "n": len(ts.values),
+                "mean": sum(ts.values) / len(ts.values),
+                "max": max(ts.values),
+                "last": ts.values[-1],
+            }
+        return out
+
+
+class NetworkSampler:
+    """Samples a network's standard instruments every ``every`` cycles.
+
+    Args:
+        network: the machine to instrument (also fixes the first due
+            cycle: ``network.cycle + every``).
+        every: sampling cadence in cycles (>= 1).
+        registry: record into an existing registry (default: fresh one).
+        per_link: additionally record one series per directed link
+            (``link.<node>.<port>``) -- O(links) series, so off by
+            default; the aggregate mean/max series are always recorded.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        every: int,
+        *,
+        registry: MetricRegistry | None = None,
+        per_link: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"sampling cadence must be >= 1, got {every}")
+        self.network = network
+        self.every = every
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.per_link = per_link
+        self.next_due = network.cycle + every
+        self.samples_taken = 0
+        self._last_cycle = network.cycle
+        self._last_link_flits: dict[tuple[int, int], int] = {
+            (router.node, port): flits
+            for router in network.routers
+            for port, flits in enumerate(router.link_flits)
+            if router.downstream[port] is not None
+        }
+        self._last_counters: dict[str, int] = dict(network.stats.counters)
+        self._last_streamed = self._streamed_total()
+
+    def _streamed_total(self) -> int:
+        plane = self.network.plane
+        if plane is None:
+            return 0
+        return sum(plane.streamed_by_channel.values())
+
+    # -- sampling -------------------------------------------------------
+
+    def maybe_sample(self, network: "Network") -> bool:
+        """Sample iff the cadence cycle has arrived; returns True if so."""
+        if network.cycle < self.next_due:
+            return False
+        self.sample(network)
+        return True
+
+    def flush(self, network: "Network") -> bool:
+        """Take a final off-cadence sample at the current cycle.
+
+        Used at end of run so the last partial interval is not lost;
+        a no-op (returns False) when the current cycle was already
+        sampled, so flushing twice cannot duplicate a row.
+        """
+        if network.cycle <= self._last_cycle and self.samples_taken:
+            return False
+        self.sample(network)
+        return True
+
+    def sample(self, network: "Network") -> None:
+        """Record one sample row at the network's current cycle."""
+        cycle = network.cycle
+        interval = max(1, cycle - self._last_cycle)
+        reg = self.registry
+
+        # Per-link utilization over the interval (delta flits / cycles).
+        utils: list[float] = []
+        for router in network.routers:
+            node = router.node
+            for port, flits in enumerate(router.link_flits):
+                key = (node, port)
+                if key not in self._last_link_flits:
+                    continue
+                delta = flits - self._last_link_flits[key]
+                self._last_link_flits[key] = flits
+                util = delta / interval
+                utils.append(util)
+                if self.per_link:
+                    reg.record(f"link.{node}.{port}", cycle, util)
+        if utils:
+            reg.record("wormhole.link_util.mean", cycle,
+                       sum(utils) / len(utils))
+            reg.record("wormhole.link_util.max", cycle, max(utils))
+
+        # Circuit plane: streamed flits per interval plus occupancy.
+        plane = network.plane
+        if plane is not None:
+            streamed = self._streamed_total()
+            reg.record("circuit.streamed_flits", cycle,
+                       streamed - self._last_streamed)
+            self._last_streamed = streamed
+            reg.record("plane.probes", cycle, len(plane.probes))
+            reg.record("plane.control_flits", cycle,
+                       len(plane.control_flits))
+            reg.record("plane.transfers", cycle, len(plane.transfers))
+            reg.record("plane.live_circuits", cycle,
+                       len(plane.table.live_circuits()))
+
+        reg.record("messages.outstanding", cycle, network.stats.outstanding)
+
+        # Protocol counter deltas (events per interval).
+        counters = network.stats.counters
+        for name, value in counters.items():
+            last = self._last_counters.get(name, 0)
+            if value != last or name in self._last_counters:
+                reg.record(f"ctr.{name}", cycle, value - last)
+            self._last_counters[name] = value
+
+        self.samples_taken += 1
+        self._last_cycle = cycle
+        self.next_due = cycle + self.every

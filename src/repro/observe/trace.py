@@ -1,0 +1,85 @@
+"""Bounded structured event tracing.
+
+:class:`Tracer` is the observability layer's event sink: a *ring buffer*
+of typed :class:`~repro.sim.events.Event` records with a hard capacity.
+It speaks the same ``emit(cycle, kind, node, subject, **detail)``
+protocol as :class:`~repro.sim.events.EventLog`, so every existing
+emission site (``plane.log``, ``network.log``, ``router.log``,
+``ni.log``) accepts either sink unchanged -- the difference is the
+overflow policy:
+
+* ``EventLog`` (append-only, optional cap) **drops the newest** events
+  once full -- right for post-mortems of a run's *beginning*;
+* ``Tracer`` (ring) **overwrites the oldest** -- right for long runs
+  where the interesting window is *the end* (the crash, the fault, the
+  saturation knee), and for bounded-memory always-on tracing.
+
+Tracing off is the default and costs one ``is not None`` check per
+event site: the hot paths stay O(active).  Enabled, each record is one
+tuple-ish dataclass append -- no formatting, no I/O -- so a traced smoke
+run stays interactive; rendering and export happen after the run
+(:mod:`repro.observe.export`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.sim.events import Event, EventKind, EventLog
+
+#: Default ring capacity: enough for a few thousand messages' worth of
+#: protocol events on an 8x8 mesh without surprising memory use.
+DEFAULT_TRACE_LIMIT = 200_000
+
+
+class Tracer(EventLog):
+    """Ring-buffer event sink, drop-in for :class:`EventLog`.
+
+    Inherits the query helpers (``of_kind`` / ``for_circuit`` /
+    ``between`` / ``render``); only storage and overflow differ.
+    """
+
+    def __init__(self, limit: int = DEFAULT_TRACE_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError(f"trace limit must be >= 1, got {limit}")
+        # Deliberately no super().__init__(): the ring replaces the list
+        # and ``dropped`` becomes derived state (a property below).
+        self.capacity = limit
+        self.events: deque[Event] = deque(maxlen=limit)
+        self.emitted = 0  # total records ever emitted (monotonic)
+
+    def emit(self, cycle: int, kind: EventKind, node: int, subject: int,
+             **detail) -> None:
+        self.emitted += 1
+        self.events.append(Event(cycle, kind, node, subject, detail))
+
+    @property
+    def dropped(self) -> int:
+        """Records overwritten by the ring (oldest-first)."""
+        return self.emitted - len(self.events)
+
+    # -- summaries ------------------------------------------------------
+
+    def kind_counts(self) -> dict[str, int]:
+        """Retained records per event kind (sorted by name)."""
+        counts = Counter(e.kind.value for e in self.events)
+        return dict(sorted(counts.items()))
+
+    def span(self) -> tuple[int, int]:
+        """(first, last) retained cycle; ``(0, 0)`` when empty."""
+        if not self.events:
+            return (0, 0)
+        return (self.events[0].cycle, self.events[-1].cycle)
+
+    def summary(self) -> dict:
+        """JSON-able overview used by CLI reports and job metrics."""
+        first, last = self.span()
+        return {
+            "emitted": self.emitted,
+            "retained": len(self.events),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "first_cycle": first,
+            "last_cycle": last,
+            "kinds": self.kind_counts(),
+        }

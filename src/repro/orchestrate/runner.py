@@ -19,6 +19,7 @@ import math
 
 from repro.analysis import experiments as _experiments
 from repro.network.network import Network
+from repro.observe.metrics import NetworkSampler
 from repro.orchestrate.recipes import build_workload
 from repro.orchestrate.spec import JobSpec
 from repro.sim.engine import SimulationResult
@@ -58,7 +59,14 @@ def execute_job(spec: JobSpec) -> dict:
         faults.fail_random_links(
             spec.fault_fraction, derive_fault_rng(config.seed)
         )
-    net = Network(config, faults=faults) if faults is not None else None
+    net = (
+        Network(config, faults=faults)
+        if faults is not None or spec.metrics_every
+        else None
+    )
+    sampler = None
+    if spec.metrics_every:
+        sampler = NetworkSampler(net, spec.metrics_every)
     result = _experiments.run_experiment(
         config,
         items,
@@ -69,6 +77,7 @@ def execute_job(spec: JobSpec) -> dict:
         progress_timeout=spec.progress_timeout,
         faults=faults,
         network=net,
+        sampler=sampler,
     )
     if net is not None:
         # Fault runs end with a structural audit: the distributed
@@ -80,7 +89,17 @@ def execute_job(spec: JobSpec) -> dict:
             faults.last_kill_cycle + teardown_latency(net)
         ):
             check_fault_isolation(net)
-    return result_to_metrics(result)
+    metrics = result_to_metrics(result)
+    if sampler is not None:
+        # Per-job metric summary rides with the result into the store;
+        # the full time series stays in the worker (summaries are small
+        # and JSON-able, series are not worth a process-boundary copy).
+        metrics["observe"] = {
+            "every": spec.metrics_every,
+            "samples": sampler.samples_taken,
+            "series": sampler.registry.summary(),
+        }
+    return metrics
 
 
 def result_to_metrics(result) -> dict:

@@ -124,6 +124,10 @@ class JobSpec:
             permanent.  Only meaningful with ``mtbf > 0``.
         deadlock_check_interval / progress_timeout: monitor settings,
             passed through to the :class:`~repro.sim.engine.Simulator`.
+        metrics_every: sample the observability metric registry every
+            this many cycles during the run; 0 (default) disables
+            sampling.  Sampled jobs carry an ``observe.*`` summary in
+            their result metrics.
     """
 
     config: NetworkConfig
@@ -136,6 +140,7 @@ class JobSpec:
     progress_timeout: int = 0
     mtbf: int = 0
     mttr: int = 0
+    metrics_every: int = 0
 
     def __post_init__(self) -> None:
         if self.max_cycles < 1:
@@ -150,6 +155,10 @@ class JobSpec:
             raise ConfigError(f"mtbf must be >= 0, got {self.mtbf}")
         if self.mttr < 0:
             raise ConfigError(f"mttr must be >= 0, got {self.mttr}")
+        if self.metrics_every < 0:
+            raise ConfigError(
+                f"metrics_every must be >= 0, got {self.metrics_every}"
+            )
 
     # -- serialisation --------------------------------------------------
 
@@ -165,6 +174,8 @@ class JobSpec:
             del data["mtbf"]
         if not self.mttr:
             del data["mttr"]
+        if not self.metrics_every:
+            del data["metrics_every"]
         return data
 
     @classmethod
@@ -197,6 +208,7 @@ class JobSpec:
             progress_timeout=data.get("progress_timeout", 0),
             mtbf=data.get("mtbf", 0),
             mttr=data.get("mttr", 0),
+            metrics_every=data.get("metrics_every", 0),
         )
 
     # -- content key ----------------------------------------------------

@@ -65,6 +65,12 @@ class Simulator:
             reaches its destination in finite time".
         on_cycle: optional callback invoked after every simulated cycle,
             for custom probes in tests and benches.
+        sampler: optional metric sampler (duck-typed to
+            :class:`~repro.observe.metrics.NetworkSampler`): after each
+            stepped cycle ``sampler.maybe_sample(net)`` runs, and idle
+            fast-forward jumps are capped at ``sampler.next_due`` so
+            cadence samples land on their exact cycles.  Unlike
+            ``on_cycle`` it does not disable fast-forward.
         fast_forward: when True (the default), an idle network with the
             next workload message still in the future jumps straight to
             that message's creation cycle instead of spinning through
@@ -83,6 +89,7 @@ class Simulator:
         progress_timeout: int = 0,
         on_cycle: Callable[["Network"], None] | None = None,
         fast_forward: bool = True,
+        sampler=None,
     ) -> None:
         self.network = network
         self._pending: Iterator["Message"] | None = (
@@ -93,6 +100,7 @@ class Simulator:
         self.progress_timeout = progress_timeout
         self.on_cycle = on_cycle
         self.fast_forward = fast_forward
+        self.sampler = sampler
         self._finished = False
         self._last_progress_cycle = 0
         self._last_work_counter = -1
@@ -190,12 +198,20 @@ class Simulator:
                     nxt = sched.next_event_cycle()
                     if nxt is not None:
                         target = min(target, nxt)
+                # Likewise a pending metric sample: stop the jump at its
+                # due cycle so the sample sees that exact instant.
+                if self.sampler is not None:
+                    target = min(target, self.sampler.next_due)
                 if target > net.cycle:
                     net.cycle = target
                     self._last_progress_cycle = target
                     self._last_work_counter = net.work_counter
+                    if self.sampler is not None:
+                        self.sampler.maybe_sample(net)
                     continue
             net.step()
+            if self.sampler is not None:
+                self.sampler.maybe_sample(net)
             if (
                 self.deadlock_check_interval
                 and net.cycle % self.deadlock_check_interval == 0

@@ -51,6 +51,13 @@ class EventKind(Enum):
     WORM_DROPPED = "worm_dropped"
     CIRCUIT_FAULT_TEARDOWN = "circuit_fault_teardown"
     PROBE_FAULT_ABORT = "probe_fault_abort"
+    # Wormhole data-plane progress (subject = msg_id): emitted when a
+    # worm's head / tail flit crosses a link, so a trace shows where each
+    # worm is without recording every body flit.
+    WORM_HEAD_ADVANCE = "worm_head_advance"
+    WORM_TAIL_ADVANCE = "worm_tail_advance"
+    # Reliability layer (subject = msg_id).
+    RETRANSMIT = "retransmit"
 
 
 @dataclass(frozen=True)

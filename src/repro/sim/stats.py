@@ -239,6 +239,12 @@ class StatsCollector:
         return self.counters.get(name, 0)
 
     def new_message(self, record: MessageRecord) -> MessageRecord:
+        existing = self.messages.get(record.msg_id)
+        if existing is not None:
+            # Re-registration (reliability retransmit re-injects the same
+            # msg_id): the message is already accounted for; incrementing
+            # ``outstanding`` again would leave it nonzero forever.
+            return existing
         self.messages[record.msg_id] = record
         if record.delivered < 0:
             self.outstanding += 1

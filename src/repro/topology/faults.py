@@ -25,11 +25,14 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import TopologyError
+from repro.observe.logbook import get_logger
 from repro.sim.rng import SimRandom
 from repro.topology.base import Topology
 
 KILL = "kill"
 HEAL = "heal"
+
+logger = get_logger("faults")
 
 
 def derive_fault_rng(seed: int) -> SimRandom:
@@ -164,6 +167,10 @@ class FaultSet:
             degree[node] -= 1
             degree[nbr] -= 1
             failed += 1
+        logger.debug(
+            "fault set: failed %d/%d physical links (target %d, fraction %.3f)",
+            failed, len(physical), target, fraction,
+        )
         return failed
 
     def healthy_ports(self, node: int, ports: Iterable[int]) -> list[int]:
@@ -353,4 +360,8 @@ class FaultSchedule(FaultSet):
             if mttr > 0:
                 sched.schedule_heal(t + mttr, node, port)
                 heapq.heappush(heals, (t + mttr, (node, port)))
+        logger.debug(
+            "fault campaign: %d events over horizon %d (mtbf %.1f, mttr %d)",
+            len(sched.events), horizon, mtbf, mttr,
+        )
         return sched

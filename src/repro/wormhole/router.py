@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProtocolError
 from repro.sim.config import WormholeConfig
+from repro.sim.events import EventKind, EventLog
 from repro.sim.stats import StatsCollector
 from repro.topology.base import Topology
 from repro.topology.faults import FaultSet
@@ -136,6 +137,10 @@ class WormholeRouter:
         self.drop_sink: Callable[[int, int, int, str], None] | None = None
         # Flits transmitted per output physical port (link utilization).
         self.link_flits: list[int] = [0] * ports
+        # Optional event trace (set by Network.attach_event_log).  Only
+        # head/tail flits emit, so a traced run records worm *extent*
+        # movement without a record per body flit.
+        self.log: EventLog | None = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -383,6 +388,13 @@ class WormholeRouter:
         router._enqueue(flit, their_port, out_vc, cycle)
         self.link_flits[out_port] += 1
         self.stats.bump("wormhole.flits_moved")
+        if self.log is not None and (flit.is_head or flit.is_tail):
+            self.log.emit(
+                cycle,
+                EventKind.WORM_HEAD_ADVANCE if flit.is_head
+                else EventKind.WORM_TAIL_ADVANCE,
+                self.node, flit.msg_id, port=out_port, to=router.node,
+            )
         if flit.is_tail:
             out.owner = None
             ivc.route = None

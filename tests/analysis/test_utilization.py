@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis.utilization import UtilizationReport, measure_utilization
+from repro.analysis.utilization import (
+    UtilizationReport,
+    measure_utilization,
+    snapshot_utilization,
+)
 from repro.network.message import MessageFactory
 from repro.network.network import Network
 from repro.sim.config import NetworkConfig, WaveConfig
@@ -86,6 +90,71 @@ class TestWormholeUtilization:
         assert set(summary) == {"mean", "max", "gini"}
         assert summary["max"] >= summary["mean"]
 
+    def test_summary_rejects_unknown_kind(self):
+        report = UtilizationReport(cycles=100)
+        report.summary("wormhole")
+        report.summary("circuit")
+        with pytest.raises(ValueError, match="unknown utilization kind"):
+            report.summary("circuits")  # typo must not silently mean circuit
+        with pytest.raises(ValueError, match="unknown utilization kind"):
+            report.summary("")
+
+
+class TestWarmupWindow:
+    """Regression: warmup exclusion must shrink numerators too."""
+
+    def test_nonzero_warmup_stays_in_unit_range(self):
+        # A saturated run: under the old since_cycle-only API the
+        # whole-run numerator over the shortened denominator pushed hot
+        # links past 1.0.
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        net = Network(config)
+        workload = uniform_workload(
+            MessageFactory(),
+            UniformPattern(16),
+            num_nodes=16,
+            offered_load=0.9,
+            length=32,
+            duration=4000,
+            rng=SimRandom(7),
+        )
+        sim = Simulator(net, workload)
+        warmup = 1000
+        sim.run(warmup)
+        base = snapshot_utilization(net)
+        sim.run(60_000)
+        assert net.cycle > base.cycle
+        report = measure_utilization(net, baseline=base)
+        assert report.cycles == net.cycle - base.cycle
+        assert report.wormhole
+        for value in report.wormhole.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_since_cycle_without_baseline_rejected(self):
+        net = run_network()
+        with pytest.raises(ValueError, match="baseline"):
+            measure_utilization(net, since_cycle=500)
+
+    def test_conflicting_since_cycle_and_baseline_rejected(self):
+        net = run_network()
+        base = snapshot_utilization(net)
+        with pytest.raises(ValueError, match="conflicts"):
+            measure_utilization(net, since_cycle=base.cycle + 1, baseline=base)
+
+    def test_matching_since_cycle_accepted(self):
+        net = run_network()
+        base = snapshot_utilization(net)
+        report = measure_utilization(net, since_cycle=base.cycle, baseline=base)
+        assert report.cycles == max(1, net.cycle - base.cycle)
+
+    def test_warmup_window_counts_only_window_flits(self):
+        net = run_network()
+        base = snapshot_utilization(net)
+        # Nothing moves after the run finished: windowed utilization is 0.
+        net.run(net.cycle + 50)
+        report = measure_utilization(net, baseline=base)
+        assert all(v == 0.0 for v in report.wormhole.values())
+
 
 class TestCircuitUtilization:
     def test_circuit_channels_attributed(self):
@@ -115,3 +184,33 @@ class TestCircuitUtilization:
     def test_wormhole_baseline_has_no_circuit_report(self):
         net = run_network(protocol="wormhole")
         assert measure_utilization(net).circuit == {}
+
+    def test_tally_matches_per_circuit_attribution(self):
+        net = run_network(protocol="clrp")
+        expected: dict[tuple[int, int, int], int] = {}
+        for c in net.plane.table.circuits.values():
+            for key in c.hop_channels():
+                expected[key] = expected.get(key, 0) + c.flits_streamed
+        expected = {k: v for k, v in expected.items() if v}
+        tallied = {
+            k: v for k, v in net.plane.streamed_by_channel.items() if v
+        }
+        assert tallied == expected
+
+    def test_torn_down_circuit_flits_still_counted(self):
+        """Regression: utilization must survive circuit-table pruning.
+
+        CLRP replacement and fault recovery tear circuits down; dropping
+        such a circuit from the table (as a future prune would) used to
+        erase its streamed flits from the utilization numerator.
+        """
+        net = run_network(protocol="clrp")
+        before = measure_utilization(net).circuit
+        assert before
+        victim_id = next(
+            cid for cid, c in net.plane.table.circuits.items()
+            if c.flits_streamed > 0
+        )
+        del net.plane.table.circuits[victim_id]
+        after = measure_utilization(net).circuit
+        assert after == before

@@ -1,0 +1,212 @@
+"""Tests for the Chrome trace-event / Perfetto exporter and JSONL dump."""
+
+import json
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.observe import (
+    MetricRegistry,
+    NetworkSampler,
+    Tracer,
+    chrome_trace,
+    read_metrics_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def traced_run(protocol="clrp", sample_every=0):
+    config = NetworkConfig(
+        dims=(4, 4),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(),
+    )
+    net = Network(config)
+    tracer = Tracer()
+    net.attach_event_log(tracer)
+    sampler = (
+        NetworkSampler(net, sample_every) if sample_every else None
+    )
+    workload = uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=0.2,
+        length=32,
+        duration=1200,
+        rng=SimRandom(5),
+    )
+    Simulator(net, workload, sampler=sampler).run(60_000)
+    registry = sampler.registry if sampler else None
+    return net, tracer, registry
+
+
+class TestChromeTrace:
+    def test_trace_validates_and_serializes(self):
+        _, tracer, _ = traced_run("clrp")
+        obj = chrome_trace(tracer)  # validates internally
+        json.dumps(obj)  # and is pure JSON
+        assert obj["traceEvents"]
+
+    def test_router_tracks_named(self):
+        _, tracer, _ = traced_run("clrp")
+        obj = chrome_trace(tracer)
+        names = {
+            ev["args"]["name"]: ev["tid"]
+            for ev in obj["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names  # one track per emitting router
+        for label, tid in names.items():
+            assert label == f"router {tid}"
+
+    def test_circuit_slices_cover_lifetime(self):
+        _, tracer, _ = traced_run("clrp")
+        obj = chrome_trace(tracer)
+        slices = [
+            ev for ev in obj["traceEvents"]
+            if ev["ph"] == "X" and ev["name"].startswith("circuit c")
+        ]
+        established = tracer.of_kind(EventKind.CIRCUIT_ESTABLISHED)
+        assert len(slices) == len(established)
+        for ev in slices:
+            assert ev["dur"] >= 0
+
+    def test_flow_links_probe_hops_to_circuit(self):
+        _, tracer, _ = traced_run("clrp")
+        obj = chrome_trace(tracer)
+        starts = {
+            ev["id"] for ev in obj["traceEvents"] if ev["ph"] == "s"
+        }
+        finishes = {
+            ev["id"] for ev in obj["traceEvents"] if ev["ph"] == "f"
+        }
+        assert starts
+        # Every flow finish (establishment) traces back to a start
+        # (probe launch) with the same circuit id.
+        assert finishes <= starts
+
+    def test_wormhole_advances_present(self):
+        _, tracer, _ = traced_run("wormhole")
+        obj = chrome_trace(tracer)
+        advance = [
+            ev for ev in obj["traceEvents"]
+            if ev["ph"] == "i" and ev["cat"] == "wormhole"
+        ]
+        assert advance
+        for ev in advance:
+            assert ev["s"] == "t"
+
+    def test_counter_events_from_registry(self):
+        _, tracer, registry = traced_run("clrp", sample_every=100)
+        obj = chrome_trace(tracer, registry=registry)
+        counters = [ev for ev in obj["traceEvents"] if ev["ph"] == "C"]
+        assert counters
+        series_names = {ev["name"] for ev in counters}
+        assert "messages.outstanding" in series_names
+
+    def test_write_round_trip(self, tmp_path):
+        _, tracer, _ = traced_run("clrp")
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, tracer)
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        assert len(loaded["traceEvents"]) == count
+
+
+class TestValidator:
+    def _minimal(self):
+        return {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                 "args": {"name": "x"}},
+                {"name": "e", "cat": "c", "ph": "i", "ts": 1, "pid": 0,
+                 "tid": 0, "s": "t"},
+            ]
+        }
+
+    def test_accepts_minimal(self):
+        validate_chrome_trace(self._minimal())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events_list(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": 1})
+
+    def test_rejects_unknown_phase(self):
+        obj = self._minimal()
+        obj["traceEvents"][1]["ph"] = "Z"
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(obj)
+
+    def test_rejects_negative_ts(self):
+        obj = self._minimal()
+        obj["traceEvents"][1]["ts"] = -4
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace(obj)
+
+    def test_rejects_complete_event_without_dur(self):
+        obj = self._minimal()
+        obj["traceEvents"].append(
+            {"name": "slice", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+        )
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(obj)
+
+    def test_rejects_flow_without_id(self):
+        obj = self._minimal()
+        obj["traceEvents"].append(
+            {"name": "flow", "ph": "s", "ts": 0, "pid": 0, "tid": 0}
+        )
+        with pytest.raises(ValueError, match="id"):
+            validate_chrome_trace(obj)
+
+    def test_rejects_instant_without_scope(self):
+        obj = self._minimal()
+        del obj["traceEvents"][1]["s"]
+        with pytest.raises(ValueError, match="scope"):
+            validate_chrome_trace(obj)
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self, tmp_path):
+        reg = MetricRegistry()
+        reg.record("a", 10, 1.0)
+        reg.record("a", 20, 2.0)
+        reg.record("b", 10, -3.5)
+        path = tmp_path / "metrics.jsonl"
+        lines = write_metrics_jsonl(path, reg)
+        assert lines == 3
+        back = read_metrics_jsonl(path)
+        assert set(back.series) == {"a", "b"}
+        assert back.series["a"].times == [10, 20]
+        assert back.series["a"].values == [1.0, 2.0]
+        assert back.series["b"].values == [-3.5]
+
+    def test_lines_are_self_describing_json(self, tmp_path):
+        reg = MetricRegistry()
+        reg.record("x", 5, 0.25)
+        path = tmp_path / "m.jsonl"
+        write_metrics_jsonl(path, reg)
+        [line] = path.read_text().strip().splitlines()
+        row = json.loads(line)
+        assert row == {"series": "x", "cycle": 5, "value": 0.25}
+
+    def test_sampled_run_dumps_everything(self, tmp_path):
+        _, _, registry = traced_run("clrp", sample_every=200)
+        path = tmp_path / "run.jsonl"
+        lines = write_metrics_jsonl(path, registry)
+        assert lines == sum(
+            len(ts.values) for ts in registry.series.values()
+        )

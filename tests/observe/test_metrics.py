@@ -1,0 +1,152 @@
+"""Tests for the metric registry and cadence sampler."""
+
+import math
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.observe import MetricRegistry, NetworkSampler
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def build_network(protocol="wormhole"):
+    config = NetworkConfig(
+        dims=(4, 4),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(),
+    )
+    return Network(config)
+
+
+def build_workload(load=0.2, duration=1500, seed=3):
+    return uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=32,
+        duration=duration,
+        rng=SimRandom(seed),
+    )
+
+
+class TestMetricRegistry:
+    def test_series_for_creates_once(self):
+        reg = MetricRegistry()
+        a = reg.series_for("x")
+        b = reg.series_for("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_record_appends(self):
+        reg = MetricRegistry()
+        reg.record("lat", 10, 1.5)
+        reg.record("lat", 20, 2.5)
+        ts = reg.series["lat"]
+        assert ts.times == [10, 20]
+        assert ts.values == [1.5, 2.5]
+
+    def test_summary_statistics(self):
+        reg = MetricRegistry()
+        for cycle, value in [(1, 1.0), (2, 3.0), (3, 2.0)]:
+            reg.record("m", cycle, value)
+        s = reg.summary()["m"]
+        assert s["n"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["max"] == 3.0
+        assert s["last"] == 2.0
+
+    def test_summary_empty_series_is_nan(self):
+        reg = MetricRegistry()
+        reg.series_for("empty")
+        s = reg.summary()["empty"]
+        assert s["n"] == 0
+        assert math.isnan(s["mean"])
+
+
+class TestNetworkSampler:
+    def test_rejects_nonpositive_cadence(self):
+        net = build_network()
+        with pytest.raises(ValueError):
+            NetworkSampler(net, 0)
+
+    def test_cadence_respected(self):
+        net = build_network()
+        sampler = NetworkSampler(net, every=100)
+        Simulator(net, build_workload(), sampler=sampler).run(5000)
+        assert sampler.samples_taken >= 2
+        for ts in sampler.registry.series.values():
+            assert all(t % 100 == 0 for t in ts.times)
+
+    def test_link_utilization_bounded(self):
+        net = build_network()
+        sampler = NetworkSampler(net, every=50)
+        Simulator(net, build_workload(load=0.6), sampler=sampler).run(20_000)
+        mean = sampler.registry.series["wormhole.link_util.mean"]
+        peak = sampler.registry.series["wormhole.link_util.max"]
+        assert mean.values and peak.values
+        for m, p in zip(mean.values, peak.values):
+            assert 0.0 <= m <= p <= 1.0 + 1e-9
+
+    def test_counter_deltas_sum_to_totals(self):
+        net = build_network()
+        sampler = NetworkSampler(net, every=25)
+        Simulator(net, build_workload(), sampler=sampler).run(20_000)
+        series = sampler.registry.series.get("ctr.wormhole.flits_moved")
+        assert series is not None
+        # Deltas cover everything up to the final sample point.
+        sampled_upto = series.times[-1]
+        assert sum(series.values) <= net.stats.count("wormhole.flits_moved")
+        assert sampled_upto <= net.cycle
+
+    def test_per_link_series_opt_in(self):
+        net = build_network()
+        default = NetworkSampler(net, every=10)
+        detailed = NetworkSampler(net, every=10, per_link=True)
+        net.run(25)
+        default.maybe_sample(net)
+        detailed.maybe_sample(net)
+        assert not any(
+            name.startswith("link.") for name in default.registry.series
+        )
+        assert any(
+            name.startswith("link.") for name in detailed.registry.series
+        )
+
+    def test_circuit_plane_instruments(self):
+        net = build_network("clrp")
+        sampler = NetworkSampler(net, every=50)
+        Simulator(net, build_workload(), sampler=sampler).run(20_000)
+        reg = sampler.registry
+        assert "circuit.streamed_flits" in reg.series
+        assert "plane.live_circuits" in reg.series
+        streamed = sum(reg.series["circuit.streamed_flits"].values)
+        total = sum(net.plane.streamed_by_channel.values())
+        assert 0 < streamed <= total
+
+    def test_fast_forward_lands_on_cadence(self):
+        # Sparse traffic forces idle fast-forward; samples must still hit
+        # exact cadence cycles.
+        net = build_network()
+        sampler = NetworkSampler(net, every=500)
+        factory = MessageFactory()
+        messages = [
+            factory.make(0, 15, 16, 0),
+            factory.make(15, 0, 16, 5000),
+        ]
+        Simulator(net, messages, sampler=sampler).run(50_000)
+        assert net.cycle >= 5000  # fast-forward actually had a gap to jump
+        for ts in sampler.registry.series.values():
+            assert all(t % 500 == 0 for t in ts.times)
+
+    def test_outstanding_gauge_drains_to_zero(self):
+        net = build_network()
+        sampler = NetworkSampler(net, every=100)
+        Simulator(net, build_workload(duration=800), sampler=sampler).run(60_000)
+        sampler.sample(net)  # final flush at the end cycle
+        outstanding = sampler.registry.series["messages.outstanding"]
+        assert outstanding.values[-1] == 0

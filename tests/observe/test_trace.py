@@ -1,0 +1,159 @@
+"""Tests for the bounded ring-buffer tracer."""
+
+import pytest
+
+from repro.network.message import MessageFactory
+from repro.network.network import Network
+from repro.observe import Tracer
+from repro.sim.config import NetworkConfig, WaveConfig
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind, EventLog
+from repro.sim.rng import SimRandom
+from repro.traffic import UniformPattern, uniform_workload
+
+
+def traced_run(protocol="clrp", limit=200_000, load=0.2, duration=1200):
+    config = NetworkConfig(
+        dims=(4, 4),
+        protocol=protocol,
+        wave=None if protocol == "wormhole" else WaveConfig(),
+    )
+    net = Network(config)
+    tracer = Tracer(limit)
+    net.attach_event_log(tracer)
+    workload = uniform_workload(
+        MessageFactory(),
+        UniformPattern(16),
+        num_nodes=16,
+        offered_load=load,
+        length=32,
+        duration=duration,
+        rng=SimRandom(11),
+    )
+    Simulator(net, workload).run(60_000)
+    return net, tracer
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            Tracer(0)
+        with pytest.raises(ValueError):
+            Tracer(-5)
+
+    def test_under_capacity_drops_nothing(self):
+        t = Tracer(10)
+        for i in range(7):
+            t.emit(i, EventKind.PROBE_HOP, 0, i)
+        assert len(t) == 7
+        assert t.emitted == 7
+        assert t.dropped == 0
+
+    def test_overflow_drops_oldest(self):
+        t = Tracer(3)
+        for i in range(8):
+            t.emit(i, EventKind.PROBE_HOP, 0, i)
+        assert len(t) == 3
+        assert t.emitted == 8
+        assert t.dropped == 5
+        # The *newest* records are retained -- opposite of EventLog.
+        assert [e.cycle for e in t] == [5, 6, 7]
+
+    def test_eventlog_drops_newest_by_contrast(self):
+        log = EventLog(capacity=3)
+        for i in range(8):
+            log.emit(i, EventKind.PROBE_HOP, 0, i)
+        assert [e.cycle for e in log] == [0, 1, 2]
+
+    def test_span_and_kind_counts(self):
+        t = Tracer(100)
+        t.emit(4, EventKind.PROBE_HOP, 0, 1)
+        t.emit(9, EventKind.PROBE_HOP, 1, 1)
+        t.emit(12, EventKind.CIRCUIT_ESTABLISHED, 0, 1)
+        assert t.span() == (4, 12)
+        assert t.kind_counts() == {
+            "circuit_established": 1, "probe_hop": 2
+        }
+
+    def test_empty_summary(self):
+        t = Tracer(5)
+        assert t.span() == (0, 0)
+        s = t.summary()
+        assert s["emitted"] == 0 and s["retained"] == 0
+        assert s["kinds"] == {}
+
+    def test_summary_is_consistent(self):
+        t = Tracer(4)
+        for i in range(9):
+            t.emit(i, EventKind.PROBE_HOP, 0, i)
+        s = t.summary()
+        assert s["emitted"] == 9
+        assert s["retained"] == 4
+        assert s["dropped"] == 5
+        assert s["capacity"] == 4
+        assert (s["first_cycle"], s["last_cycle"]) == (5, 8)
+
+
+class TestQueryHelpers:
+    """The inherited EventLog query helpers must work on the ring."""
+
+    def test_of_kind_and_between(self):
+        t = Tracer(100)
+        t.emit(1, EventKind.PROBE_HOP, 0, 1)
+        t.emit(2, EventKind.PROBE_BACKTRACK, 0, 1)
+        t.emit(3, EventKind.PROBE_HOP, 0, 1)
+        assert len(t.of_kind(EventKind.PROBE_HOP)) == 2
+        assert len(t.between(2, 4)) == 2
+
+    def test_for_circuit_follows_probe_details(self):
+        t = Tracer(100)
+        t.emit(1, EventKind.PROBE_LAUNCH, 0, 7, circuit=3)
+        t.emit(2, EventKind.PROBE_HOP, 0, 7, circuit=3)
+        t.emit(3, EventKind.CIRCUIT_ESTABLISHED, 0, 3)
+        t.emit(3, EventKind.CIRCUIT_ESTABLISHED, 0, 4)
+        story = t.for_circuit(3)
+        assert [e.kind for e in story] == [
+            EventKind.PROBE_LAUNCH, EventKind.PROBE_HOP,
+            EventKind.CIRCUIT_ESTABLISHED,
+        ]
+
+
+class TestTracedSimulation:
+    def test_clrp_run_records_protocol_story(self):
+        net, tracer = traced_run("clrp")
+        assert len(net.stats.delivered_records()) > 0
+        kinds = tracer.kind_counts()
+        assert kinds.get("probe_launch", 0) > 0
+        assert kinds.get("probe_hop", 0) > 0
+        assert kinds.get("circuit_established", 0) > 0
+        assert kinds.get("transfer_complete", 0) > 0
+
+    def test_wormhole_run_records_worm_advances(self):
+        net, tracer = traced_run("wormhole")
+        kinds = tracer.kind_counts()
+        assert kinds.get("worm_head_advance", 0) > 0
+        assert kinds.get("worm_tail_advance", 0) > 0
+        # Every delivered worm's head crossed at least one link.
+        heads = {
+            e.subject for e in tracer.of_kind(EventKind.WORM_HEAD_ADVANCE)
+        }
+        delivered = {r.msg_id for r in net.stats.delivered_records()}
+        # (ring may have dropped early records; sanity only when it didn't)
+        if tracer.dropped == 0:
+            assert delivered <= heads
+
+    def test_tight_limit_keeps_newest_records(self):
+        _, tracer = traced_run("clrp", limit=500)
+        assert tracer.dropped > 0
+        assert len(tracer) == 500
+        first, last = tracer.span()
+        assert last >= first > 0  # the retained window is the run's tail
+
+    def test_tracing_disabled_emits_nothing(self):
+        net, _ = traced_run("clrp")
+        untraced = Network(
+            NetworkConfig(dims=(4, 4), protocol="clrp", wave=WaveConfig())
+        )
+        assert untraced.log is None
+        assert all(r.log is None for r in untraced.routers)
+        assert all(ni.log is None for ni in untraced.interfaces)

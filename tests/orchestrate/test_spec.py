@@ -215,3 +215,46 @@ class TestFaultAndReliabilityFields:
         spec = clrp_spec(mtbf=800, mttr=200)
         data = json.loads(json.dumps(spec.to_dict()))
         assert JobSpec.from_dict(data).key() == spec.key()
+
+
+class TestMetricsEveryField:
+    def test_default_omitted_from_dict_and_key_stable(self):
+        # Adding the field must not invalidate pre-existing cache keys.
+        data = clrp_spec().to_dict()
+        assert "metrics_every" not in data
+        assert clrp_spec().key() == clrp_spec(metrics_every=0).key()
+
+    def test_round_trip(self):
+        spec = clrp_spec(metrics_every=250)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.metrics_every == 250
+
+    def test_changes_key_when_enabled(self):
+        assert clrp_spec().key() != clrp_spec(metrics_every=100).key()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            clrp_spec(metrics_every=-1)
+
+    def test_sampled_job_carries_observe_summary(self):
+        from repro.orchestrate.runner import execute_job
+
+        metrics = execute_job(clrp_spec(metrics_every=50))
+        observe = metrics["observe"]
+        assert observe["every"] == 50
+        assert observe["samples"] >= 1
+        assert "messages.outstanding" in observe["series"]
+
+    def test_unsampled_job_has_no_observe_block(self):
+        from repro.orchestrate.runner import execute_job
+
+        assert "observe" not in execute_job(clrp_spec())
+
+    def test_sampling_does_not_change_results(self):
+        from repro.orchestrate.runner import execute_job
+
+        plain = execute_job(clrp_spec())
+        sampled = execute_job(clrp_spec(metrics_every=50))
+        sampled.pop("observe")
+        assert sampled == plain

@@ -204,6 +204,23 @@ class TestPercentileEdges:
         ps = [h.percentile(q) for q in qs]
         assert ps == sorted(ps)
 
+    def test_overflow_only_population_every_quantile(self):
+        # Every sample lands past hi: interior quantiles must all report
+        # the [hi, max] midpoint (the only interval the bucket spans),
+        # with q=0/q=100 still anchored at the exact min/max.
+        h = Histogram(0.0, 10.0, bins=8)
+        h.extend([15.0, 25.0, 95.0])
+        assert h.percentile(0) == 15.0
+        assert h.percentile(100) == 95.0
+        for q in (1, 25, 50, 75, 99):
+            assert h.percentile(q) == (10.0 + 95.0) / 2.0
+
+    def test_single_overflow_sample(self):
+        h = Histogram(0.0, 10.0, bins=4)
+        h.add(42.0)
+        assert h.percentile(50) == (10.0 + 42.0) / 2.0
+        assert h.percentile(0) == h.percentile(100) == 42.0
+
 
 class TestOutstandingCounter:
     """StatsCollector.outstanding is maintained incrementally and must
@@ -239,3 +256,47 @@ class TestOutstandingCounter:
         for i in range(0, 10, 2):
             s.mark_delivered(i, 100 + i)
         assert s.outstanding == len(s.undelivered_records()) == 5
+
+    def test_reregistration_does_not_double_count(self):
+        # Regression: the reliability retransmit path re-injects the same
+        # msg_id; registering it again must not bump outstanding twice.
+        s = StatsCollector()
+        first = s.new_message(self._record(7))
+        again = s.new_message(self._record(7))
+        assert again is first  # original record kept, not replaced
+        assert s.outstanding == 1
+        s.mark_delivered(7, 50)
+        assert s.outstanding == 0
+
+    def test_retransmit_then_delivery_leaves_zero_outstanding(self):
+        """End-to-end regression: a retransmitted-then-delivered message
+        must drain ``outstanding`` to exactly zero."""
+        from repro.network.message import MessageFactory
+        from repro.network.network import Network
+        from repro.sim.config import NetworkConfig, ReliabilityConfig
+        from repro.topology import FaultSchedule, build_topology
+
+        topo = build_topology("mesh", (4, 4))
+        sched = FaultSchedule(topo)
+        # DOR 0->3 crosses link 1-2; kill it mid-worm, heal it later so
+        # the retransmitted copy gets through.
+        port = next(
+            p for p in topo.connected_ports(1) if topo.neighbor(1, p) == 2
+        )
+        sched.schedule_kill(6, 1, port)
+        sched.schedule_heal(200, 1, port)
+        config = NetworkConfig(
+            dims=(4, 4), protocol="wormhole", wave=None,
+            reliability=ReliabilityConfig(
+                timeout=64, backoff=2, max_timeout=256, max_retries=4
+            ),
+        )
+        net = Network(config, faults=sched)
+        net.inject(MessageFactory().make(0, 3, 32, 0))
+        for _ in range(30_000):
+            net.step()
+            if net.is_idle() and not net.recovery_pending():
+                break
+        assert net.stats.counters["reliability.retransmits"] >= 1
+        assert len(net.stats.delivered_records()) == 1
+        assert net.stats.outstanding == 0

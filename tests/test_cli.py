@@ -1,10 +1,13 @@
 """Tests for the command-line front-end."""
 
+import json
+
 import pytest
 
 from repro.analysis.experiments import run_experiment
 from repro.cli import build_config, build_items, main, make_parser, parse_dims
 from repro.errors import ConfigError
+from repro.observe import read_metrics_jsonl, validate_chrome_trace
 
 
 class TestParseDims:
@@ -223,3 +226,97 @@ class TestChaos:
             "chaos", "--dims", "4x4", "--fault-schedule", "10:kill:0:0",
         ])
         assert code == 2
+
+
+class TestTrace:
+    def test_trace_subcommand_writes_valid_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "trace", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "400",
+            "--trace-out", str(trace_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert "event kind" in out  # per-kind census table
+        assert "probe_hop" in out
+        assert "0 dropped" in out
+
+    def test_trace_with_metrics_dump(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main([
+            "trace", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "400",
+            "--trace-out", str(trace_path),
+            "--metrics-every", "50", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        registry = read_metrics_jsonl(metrics_path)
+        assert "messages.outstanding" in registry.series
+        # Counter tracks from the registry ride along in the trace.
+        obj = json.loads(trace_path.read_text())
+        assert any(ev["ph"] == "C" for ev in obj["traceEvents"])
+
+    def test_trace_limit_drops_oldest(self, tmp_path, capsys):
+        code = main([
+            "trace", "--dims", "4x4", "--load", "0.2",
+            "--length", "16", "--duration", "600",
+            "--trace-limit", "32",
+            "--trace-out", str(tmp_path / "t.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "raise --trace-limit" in out
+
+    def test_run_accepts_trace_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "run-trace.json"
+        code = main([
+            "run", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "300",
+            "--trace", "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert "trace:" in capsys.readouterr().out
+
+    def test_run_without_trace_writes_nothing(self, tmp_path, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "300",
+            "--trace-out", str(tmp_path / "never.json"),
+        ])
+        assert code == 0
+        assert not (tmp_path / "never.json").exists()
+
+    def test_metrics_out_requires_cadence(self, tmp_path, capsys):
+        code = main([
+            "run", "--dims", "4x4", "--duration", "300",
+            "--metrics-out", str(tmp_path / "m.jsonl"),
+        ])
+        assert code == 2
+        assert "--metrics-every" in capsys.readouterr().err
+
+
+class TestMetricsEveryFlag:
+    def test_sweep_carries_metrics_every_into_store(self, tmp_path, capsys):
+        store = tmp_path / "results.jsonl"
+        code = main([
+            "sweep", "--dims", "4x4", "--protocol", "wormhole",
+            "--loads", "0.05", "--length", "16", "--duration", "400",
+            "--metrics-every", "100", "--store", str(store),
+        ])
+        assert code == 0
+        rows = [json.loads(line) for line in store.read_text().splitlines()]
+        observe = rows[0]["metrics"]["observe"]
+        assert observe["every"] == 100
+        assert observe["samples"] >= 1
+        assert "messages.outstanding" in observe["series"]
+
+    def test_verbose_flag_parses(self, capsys):
+        code = main([
+            "-v", "run", "--dims", "4x4", "--load", "0.1",
+            "--length", "16", "--duration", "300",
+        ])
+        assert code == 0
