@@ -50,6 +50,7 @@ def run_experiment(
     faults: FaultSet | None = None,
     network: Network | None = None,
     sampler=None,
+    on_cycle=None,
 ) -> ExperimentResult:
     """Simulate one configuration against one workload.
 
@@ -62,6 +63,9 @@ def run_experiment(
             is built from ``config``.
         sampler: optional :class:`~repro.observe.metrics.NetworkSampler`
             passed through to the :class:`Simulator`.
+        on_cycle: optional per-cycle callback passed through to the
+            :class:`Simulator` (disables idle fast-forward; used by the
+            fuzzing invariant harness).
     """
     net = network if network is not None else Network(config, faults=faults)
     sim = Simulator(
@@ -70,6 +74,7 @@ def run_experiment(
         deadlock_check_interval=deadlock_check_interval,
         progress_timeout=progress_timeout,
         sampler=sampler,
+        on_cycle=on_cycle,
     )
     result = sim.run(max_cycles)
     stats = net.stats

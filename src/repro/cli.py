@@ -616,6 +616,129 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shipped_verify_configs() -> list[NetworkConfig]:
+    """The configurations the repo ships and documents, for ``--all``."""
+    return [
+        NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="wormhole",
+                      wave=None),
+        NetworkConfig(topology="hypercube", dims=(2, 2, 2, 2),
+                      protocol="wormhole", wave=None),
+        NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None,
+                      wormhole=WormholeConfig(vcs=3, routing="adaptive")),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="wormhole",
+                      wave=None,
+                      wormhole=WormholeConfig(vcs=3, routing="adaptive")),
+        NetworkConfig(dims=(4, 4), protocol="clrp"),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="carp"),
+    ]
+
+
+def cmd_verify_cdg(args: argparse.Namespace) -> int:
+    """Statically prove (or refute) deadlock freedom for configurations.
+
+    Builds the extended channel-dependency graph from topology + routing
+    + protocol config alone -- no simulation -- and checks the
+    resource-separation conditions of Theorems 1-2.  Exit 0 when every
+    checked configuration is provably deadlock-free (or, under
+    ``--expect-cyclic``, when a cycle IS found).
+    """
+    from repro.verify.cdg import (
+        analyze_config,
+        config_topology,
+        format_report,
+    )
+
+    configs = (
+        _shipped_verify_configs() if args.all else [build_config(args)]
+    )
+    failures = 0
+    for config in configs:
+        report = analyze_config(config, assume_classes=args.assume_classes)
+        print(f"== {config.describe()}")
+        print(format_report(report, config_topology(config)))
+        print()
+        ok = (not report.acyclic) if args.expect_cyclic else report.ok
+        failures += not ok
+    verdict = "cyclic as expected" if args.expect_cyclic else "deadlock-free"
+    print(f"{len(configs) - failures}/{len(configs)} configurations "
+          f"{verdict}")
+    return 0 if not failures else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Property-based protocol fuzzing under the invariant harness.
+
+    Generates ``--budget`` randomized scenarios from ``--seed``, runs
+    each through the orchestration pool with per-cycle invariant checks,
+    and shrinks any failure to a minimal replayable JobSpec JSON.
+    ``--replay`` re-executes one reproducer file instead.
+    """
+    from repro.verify.fuzz import (
+        dump_reproducer,
+        failure_signature,
+        fuzz_campaign,
+        load_spec,
+    )
+
+    if args.replay:
+        spec = load_spec(args.replay)
+        print(f"replaying {args.replay}: {spec.config.describe()}")
+        signature = failure_signature(spec)
+        if signature is None:
+            print("replay passed: all invariants held")
+            return 0
+        print(f"replay failed: {signature}")
+        return 1
+
+    store = ResultStore(args.store) if args.store else None
+
+    def progress(event: PoolProgress) -> None:
+        if event.last is None:
+            if event.cached:
+                logger.info("[%d/%d] %d cached",
+                            event.done, event.total, event.cached)
+            return
+        outcome = event.last
+        state = outcome.status if outcome.ok else "FAILED"
+        logger.info("[%d/%d] %s %s (%.1fs)", event.done, event.total,
+                    state, outcome.spec.label, outcome.elapsed_s)
+
+    report = fuzz_campaign(
+        args.budget,
+        master_seed=args.seed,
+        jobs=args.jobs,
+        store=store,
+        timeout_s=args.job_timeout,
+        shrink_failures=not args.no_shrink,
+        progress=progress,
+    )
+    print(f"\nfuzz: {report.passed}/{report.budget} scenarios passed "
+          f"({report.from_cache} cached), seed {report.master_seed}")
+    if report.ok:
+        return 0
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for failure in report.failures:
+        path = out_dir / (
+            f"fuzz-{report.master_seed}-{failure.index}-"
+            f"{failure.signature}.json"
+        )
+        dump_reproducer(failure, path)
+        shrunk = failure.shrunk
+        detail = (
+            f"shrunk in {shrunk.steps} steps / {shrunk.attempts} attempts"
+            if shrunk is not None
+            else "not shrunk"
+        )
+        print(f"  scenario {failure.index}: {failure.signature} ({detail})")
+        print(f"    {failure.message.splitlines()[0] if failure.message else ''}")
+        print(f"    reproducer: {path}")
+    print(f"\n{len(report.failures)} failing scenario(s); replay with "
+          f"'repro fuzz --replay <file>'")
+    return 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -769,6 +892,47 @@ def make_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--load", type=float, default=0.1,
                          help="offered load (flits/node/cycle)")
     chaos_p.set_defaults(func=cmd_chaos)
+
+    cdg_p = sub.add_parser(
+        "verify-cdg",
+        help="statically verify deadlock freedom via the extended "
+             "channel-dependency graph (no simulation)",
+    )
+    add_common(cdg_p)
+    cdg_p.add_argument("--protocol", default="clrp",
+                       choices=["wormhole", "clrp", "carp"])
+    cdg_p.add_argument("--all", action="store_true",
+                       help="check every shipped configuration instead of "
+                            "the one described by the flags")
+    cdg_p.add_argument("--assume-classes", type=int, default=None,
+                       help="override the dateline VC-class count the "
+                            "analysis assumes (e.g. 1 to demonstrate the "
+                            "torus ring cycle)")
+    cdg_p.add_argument("--expect-cyclic", action="store_true",
+                       help="invert the verdict: exit 0 only if a cycle "
+                            "IS found (CI check for the analyzer itself)")
+    cdg_p.set_defaults(func=cmd_verify_cdg)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="property-based protocol fuzzing under the per-cycle "
+             "invariant harness, with failure shrinking",
+    )
+    add_orchestration(fuzz_p)
+    fuzz_p.add_argument("--budget", type=int, default=25,
+                        help="number of randomized scenarios to run")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="master seed; (seed, index) fully determines "
+                             "each scenario")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failures to minimal "
+                             "reproducers")
+    fuzz_p.add_argument("--out", default="fuzz-failures",
+                        help="directory for reproducer JSON files")
+    fuzz_p.add_argument("--replay", default=None,
+                        help="replay one reproducer JSON file under the "
+                             "harness instead of fuzzing")
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     heat_p = sub.add_parser("heatmap",
                             help="link-load heat map of one run (2-D mesh)")

@@ -107,6 +107,10 @@ class CLRPEngine(CircuitEngineBase):
         self._queue_message(entry, msg)
         entry.phase = self._fresh_setup_phase()
         entry.forced = entry.phase >= 2  # "immediate_force" skips phase 1
+        # The probe launched below is the first switch this phase sweeps:
+        # the same accounting as the phase-2 restart in probe_failed, so
+        # every phase probes exactly its budget's worth of switches.
+        entry.switches_tried = 1
         self.cache.insert(entry)
         self.plane.launch_probe(
             self.node, msg.dst, switch, force=entry.phase == 2, cycle=cycle
@@ -126,6 +130,12 @@ class CLRPEngine(CircuitEngineBase):
             if entry.phase == 1
             else self._phase2_switch_budget()
         )
+        if entry.switches_tried > budget:
+            raise ProtocolError(
+                f"node {self.node}: dest {entry.dest} phase {entry.phase} "
+                f"swept {entry.switches_tried} switches, budget is {budget} "
+                f"(variant {self.variant!r})"
+            )
         if entry.switches_tried < budget:
             # Try the next switch modulo k; Initial Switch guarantees we
             # stop after one full cycle.  The Force bit comes from the

@@ -72,7 +72,14 @@ class FIFOReplacement(ReplacementPolicy):
 
 
 class RandomReplacement(ReplacementPolicy):
-    """Uniform random eviction (the zero-information baseline)."""
+    """Uniform random eviction (the zero-information baseline).
+
+    The draw is made over candidates sorted by ``(created_at, dest)``,
+    never over the caller's list order: the evictable list inherits
+    cache-dict iteration order, a side effect of the cache's mutation
+    history, and pinning the ordering keeps identical seeds evicting
+    identical victims as the surrounding code evolves.
+    """
 
     name = "random"
 
@@ -80,7 +87,8 @@ class RandomReplacement(ReplacementPolicy):
         self._stream = rng.stream("replacement")
 
     def select_victim(self, entries, cycle):
-        return entries[self._stream.randrange(len(entries))]
+        ordered = sorted(entries, key=lambda e: (e.created_at, e.dest))
+        return ordered[self._stream.randrange(len(ordered))]
 
 
 def make_replacement(name: str, rng: SimRandom) -> ReplacementPolicy:

@@ -61,12 +61,17 @@ def execute_job(spec: JobSpec) -> dict:
         )
     net = (
         Network(config, faults=faults)
-        if faults is not None or spec.metrics_every
+        if faults is not None or spec.metrics_every or spec.invariants_every
         else None
     )
     sampler = None
     if spec.metrics_every:
         sampler = NetworkSampler(net, spec.metrics_every)
+    harness = None
+    if spec.invariants_every:
+        from repro.verify.fuzz import InvariantHarness
+
+        harness = InvariantHarness(net, every=spec.invariants_every)
     result = _experiments.run_experiment(
         config,
         items,
@@ -78,7 +83,10 @@ def execute_job(spec: JobSpec) -> dict:
         faults=faults,
         network=net,
         sampler=sampler,
+        on_cycle=harness.on_cycle if harness is not None else None,
     )
+    if harness is not None:
+        harness.finish(result)
     if net is not None:
         # Fault runs end with a structural audit: the distributed
         # register state must be coherent, and -- once the last kill's
@@ -90,6 +98,11 @@ def execute_job(spec: JobSpec) -> dict:
         ):
             check_fault_isolation(net)
     metrics = result_to_metrics(result)
+    if harness is not None:
+        metrics["invariants"] = {
+            "every": spec.invariants_every,
+            "checks": harness.checks_run,
+        }
     if sampler is not None:
         # Per-job metric summary rides with the result into the store;
         # the full time series stays in the worker (summaries are small

@@ -128,6 +128,10 @@ class JobSpec:
             this many cycles during the run; 0 (default) disables
             sampling.  Sampled jobs carry an ``observe.*`` summary in
             their result metrics.
+        invariants_every: run the full per-cycle invariant harness
+            (:class:`~repro.verify.fuzz.InvariantHarness`) every this
+            many cycles, plus its end-of-run delivered-or-reported
+            audit; 0 (default) disables it.  Fuzz jobs set this.
     """
 
     config: NetworkConfig
@@ -141,6 +145,7 @@ class JobSpec:
     mtbf: int = 0
     mttr: int = 0
     metrics_every: int = 0
+    invariants_every: int = 0
 
     def __post_init__(self) -> None:
         if self.max_cycles < 1:
@@ -159,6 +164,10 @@ class JobSpec:
             raise ConfigError(
                 f"metrics_every must be >= 0, got {self.metrics_every}"
             )
+        if self.invariants_every < 0:
+            raise ConfigError(
+                f"invariants_every must be >= 0, got {self.invariants_every}"
+            )
 
     # -- serialisation --------------------------------------------------
 
@@ -176,6 +185,8 @@ class JobSpec:
             del data["mttr"]
         if not self.metrics_every:
             del data["metrics_every"]
+        if not self.invariants_every:
+            del data["invariants_every"]
         return data
 
     @classmethod
@@ -209,6 +220,7 @@ class JobSpec:
             mtbf=data.get("mtbf", 0),
             mttr=data.get("mttr", 0),
             metrics_every=data.get("metrics_every", 0),
+            invariants_every=data.get("invariants_every", 0),
         )
 
     # -- content key ----------------------------------------------------

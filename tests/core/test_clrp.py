@@ -215,3 +215,96 @@ class TestSlotStarvationRegression:
             "slot-waiting message starved"
         )
         assert net.interfaces[0].engine.pending_count() == 0
+
+
+class TestRedispatchWaiting:
+    """`_redispatch_waiting` re-enters the admission path for every message
+    parked on an eviction in flight.  Each outcome -- lookup hit on a fresh
+    entry, open into the freed slot, a second miss picking another victim,
+    and the wormhole fallback -- must neither double-count `_note_pending`
+    nor strand a message.  `ActivityTracker.validate` cross-checks the
+    incremental pending ledger against ground truth after every cycle."""
+
+    @staticmethod
+    def drain_validated(net, limit=20_000):
+        for _ in range(limit):
+            net.step()
+            net.activity.validate(net)
+            if net.is_idle():
+                return
+        raise AssertionError("network did not drain")
+
+    def test_open_then_hit_for_two_waiters_same_dest(self):
+        """Two messages waiting on the same dest: the first redispatch
+        opens an entry in the freed slot, the second hits that entry."""
+        net, factory = make_net(circuit_cache_size=2, replacement="lru")
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        drain(net)
+        # Both miss to dest 13; each evicts one idle entry and parks.
+        net.inject(factory.make(0, 13, 16, net.cycle))
+        net.inject(factory.make(0, 13, 16, net.cycle))
+        engine = net.interfaces[0].engine
+        net.step()
+        assert len(engine._waiting_for_slot) == 2
+        assert engine.pending_count() >= 2
+        self.drain_validated(net)
+        recs = net.stats.messages
+        assert all(r.delivered > 0 for r in recs.values())
+        # One circuit to 13 serves both: the second waiter hit the entry
+        # the first waiter opened.
+        modes = [recs[2].mode, recs[3].mode]
+        assert SwitchingMode.CIRCUIT_NEW in modes
+        assert SwitchingMode.CIRCUIT_HIT in modes
+        assert engine.pending_count() == 0
+        check_all_invariants(net)
+
+    def test_re_miss_picks_second_victim(self):
+        """The reopened entry steals the slot back; the waiter's second
+        trip through `_miss` must evict the *other* entry, not strand."""
+        net, factory = make_net(circuit_cache_size=2, replacement="lru")
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        drain(net)
+        # Touch 9 so dest 5 is the LRU victim for the next miss.
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        drain(net)
+        # Miss to 13 evicts entry 5 and parks.
+        net.inject(factory.make(0, 13, 16, net.cycle))
+        net.step()  # teardown of 0->5 in flight
+        # New message to 5 queues on the RELEASING entry: on release the
+        # entry re-opens for 5 and the waiter re-misses against a full
+        # cache, evicting entry 9 this time.
+        net.inject(factory.make(0, 5, 16, net.cycle))
+        self.drain_validated(net)
+        recs = net.stats.messages
+        assert all(r.delivered > 0 for r in recs.values())
+        engine = net.interfaces[0].engine
+        assert engine.pending_count() == 0
+        assert engine.cache.lookup(13) is not None, "waiter stranded"
+        assert net.stats.count("clrp.cache_evictions") >= 2
+        check_all_invariants(net)
+
+    def test_re_miss_with_no_evictable_entry_falls_back(self):
+        """Slot stolen back and every entry busy: the waiter must leave on
+        S0 rather than wait for a slot that will never free."""
+        net, factory = make_net(circuit_cache_size=1)
+        net.inject(factory.make(0, 5, 16, 0))
+        drain(net)
+        # Miss to 9 evicts the single entry and parks.
+        net.inject(factory.make(0, 9, 16, net.cycle))
+        net.step()
+        # A burst to 5 re-opens the entry on release and keeps it busy
+        # (SETTING_UP, long queue) when the waiter re-misses.
+        for _ in range(3):
+            net.inject(factory.make(0, 5, 128, net.cycle))
+        self.drain_validated(net)
+        recs = net.stats.messages
+        assert all(r.delivered > 0 for r in recs.values())
+        assert recs[1].mode is SwitchingMode.WORMHOLE_FALLBACK
+        assert net.stats.count("clrp.cache_full_fallback") >= 1
+        engine = net.interfaces[0].engine
+        assert engine.pending_count() == 0
+        check_all_invariants(net)

@@ -128,6 +128,56 @@ class TestSingleSwitch:
             assert net.stats.count("clrp.phase3_fallbacks") == 1
 
 
+class TestPhaseBudgets:
+    """Each phase sweeps *exactly* its switch budget (section 3.1).
+
+    `_open_entry` and the phase-2 restart both count their first probe as
+    switch number 1, so with every channel towards the destination held by
+    circuits still being established (forced probes backtrack off those
+    too), the per-phase probe counts equal the budgets -- not budget+1.
+    """
+
+    BUDGETS = {
+        # variant: (phase-1 clear probes, phase-2 forced probes) at k=2
+        "standard": (2, 2),
+        "eager_force": (1, 2),
+        "single_switch": (1, 1),
+        "immediate_force": (0, 2),
+    }
+
+    @pytest.mark.parametrize("variant", sorted(BUDGETS))
+    def test_exact_probe_counts_when_all_switches_blocked(self, variant):
+        clear_budget, forced_budget = self.BUDGETS[variant]
+        net, factory = make_net(variant, num_switches=2, setup_hop_delay=50)
+        # Hold the (1,+) channel on BOTH switches with slow un-acked
+        # probes, so every attempt from node 1 towards node 2 fails in
+        # both phases and the message walks the full phase ladder.
+        for switch in (0, 1):
+            net.plane.launch_probe(0, 2, switch, force=False, cycle=0)
+        net.run(55)  # first hops reserved, acks still far away
+
+        launches = []
+        real = net.plane.launch_probe
+
+        def spy(src, dst, switch, *, force, cycle):
+            if src == 1:
+                launches.append((switch, force))
+            return real(src, dst, switch, force=force, cycle=cycle)
+
+        net.plane.launch_probe = spy
+        net.inject(factory.make(1, 2, 16, net.cycle))
+        drain(net, limit=60_000)
+        net.plane.launch_probe = real
+
+        clear = [sw for sw, force in launches if not force]
+        forced = [sw for sw, force in launches if force]
+        assert len(clear) == clear_budget, launches
+        assert len(forced) == forced_budget, launches
+        # Exhausting phase 2 must end in the wormhole fallback.
+        assert net.stats.count("clrp.phase3_fallbacks") == 1
+        assert net.stats.messages[0].mode is SwitchingMode.WORMHOLE_FALLBACK
+
+
 class TestAllVariantsDeliver:
     @pytest.mark.parametrize(
         "variant", ["standard", "eager_force", "single_switch", "immediate_force"]

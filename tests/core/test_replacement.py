@@ -64,6 +64,58 @@ class TestRandom:
         seen = {policy.select_victim(entries, 0).dest for _ in range(50)}
         assert len(seen) > 1
 
+    def test_victim_independent_of_list_order(self):
+        """Regression: the evictable list inherits cache-dict iteration
+        order, which depends on the cache's mutation history.  The draw
+        must be over the canonical (created_at, dest) ordering, so that
+        the same seed evicts the same victim however the caller happened
+        to order the candidates."""
+        entries = [entry(i, created=100 - i) for i in range(8)]
+        shuffled = list(reversed(entries))
+        rotated = entries[3:] + entries[:3]
+        a = RandomReplacement(SimRandom(7)).select_victim(entries, 0)
+        b = RandomReplacement(SimRandom(7)).select_victim(shuffled, 0)
+        c = RandomReplacement(SimRandom(7)).select_victim(rotated, 0)
+        assert a.dest == b.dest == c.dest
+
+    def test_cross_run_eviction_sequence_deterministic(self):
+        """Two identically-seeded full simulations with random replacement
+        must evict identical victims in identical order."""
+        from repro.network.message import MessageFactory
+        from repro.network.network import Network
+        from repro.sim.config import NetworkConfig, WaveConfig
+        from repro.sim.engine import Simulator
+        from repro.traffic import UniformPattern, uniform_workload
+
+        def evictions():
+            config = NetworkConfig(
+                dims=(4,),
+                protocol="clrp",
+                seed=11,
+                wave=WaveConfig(circuit_cache_size=2, replacement="random"),
+            )
+            net = Network(config)
+            workload = uniform_workload(
+                MessageFactory(),
+                UniformPattern(4),
+                num_nodes=4,
+                offered_load=0.4,
+                length=8,
+                duration=400,
+                rng=SimRandom(9),
+            )
+            Simulator(net, workload).run(20_000)
+            trail = []
+            for ni in net.interfaces:
+                cache = ni.engine.cache
+                trail.append((ni.node, sorted(cache.entries)))
+            return net.stats.count("clrp.cache_evictions"), trail
+
+        first = evictions()
+        second = evictions()
+        assert first[0] > 0, "scenario produced no evictions"
+        assert first == second
+
 
 class TestOnUse:
     def test_updates_replace_accounting(self):

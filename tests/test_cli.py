@@ -1,6 +1,7 @@
 """Tests for the command-line front-end."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -320,3 +321,86 @@ class TestMetricsEveryFlag:
             "--length", "16", "--duration", "300",
         ])
         assert code == 0
+
+
+class TestVerifyCdg:
+    def test_single_config_deadlock_free(self, capsys):
+        code = main([
+            "verify-cdg", "--protocol", "wormhole",
+            "--topology", "torus", "--dims", "4x4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acyclic" in out
+        assert "1/1 configurations deadlock-free" in out
+
+    def test_all_shipped_configs_pass(self, capsys):
+        code = main(["verify-cdg", "--all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7/7 configurations deadlock-free" in out
+
+    def test_cyclic_config_flagged(self, capsys):
+        code = main([
+            "verify-cdg", "--protocol", "wormhole",
+            "--topology", "torus", "--dims", "4x4",
+            "--assume-classes", "1",
+        ])
+        assert code == 1
+        assert "CYCLE" in capsys.readouterr().out
+
+    def test_expect_cyclic_inverts_verdict(self, capsys):
+        code = main([
+            "verify-cdg", "--protocol", "wormhole",
+            "--topology", "torus", "--dims", "4x4",
+            "--assume-classes", "1", "--expect-cyclic",
+        ])
+        assert code == 0
+        assert "cyclic as expected" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_smoke_budget_passes_and_caches(self, tmp_path, capsys):
+        store = tmp_path / "fuzz.jsonl"
+        argv = ["fuzz", "--budget", "2", "--seed", "0",
+                "--store", str(store)]
+        assert main(argv) == 0
+        assert "2/2 scenarios passed" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "(2 cached)" in capsys.readouterr().out
+
+    def test_replay_corpus_reproducer(self, capsys):
+        corpus = Path(__file__).resolve().parent / "corpus"
+        code = main([
+            "fuzz", "--replay", str(corpus / "clrp_phase_budget.json"),
+        ])
+        assert code == 0
+        assert "replay passed" in capsys.readouterr().out
+
+    def test_failures_dump_reproducers(self, tmp_path, capsys, monkeypatch):
+        # Re-introduce the CLRP phase-budget bug; the campaign must fail,
+        # write a replayable reproducer, and the reproducer must replay
+        # with the same failure.
+        from repro.core.clrp import CLRPEngine
+
+        orig = CLRPEngine._open_entry
+
+        def buggy(self, msg, cycle):
+            orig(self, msg, cycle)
+            entry = self.cache.lookup(msg.dst)
+            if entry is not None:
+                entry.switches_tried = 0
+
+        monkeypatch.setattr(CLRPEngine, "_open_entry", buggy)
+        out_dir = tmp_path / "findings"
+        code = main([
+            "fuzz", "--budget", "6", "--seed", "0", "--no-shrink",
+            "--out", str(out_dir),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ProtocolError" in out
+        dumps = sorted(out_dir.glob("*.json"))
+        assert dumps
+        assert main(["fuzz", "--replay", str(dumps[0])]) == 1
+        assert "replay failed: ProtocolError" in capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Tests for the static channel-dependency-graph analyzer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import NetworkConfig, WormholeConfig
+from repro.verify.cdg import (
+    Channel,
+    analyze_config,
+    build_cdg,
+    config_topology,
+    find_cycle,
+    format_report,
+)
+
+
+def shipped_configs():
+    return [
+        NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="wormhole",
+                      wave=None),
+        NetworkConfig(topology="hypercube", dims=(2, 2, 2, 2),
+                      protocol="wormhole", wave=None),
+        NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None,
+                      wormhole=WormholeConfig(vcs=3, routing="adaptive")),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="wormhole",
+                      wave=None,
+                      wormhole=WormholeConfig(vcs=3, routing="adaptive")),
+        NetworkConfig(dims=(4, 4), protocol="clrp"),
+        NetworkConfig(topology="torus", dims=(4, 4), protocol="carp"),
+    ]
+
+
+class TestShippedConfigsAcyclic:
+    @pytest.mark.parametrize(
+        "config", shipped_configs(),
+        ids=lambda c: f"{c.topology}-{c.protocol}-{c.wormhole.routing}",
+    )
+    def test_analyzer_proves_theorems_1_2(self, config):
+        report = analyze_config(config)
+        assert report.acyclic, report.cycle_chain(config_topology(config))
+        assert report.ok
+        assert report.num_channels > 0
+        assert report.num_deps > 0
+
+
+class TestCyclicConfigFlagged:
+    def test_torus_without_datelines_has_ring_cycle(self):
+        config = NetworkConfig(topology="torus", dims=(4, 4),
+                               protocol="wormhole", wave=None)
+        report = analyze_config(config, assume_classes=1)
+        assert not report.acyclic
+        assert not report.ok
+        # The chain closes: last channel repeats the first.
+        assert report.cycle[0] == report.cycle[-1]
+        # A torus ring cycle stays within one dimension and one class.
+        topo = config_topology(config)
+        dims = {topo.port_dimension(ch.port) for ch in report.cycle}
+        assert len(dims) == 1
+        assert {ch.vc_class for ch in report.cycle} == {0}
+        # The offending chain is printable.
+        assert "-->" in report.cycle_chain(topo)
+        assert "CYCLE" in format_report(report, topo)
+
+    def test_mesh_stays_acyclic_even_with_one_class(self):
+        """Dally & Seitz: mesh DOR needs no VC classes at all."""
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        report = analyze_config(config, assume_classes=1)
+        assert report.acyclic
+
+    def test_bad_assume_classes_rejected(self):
+        config = NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None)
+        with pytest.raises(ConfigError):
+            analyze_config(config, assume_classes=0)
+
+
+class TestGraphMatchesRuntime:
+    def test_classes_mirror_runtime_dateline_logic(self):
+        """The static walk must assign the same VC class the runtime
+        router would: replay every DOR route with a real header flit and
+        compare against the analyzer's edge set."""
+        from repro.topology import build_topology
+        from repro.wormhole.flit import Flit
+        from repro.wormhole.routing import make_routing
+
+        topo = build_topology("torus", (4, 3))
+        routing = make_routing("dor", topo, 2)
+        edges = build_cdg(topo, routing)
+        vertices = set(edges)
+        for ch, outs in edges.items():
+            vertices.update(outs)
+        for src in range(topo.num_nodes):
+            for dst in range(topo.num_nodes):
+                if src == dst:
+                    continue
+                head = Flit(0, 0, is_head=True, is_tail=True, dst=dst)
+                node = src
+                while node != dst:
+                    [[(port, vcs)]] = routing.candidates(node, dst, head)
+                    vc_class = vcs[0] % routing.num_classes
+                    assert Channel(node, port, vc_class) in vertices, (
+                        f"runtime channel missing from CDG at {node}->{dst}"
+                    )
+                    routing.note_hop(node, port, head)
+                    node = topo.neighbor(node, port)
+
+    def test_adaptive_extended_graph_superset_of_escape_dor(self):
+        """Every escape (DOR) dependency must appear in the extended CDG;
+        the adaptive closure only ever adds dependencies."""
+        from repro.topology import build_topology
+        from repro.wormhole.routing import make_routing
+
+        topo = build_topology("torus", (3, 3))
+        dor_edges = build_cdg(topo, make_routing("dor", topo, 2))
+        ext_edges = build_cdg(topo, make_routing("adaptive", topo, 3))
+        for ch, outs in dor_edges.items():
+            assert outs <= ext_edges.get(ch, set()), ch
+
+
+class TestFindCycle:
+    def c(self, node):
+        return Channel(node, 0, 0)
+
+    def test_empty_graph(self):
+        assert find_cycle({}) == []
+
+    def test_dag(self):
+        edges = {self.c(0): {self.c(1)}, self.c(1): {self.c(2)},
+                 self.c(2): set()}
+        assert find_cycle(edges) == []
+
+    def test_self_loop(self):
+        # Structural degenerate case; _add_edge never creates these, but
+        # the detector must not infinite-loop on one.
+        edges = {self.c(0): {self.c(0)}}
+        cycle = find_cycle(edges)
+        assert cycle and cycle[0] == cycle[-1]
+
+    def test_returns_closed_chain(self):
+        edges = {self.c(0): {self.c(1)}, self.c(1): {self.c(2)},
+                 self.c(2): {self.c(1)}}
+        cycle = find_cycle(edges)
+        assert cycle[0] == cycle[-1]
+        assert {ch.node for ch in cycle} == {1, 2}

@@ -10,7 +10,8 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
 from repro.traffic import UniformPattern, uniform_workload
 from repro.verify import build_wait_graph, find_deadlocked_worms
-from repro.verify.deadlock import assert_no_deadlock
+from repro.verify.deadlock import assert_no_deadlock, deadlocked_in_graph
+from repro.verify.waitgraph import WaitEntry, WaitGraph
 
 
 def run_under_load(config, load, duration=800, seed=5, check_every=25):
@@ -119,6 +120,68 @@ class TestDetectorFindsRealDeadlock:
         assert len(stuck) == 4, f"expected the 4-worm cycle, got {stuck}"
         with pytest.raises(DeadlockError):
             assert_no_deadlock(net)
+
+
+class TestSelfBlockingResolvesMovable:
+    """Regression: a worm whose blocker set contains its own msg_id is a
+    transient self-wait (its downstream buffer holds its own flits) and
+    must resolve towards movable, as the detector's soundness docstring
+    promises.  The pre-fix fixpoint never seeded such a worm as movable
+    and reported a spurious deadlock."""
+
+    @staticmethod
+    def graph_of(*entries):
+        graph = WaitGraph()
+        for e in entries:
+            graph.add(e)
+        return graph
+
+    def test_pure_self_wait_not_deadlocked(self):
+        graph = self.graph_of(
+            WaitEntry(msg_id=7, node=0, in_port=0, in_vc=0, free=False,
+                      blockers={7}, reason="no_credit"),
+        )
+        assert deadlocked_in_graph(graph) == []
+
+    def test_mixed_self_and_stuck_blocker_not_deadlocked(self):
+        # OR-wait: the self-alternative alone makes the worm movable even
+        # when its other alternative points at a genuinely stuck worm.
+        graph = self.graph_of(
+            WaitEntry(msg_id=1, node=0, in_port=0, in_vc=0, free=False,
+                      blockers={1, 2}, reason="va_wait"),
+            WaitEntry(msg_id=2, node=1, in_port=0, in_vc=0, free=False,
+                      blockers={3}, reason="no_credit"),
+            WaitEntry(msg_id=3, node=2, in_port=0, in_vc=0, free=False,
+                      blockers={2}, reason="no_credit"),
+        )
+        assert deadlocked_in_graph(graph) == [2, 3]
+
+    def test_chain_behind_self_waiter_drains(self):
+        # A worm blocked on a self-waiting worm is transitively movable.
+        graph = self.graph_of(
+            WaitEntry(msg_id=7, node=0, in_port=0, in_vc=0, free=False,
+                      blockers={7}, reason="no_credit"),
+            WaitEntry(msg_id=8, node=1, in_port=0, in_vc=0, free=False,
+                      blockers={7}, reason="no_credit"),
+        )
+        assert deadlocked_in_graph(graph) == []
+
+    def test_untracked_blocker_still_movable(self):
+        # A blocker absent from the graph is mid-flight, hence progress.
+        graph = self.graph_of(
+            WaitEntry(msg_id=4, node=0, in_port=0, in_vc=0, free=False,
+                      blockers={99}, reason="no_credit"),
+        )
+        assert deadlocked_in_graph(graph) == []
+
+    def test_true_cycle_still_detected(self):
+        graph = self.graph_of(
+            WaitEntry(msg_id=1, node=0, in_port=0, in_vc=0, free=False,
+                      blockers={2}, reason="no_credit"),
+            WaitEntry(msg_id=2, node=1, in_port=0, in_vc=0, free=False,
+                      blockers={1}, reason="no_credit"),
+        )
+        assert deadlocked_in_graph(graph) == [1, 2]
 
 
 class TestWaitGraph:

@@ -1,0 +1,370 @@
+"""Tests for the protocol fuzzer: harness, corpus regressions, shrinking.
+
+The two regression corpora under ``tests/corpus/`` are replayable
+JobSpec JSON files produced by :func:`repro.verify.fuzz.dump_reproducer`.
+Each one runs clean against the fixed code and fails when the historical
+bug is re-introduced by a targeted mutation -- proving the fuzzer's
+invariant harness would have caught both.
+"""
+
+from pathlib import Path
+from types import SimpleNamespace
+
+import json
+import pytest
+
+from repro.core.clrp import CLRPEngine
+from repro.errors import ConfigError, DeadlockError, ProtocolError
+from repro.network.network import Network
+from repro.orchestrate.runner import execute_job
+from repro.orchestrate.spec import JobSpec
+from repro.sim.config import NetworkConfig
+from repro.sim.stats import MessageRecord
+from repro.verify import deadlock as deadlock_mod
+from repro.verify.fuzz import (
+    InvariantHarness,
+    dump_reproducer,
+    failure_signature,
+    fuzz_campaign,
+    generate_spec,
+    load_spec,
+    shrink,
+)
+from repro.verify.waitgraph import WaitEntry, WaitGraph, _owner_msg
+from repro.wormhole.flit import EJECT_PORT
+
+CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+
+
+# -- the historical bugs, as re-injectable mutations ----------------------
+
+
+@pytest.fixture
+def prefix_open_entry(monkeypatch):
+    """Re-introduce the CLRP phase-budget bug: ``_open_entry`` launches
+    the first probe of phase 1 but leaves ``switches_tried`` at zero, so
+    the phase sweeps budget+1 switches before falling through."""
+    orig = CLRPEngine._open_entry
+
+    def buggy(self, msg, cycle):
+        orig(self, msg, cycle)
+        entry = self.cache.lookup(msg.dst)
+        if entry is not None:
+            entry.switches_tried = 0
+
+    monkeypatch.setattr(CLRPEngine, "_open_entry", buggy)
+
+
+def _rearmost_wait_graph(network):
+    """A buggy wait-graph builder: evaluates each worm at its REARMOST
+    site (highest flit index) and records self-edges verbatim.
+
+    The real builder's foremost-site rule structurally precludes
+    no-credit self-blocking, so the historical false positive cannot be
+    triggered through it.  This inverted builder produces exactly the
+    graphs that exposed the bug: at the rearmost site a worm routinely
+    waits behind its *own* downstream flits.  A sound detector must
+    resolve those self-edges towards movable.
+    """
+    graph = WaitGraph()
+    sites = {}
+    for router in network.routers:
+        for port, vc in router._active:
+            head = router.inputs[port][vc].head()
+            if head is None:
+                continue
+            best = sites.get(head.msg_id)
+            if best is None or head.index > best[0]:
+                sites[head.msg_id] = (head.index, router.node, port, vc)
+    for msg_id, (_idx, node, port, vc) in sites.items():
+        router = network.routers[node]
+        ivc = router.inputs[port][vc]
+        head = ivc.head()
+        entry = WaitEntry(msg_id=msg_id, node=node, in_port=port, in_vc=vc,
+                          free=False)
+        if ivc.route is not None:
+            out_port, out_vc = ivc.route
+            if out_port == EJECT_PORT:
+                entry.free = True
+                entry.reason = "ejecting"
+            else:
+                out = router.outputs[out_port][out_vc]
+                if out.credits > 0:
+                    entry.free = True
+                    entry.reason = "has_credit"
+                else:
+                    down = router.downstream[out_port]
+                    assert down is not None
+                    d_router, d_port = down
+                    blocker = _owner_msg(d_router, (d_port, out_vc))
+                    entry.reason = "no_credit"
+                    if blocker is not None:
+                        entry.blockers.add(blocker)  # self-edges included
+                    else:
+                        entry.free = True
+        else:
+            # Header/transient cases are not what this mutation targets.
+            entry.free = True
+            entry.reason = "transient"
+        graph.add(entry)
+    return graph
+
+
+def _prefix_fixpoint(graph):
+    """The seed detector's fixpoint: resolves untracked blockers towards
+    movable but NOT self-blockers -- the historical false positive."""
+    movable = {
+        e.msg_id for e in graph.entries.values() if e.free or not e.blockers
+    }
+    changed = True
+    while changed:
+        changed = False
+        for entry in graph.entries.values():
+            if entry.msg_id in movable:
+                continue
+            for blocker in entry.blockers:
+                if blocker in movable or blocker not in graph.entries:
+                    movable.add(entry.msg_id)
+                    changed = True
+                    break
+    return sorted(set(graph.entries) - movable)
+
+
+# -- invariant harness ----------------------------------------------------
+
+
+class TestInvariantHarness:
+    def test_bad_cadence_rejected(self):
+        net = Network(NetworkConfig(dims=(2, 2), protocol="clrp"))
+        with pytest.raises(ConfigError):
+            InvariantHarness(net, every=0)
+
+    def test_cadence_skips_off_cycles(self):
+        net = Network(NetworkConfig(dims=(2, 2), protocol="clrp"))
+        harness = InvariantHarness(net, every=3)
+        for cycle in range(7):
+            net.cycle = cycle
+            harness.on_cycle(net)
+        # Cycles 0, 3, 6 check; the rest return early.
+        assert harness.checks_run == 3
+
+    def test_probe_ledger_imbalance_caught(self):
+        net = Network(NetworkConfig(dims=(2, 2), protocol="clrp"))
+        harness = InvariantHarness(net, every=1)
+        harness.on_cycle(net)  # idle net passes
+        net.stats.bump("probe.launched")  # counter with no probe in flight
+        with pytest.raises(ProtocolError, match="probe ledger"):
+            harness.on_cycle(net)
+
+    def test_finish_flags_silently_vanished_message(self):
+        net = Network(NetworkConfig(dims=(2, 2), protocol="clrp"))
+        harness = InvariantHarness(net, every=1)
+        net.stats.new_message(
+            MessageRecord(msg_id=5, src=0, dst=3, length=4, created=0)
+        )
+        done = SimpleNamespace(completed=True)
+        with pytest.raises(ProtocolError, match="neither delivered"):
+            harness.finish(done)
+        # Once delivered, the same audit passes.
+        net.stats.mark_delivered(5, 40)
+        harness.finish(done)
+
+    def test_finish_skips_audit_on_incomplete_run(self):
+        net = Network(NetworkConfig(dims=(2, 2), protocol="clrp"))
+        harness = InvariantHarness(net, every=1)
+        net.stats.new_message(
+            MessageRecord(msg_id=5, src=0, dst=3, length=4, created=0)
+        )
+        # A budget-expired run still has messages in flight; that is the
+        # simulator's livelock monitor's concern, not the harness's.
+        harness.finish(SimpleNamespace(completed=False))
+
+
+# -- regression corpus ----------------------------------------------------
+
+
+class TestClrpPhaseBudgetCorpus:
+    SPEC = CORPUS / "clrp_phase_budget.json"
+
+    def test_corpus_spec_runs_clean_post_fix(self):
+        assert failure_signature(load_spec(self.SPEC)) is None
+
+    def test_harness_catches_reintroduced_bug(self, prefix_open_entry):
+        spec = load_spec(self.SPEC)
+        with pytest.raises(ProtocolError, match="switches"):
+            execute_job(spec)
+
+
+class TestDeadlockSelfWaitCorpus:
+    SPEC = CORPUS / "deadlock_selfwait.json"
+    GRAPHS = CORPUS / "deadlock_selfwait_graphs.json"
+
+    def test_corpus_spec_runs_clean_post_fix(self):
+        assert failure_signature(load_spec(self.SPEC)) is None
+
+    def test_prefix_detector_reports_spurious_deadlock(self, monkeypatch):
+        monkeypatch.setattr(
+            deadlock_mod, "build_wait_graph", _rearmost_wait_graph
+        )
+        monkeypatch.setattr(
+            deadlock_mod, "deadlocked_in_graph", _prefix_fixpoint
+        )
+        with pytest.raises(DeadlockError):
+            execute_job(load_spec(self.SPEC))
+
+    def test_fixed_detector_ignores_self_edges(self, monkeypatch):
+        # Same buggy graphs, fixed fixpoint: the run drains clean, so the
+        # detector's soundness no longer depends on the builder having
+        # filtered self-edges out.
+        monkeypatch.setattr(
+            deadlock_mod, "build_wait_graph", _rearmost_wait_graph
+        )
+        assert failure_signature(load_spec(self.SPEC)) is None
+
+    def test_graph_level_corpus(self):
+        data = json.loads(self.GRAPHS.read_text(encoding="utf-8"))
+        for case in data["cases"]:
+            graph = WaitGraph()
+            for raw in case["entries"]:
+                graph.add(WaitEntry(
+                    msg_id=raw["msg_id"], node=0, in_port=0, in_vc=0,
+                    free=raw["free"], blockers=set(raw["blockers"]),
+                ))
+            got = deadlock_mod.deadlocked_in_graph(graph)
+            assert got == case["deadlocked"], case["name"]
+
+
+# -- shrinking ------------------------------------------------------------
+
+
+class TestShrinking:
+    def test_shrinks_failure_to_replayable_reproducer(
+        self, prefix_open_entry, tmp_path
+    ):
+        # A deliberately oversized CLRP scenario; with the phase-budget
+        # bug re-introduced every cache miss trips the harness.
+        spec = load_spec(CORPUS / "clrp_phase_budget.json")
+        import dataclasses
+
+        from repro.orchestrate.spec import WorkloadRecipe
+
+        big = dataclasses.replace(
+            spec,
+            config=dataclasses.replace(spec.config, dims=(4, 4)),
+            workload=WorkloadRecipe.make(
+                "uniform", pattern="hotspot", load=0.4, length=24,
+                duration=600,
+            ),
+        )
+        signature = failure_signature(big)
+        assert signature == "ProtocolError"
+
+        result = shrink(big, signature, max_attempts=24)
+        assert result.steps > 0
+        assert result.signature == "ProtocolError"
+        small = result.spec.workload.as_dict()
+        orig = big.workload.as_dict()
+        # Strictly simpler along at least one axis.
+        assert (
+            small["duration"] < orig["duration"]
+            or small["load"] < orig["load"]
+            or small["length"] < orig["length"]
+            or result.spec.config.dims != big.config.dims
+        )
+        # The reproducer replays from JSON with the same signature.
+        from repro.verify.fuzz import FuzzFailure
+
+        failure = FuzzFailure(
+            index=0, signature=signature, message="", spec=big,
+            shrunk=result,
+        )
+        path = dump_reproducer(failure, tmp_path / "repro.json")
+        loaded = load_spec(path)
+        assert loaded == result.spec
+        assert failure_signature(loaded) == "ProtocolError"
+
+    def test_shrink_respects_attempt_budget(self, prefix_open_entry):
+        spec = load_spec(CORPUS / "clrp_phase_budget.json")
+        result = shrink(spec, "ProtocolError", max_attempts=3)
+        assert result.attempts <= 3
+
+
+# -- generation and campaign ----------------------------------------------
+
+
+class TestGeneration:
+    def test_specs_deterministic_across_calls(self):
+        for index in range(12):
+            a = generate_spec(index, master_seed=7)
+            b = generate_spec(index, master_seed=7)
+            assert a == b
+            assert a.key() == b.key()
+
+    def test_specs_vary_with_index_and_seed(self):
+        keys = {generate_spec(i, master_seed=7).key() for i in range(12)}
+        assert len(keys) == 12
+        assert generate_spec(0, 7).key() != generate_spec(0, 8).key()
+
+    def test_specs_valid_by_construction(self):
+        # Every generated spec must at least survive config validation
+        # and workload building (the key() round-trip exercises both
+        # serialisation paths).
+        for index in range(24):
+            spec = generate_spec(index, master_seed=3)
+            assert spec.invariants_every >= 1
+            JobSpec.from_dict(spec.to_dict())
+
+
+class TestCampaign:
+    def test_smoke_campaign_passes_and_caches(self, tmp_path):
+        from repro.orchestrate.store import ResultStore
+
+        store = ResultStore(tmp_path / "fuzz.jsonl")
+        report = fuzz_campaign(2, master_seed=0, store=store)
+        assert report.ok
+        assert report.passed == 2
+        rerun = fuzz_campaign(2, master_seed=0, store=store)
+        assert rerun.ok
+        assert rerun.from_cache == 2
+
+    def test_campaign_surfaces_reintroduced_bug(self, prefix_open_entry):
+        # Find a CLRP scenario in the first few indices (protocol weights
+        # make one near-certain); it must fail under the mutation with
+        # the phase-budget signature.  Shrinking is exercised separately
+        # (TestShrinking) -- disabled here to keep the campaign fast.
+        report = fuzz_campaign(6, master_seed=0, shrink_failures=False)
+        clrp_failures = [
+            f for f in report.failures if f.signature == "ProtocolError"
+        ]
+        assert clrp_failures, "expected the mutation to surface"
+        failure = clrp_failures[0]
+        assert failure.shrunk is None
+        assert failure.reproducer == failure.spec
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            fuzz_campaign(0)
+
+
+class TestSpecKeyStability:
+    def test_disabled_harness_field_omitted_from_dict(self):
+        spec = generate_spec(0, master_seed=0)
+        import dataclasses
+
+        plain = dataclasses.replace(spec, invariants_every=0)
+        data = plain.to_dict()
+        assert "invariants_every" not in data
+        assert JobSpec.from_dict(data) == plain
+
+    def test_enabled_harness_field_round_trips_and_keys(self):
+        spec = generate_spec(0, master_seed=0)
+        assert spec.invariants_every >= 1
+        data = spec.to_dict()
+        assert data["invariants_every"] == spec.invariants_every
+        assert JobSpec.from_dict(data) == spec
+        import dataclasses
+
+        other = dataclasses.replace(
+            spec, invariants_every=spec.invariants_every + 1
+        )
+        assert other.key() != spec.key()
