@@ -1,11 +1,24 @@
-"""Stepping-core microbenchmark: cycles/sec, active-set vs reference loop.
+"""Stepping-core microbenchmark: reference vs active-set vs vectorized.
 
-Standalone script (not a pytest benchmark): runs the bench_e2 CLRP
-configuration on the 8x8 mesh at low and saturating offered load, once
-with the original O(num_nodes) ``step_reference`` loop (fast-forward
-off) and once with the active-set ``step`` + idle fast-forward, and
-writes the measured simulated-cycles-per-second and speedups to
-``BENCH_step.json`` at the repository root.
+Standalone script (not a pytest benchmark): runs each scenario once per
+stepping backend -- the original O(num_nodes) ``step_reference`` loop
+(fast-forward off), the active-set ``step`` + idle fast-forward, and the
+struct-of-arrays ``step_vectorized`` core -- and writes the measured
+simulated-cycles-per-second and speedups to ``BENCH_step.json`` at the
+repository root.
+
+Scenarios:
+
+* the bench_e2 CLRP configuration on the 8x8 mesh at low and saturating
+  offered load (cool-down tails full of idle cycles: fast-forward and
+  O(active) stepping territory), and
+* a wormhole saturation run with adaptive routing and long worms, where
+  every cycle is dense with blocked headers -- the workload the
+  vectorized core's stall-parking is built for.
+
+Wall times are best-of-``REPEATS`` per backend (interleaved), since
+single runs on a shared machine scatter by 10-20%.  Every backend must
+produce the identical simulation outcome before its timing counts.
 
 Run with::
 
@@ -14,6 +27,7 @@ Run with::
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from pathlib import Path
@@ -24,32 +38,31 @@ from repro.sim.rng import SimRandom
 from repro.traffic.patterns import UniformPattern
 from repro.traffic.workloads import uniform_workload
 
-from benchmarks.common import NODES, clrp_config, fresh_factory
+from benchmarks.common import NODES, clrp_config, fresh_factory, wormhole_config
 
-LENGTH = 128
 DURATION = 4000
 # Cool-down tail after injection stops: mostly idle cycles, exactly the
 # region fast-forward and O(active) stepping are built for.  Real runs
 # (drain-to-completion experiments, bursty traces) are full of this.
 MAX_CYCLES = 60_000
+BACKENDS = ("reference", "active", "vectorized")
+REPEATS = 3
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_step.json"
 
 
-def run_once(load: float, *, active: bool) -> dict:
-    net = Network(clrp_config())
+def run_once(config, load: float, length: int, backend: str) -> dict:
+    net = Network(dataclasses.replace(config, backend=backend))
     workload = uniform_workload(
         fresh_factory(),
         UniformPattern(NODES),
         num_nodes=NODES,
         offered_load=load,
-        length=LENGTH,
+        length=length,
         duration=DURATION,
         rng=SimRandom(5),
     )
-    if not active:
-        net.step = net.step_reference
-    sim = Simulator(net, workload, fast_forward=active)
+    sim = Simulator(net, workload, fast_forward=backend != "reference")
     start = time.perf_counter()
     result = sim.run(MAX_CYCLES)
     elapsed = time.perf_counter() - start
@@ -64,34 +77,61 @@ def run_once(load: float, *, active: bool) -> dict:
     }
 
 
-def bench(load: float, label: str) -> dict:
-    reference = run_once(load, active=False)
-    active = run_once(load, active=True)
-    # Identical simulation outcomes or the comparison is meaningless.
+def bench(config, load: float, length: int, label: str) -> dict:
+    runs: dict[str, dict] = {}
+    for _ in range(REPEATS):
+        for backend in BACKENDS:
+            run = run_once(config, load, length, backend)
+            prev = runs.get(backend)
+            if prev is None:
+                runs[backend] = run
+                continue
+            # Identical simulation outcomes or the comparison is
+            # meaningless -- across backends AND across repeats.
+            for key in ("cycles", "delivered", "injected", "work_counter"):
+                assert run[key] == prev[key], (
+                    f"{label}/{backend}: {key} diverged:"
+                    f" {run[key]} vs {prev[key]}"
+                )
+            if run["wall_seconds"] < prev["wall_seconds"]:
+                runs[backend] = run
+    reference, active, vectorized = (runs[b] for b in BACKENDS)
     for key in ("cycles", "delivered", "injected", "work_counter"):
-        assert active[key] == reference[key], (
-            f"{label}: {key} diverged: {active[key]} vs {reference[key]}"
+        assert active[key] == reference[key] == vectorized[key], (
+            f"{label}: {key} diverged across backends"
         )
-    speedup = reference["wall_seconds"] / active["wall_seconds"]
+    speedup_active = reference["wall_seconds"] / active["wall_seconds"]
+    speedup_vec = reference["wall_seconds"] / vectorized["wall_seconds"]
+    vec_vs_active = active["wall_seconds"] / vectorized["wall_seconds"]
     print(
-        f"{label:>10}: reference {reference['cycles_per_second']:>10.0f} cyc/s"
-        f"  active {active['cycles_per_second']:>10.0f} cyc/s"
-        f"  speedup {speedup:.2f}x"
+        f"{label:>22}: reference {reference['cycles_per_second']:>9.0f} cyc/s"
+        f"  active {active['cycles_per_second']:>9.0f} cyc/s"
+        f"  vectorized {vectorized['cycles_per_second']:>9.0f} cyc/s"
+        f"  (vec/active {vec_vs_active:.2f}x)"
     )
     return {
         "offered_load": load,
+        "length": length,
         "reference": reference,
         "active": active,
-        "speedup": round(speedup, 2),
+        "vectorized": vectorized,
+        "speedup": round(speedup_active, 2),
+        "speedup_vectorized": round(speedup_vec, 2),
+        "vectorized_vs_active": round(vec_vs_active, 2),
     }
 
 
 def main() -> None:
     results = {
-        "benchmark": "stepping core, 8x8 mesh CLRP (bench_e2 config), "
-        f"{LENGTH}-flit messages, {DURATION}-cycle injection + drain",
-        "low_load": bench(0.05, "low load"),
-        "saturation": bench(0.6, "saturation"),
+        "benchmark": "stepping core, 8x8 mesh, reference vs active-set vs"
+        f" vectorized backends, {DURATION}-cycle injection + drain,"
+        f" best-of-{REPEATS} wall times",
+        "low_load": bench(clrp_config(), 0.05, 128, "clrp low load"),
+        "saturation": bench(clrp_config(), 0.6, 128, "clrp saturation"),
+        "wormhole_saturation": bench(
+            wormhole_config(routing="adaptive"), 0.6, 256,
+            "wormhole saturation",
+        ),
     }
     OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")

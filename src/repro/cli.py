@@ -117,6 +117,7 @@ def build_config(args: argparse.Namespace, protocol: str | None = None) -> Netwo
         reliability=(
             ReliabilityConfig() if getattr(args, "reliable", False) else None
         ),
+        backend=getattr(args, "backend", "active"),
     )
 
 
@@ -765,6 +766,11 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--vcs", type=int, default=2)
         p.add_argument("--buffer-depth", type=int, default=4)
         p.add_argument("--routing", default="dor", choices=["dor", "adaptive"])
+        p.add_argument("--backend", default="active",
+                       choices=["reference", "active", "vectorized"],
+                       help="stepping core: reference O(N) loop, active-set"
+                            " object core, or vectorized struct-of-arrays"
+                            " core (all bit-identical)")
         p.add_argument("--wave-switches", type=int, default=2)
         p.add_argument("--misroute-budget", type=int, default=2)
         p.add_argument("--wave-clock-ratio", type=float, default=4.0)

@@ -14,11 +14,15 @@ Exactness contract (see DESIGN.md §9):
   (some input VC buffers a flit).  Registration happens in
   ``WormholeRouter._enqueue`` on the empty->non-empty transition and
   deregistration in ``_move_flit`` on the non-empty->empty transition.
-* ``active_nis`` holds every NI that needs its ``pre_cycle`` hook run:
-  non-empty injection queues or an engine with per-cycle work (buffer
-  re-allocation waits).  An NI may be registered spuriously for a cycle;
-  that is harmless because ``pre_cycle`` on a drained NI is a no-op,
-  exactly as it was in the O(N) loop.
+* ``active_nis`` holds every NI whose ``pre_cycle`` hook could do
+  something next cycle: an injection backlog with free router buffer
+  space, pending acks/retransmits, or an engine with per-cycle work.
+  An NI whose backlog is blocked on buffer space parks itself -- the
+  router re-registers it when a flit leaves an injection-row buffer
+  (``WormholeRouter.ni_active_set`` / ``VectorizedCore.active_nis``),
+  which is the only way space frees.  An NI may be registered
+  spuriously for a cycle; that is harmless because ``pre_cycle`` on a
+  drained or blocked NI is a no-op, exactly as it was in the O(N) loop.
 * ``ni_queue_flits`` counts flits sitting in NI injection queues
   (``sum(ni.pending_wormhole_flits())`` kept incrementally).
 * ``engine_pending`` counts messages parked inside protocol engines
@@ -66,7 +70,13 @@ class ActivityTracker:
                 f"ni_queue_flits drift: counter={self.ni_queue_flits}"
                 f" actual={queued}"
             )
-        pending = sum(ni.pending_engine_messages() for ni in network.interfaces)
+        # ``engine_pending`` counts messages parked in protocol engines
+        # *plus* messages the reliability layer still tracks as unacked
+        # (both register via ``note_pending`` and both pin idleness).
+        pending = sum(
+            ni.pending_engine_messages() + len(ni._unacked)
+            for ni in network.interfaces
+        )
         if pending != self.engine_pending:
             raise AssertionError(
                 f"engine_pending drift: counter={self.engine_pending}"
@@ -74,12 +84,25 @@ class ActivityTracker:
             )
         # Step registry may be a superset (spurious for one cycle), never
         # a subset: missing a component with work would stall the sim.
-        needy = {
-            ni.node for ni in network.interfaces
-            if ni.pending_wormhole_flits() or (
-                ni.engine is not None and ni.engine.needs_cycle()
-            )
-        }
+        # A backlogged NI only *needs* registration while some injection
+        # VC with queued flits has router buffer space -- a fully blocked
+        # backlog parks until the router's space-freed wake-up.
+        needy = set()
+        for ni in network.interfaces:
+            if ni.engine is not None and ni.engine.needs_cycle():
+                needy.add(ni.node)
+            elif any(
+                queue and ni.router.injection_space(vc) > 0
+                for vc, queue in enumerate(ni._queues)
+            ):
+                needy.add(ni.node)
         missing = needy - self.active_nis
         if missing:
             raise AssertionError(f"NIs with work not registered: {sorted(missing)}")
+        # With the vectorized backend attached, also assert its flat
+        # arrays against the per-object ground truth (same spirit: the
+        # fast path's bookkeeping must never drift from what a full scan
+        # would reconstruct).
+        core = getattr(network, "_core", None)
+        if core is not None and core.attached:
+            core.validate(network)

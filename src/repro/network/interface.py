@@ -78,10 +78,21 @@ class NetworkInterface:
         self.stats = stats
         self.distance = distance_fn
         self.engine: "ProtocolEngine | None" = None
+        # Bound per-cycle engine hooks, or None when the engine inherits
+        # the base no-ops (the wormhole baseline): pre_cycle then skips
+        # the calls entirely, which it performs once per active NI per
+        # cycle, network-wide.
+        self._engine_on_cycle: Callable[[int], None] | None = None
+        self._engine_needs_cycle: Callable[[], bool] | None = None
         # Shared active-set registries (None when driven standalone).
         self.tracker: "ActivityTracker | None" = None
         w = router.config.vcs
         self._queues: list[deque[_PendingWorm]] = [deque() for _ in range(w)]
+        # Static injection-side facts, cached off the router object: the
+        # injection pump runs every cycle on every active NI.
+        self._depth = router.config.buffer_depth
+        self._inject_port = router.inject_port
+        self._inject_row = router.inputs[router.inject_port]
         self.flits_delivered = 0
         self.messages_delivered = 0
         router.deliver = self.on_flit_delivered
@@ -97,7 +108,18 @@ class NetworkInterface:
     # -- protocol glue -----------------------------------------------------
 
     def set_engine(self, engine: "ProtocolEngine") -> None:
+        from repro.core.base import ProtocolEngine
+
         self.engine = engine
+        cls = type(engine)
+        self._engine_on_cycle = (
+            None if cls.on_cycle is ProtocolEngine.on_cycle
+            else engine.on_cycle
+        )
+        self._engine_needs_cycle = (
+            None if cls.needs_cycle is ProtocolEngine.needs_cycle
+            else engine.needs_cycle
+        )
 
     def configure_reliability(
         self,
@@ -126,11 +148,19 @@ class NetworkInterface:
             self.tracker.engine_pending += delta
 
     def _step_work_remains(self) -> bool:
+        # A non-empty injection queue does NOT keep the NI registered:
+        # after ``_pump_injection`` every non-empty queue is blocked on
+        # router buffer space, and the router re-registers this NI the
+        # moment a flit leaves an injection-row buffer (``ni_active_set``
+        # in WormholeRouter / ``active_nis`` in VectorizedCore).  Until
+        # then another ``pre_cycle`` would be a guaranteed no-op.
         return (
-            any(self._queues)
-            or bool(self._unacked)
+            bool(self._unacked)
             or bool(self._ack_heap)
-            or (self.engine is not None and self.engine.needs_cycle())
+            or (
+                self._engine_needs_cycle is not None
+                and self._engine_needs_cycle()
+            )
         )
 
     def on_message(self, msg: "Message", cycle: int) -> None:
@@ -189,10 +219,16 @@ class NetworkInterface:
 
     def _pump_injection(self, cycle: int) -> int:
         pushed = 0
+        router = self.router
+        depth = self._depth
+        inject_row = self._inject_row
+        inject_port = self._inject_port
         for vc, queue in enumerate(self._queues):
             while queue:
                 worm = queue[0]
-                space = self.router.injection_space(vc)
+                # injection_space(), with the occupancy read inlined --
+                # this runs once per flit injected, network-wide.
+                space = depth - len(inject_row[vc].buffer)
                 if space <= 0:
                     break
                 while space > 0 and not worm.done:
@@ -200,7 +236,7 @@ class NetworkInterface:
                     if worm.next_index == 0:
                         rec = self.stats.messages[worm.message.msg_id]
                         rec.injected = cycle
-                    self.router.inject_flit(flit, vc, cycle)
+                    router._enqueue(flit, inject_port, vc, cycle)
                     worm.next_index += 1
                     space -= 1
                     pushed += 1
@@ -304,13 +340,16 @@ class NetworkInterface:
         """Engine hook, reliability timers, injection pumping.
 
         Returns units of work done (flits injected plus reliability
-        actions).  Deregisters from the active set once drained (no
-        queued worms, no pending acks/retransmits, no engine cycle
-        work); idempotent, so the O(N) reference loop may keep calling
-        it on idle NIs with no observable difference.
+        actions).  Deregisters from the active set once nothing can
+        happen next cycle: no pending acks/retransmits, no engine cycle
+        work, and any injection backlog blocked on router buffer space
+        (the router wakes this NI when space frees).  Idempotent, so
+        the O(N) reference loop may keep calling it on idle or blocked
+        NIs with no observable difference.
         """
-        if self.engine is not None:
-            self.engine.on_cycle(cycle)
+        hook = self._engine_on_cycle
+        if hook is not None:
+            hook(cycle)
         work = 0
         if self.reliability is not None:
             work += self._reliability_cycle(cycle)

@@ -26,6 +26,7 @@ from repro.core.wave_router import WaveRouter
 from repro.errors import ConfigError
 from repro.network.activity import ActivityTracker
 from repro.network.interface import NetworkInterface
+from repro.network.vectorized import VectorizedCore
 from repro.network.message import Message
 from repro.sim.config import NetworkConfig
 from repro.sim.events import EventKind
@@ -97,6 +98,7 @@ class Network:
         ]
         for router in self.routers:
             router.active_set = self.activity.active_routers
+            router.ni_active_set = self.activity.active_nis
             router.drop_sink = self._on_worm_poisoned
         for ni in self.interfaces:
             ni.tracker = self.activity
@@ -133,6 +135,14 @@ class Network:
                 for n in range(self.topology.num_nodes)
             ]
 
+        # Struct-of-arrays stepping core, built lazily on the first
+        # vectorized step (after all wiring above is final).
+        self._core: VectorizedCore | None = None
+        if config.backend == "reference":
+            self.step = self.step_reference  # type: ignore[method-assign]
+        elif config.backend == "vectorized":
+            self.step = self.step_vectorized  # type: ignore[method-assign]
+
     def attach_event_log(self, log) -> None:
         """Enable protocol event tracing (:mod:`repro.sim.events`).
 
@@ -152,6 +162,11 @@ class Network:
             ni.log = log
             if ni.engine is not None:
                 ni.engine.log = log
+        # The core caches per-router log references; rebuild it.
+        if self._core is not None:
+            if self._core.attached:
+                self._core.detach()
+            self._core = None
 
     # -- injection -------------------------------------------------------
 
@@ -296,6 +311,53 @@ class Network:
         self.work_counter += work
         self.cycle = cycle + 1
 
+    def step_vectorized(self) -> None:
+        """Advance one cycle with the struct-of-arrays wormhole core.
+
+        NI/plane scheduling is identical to :meth:`step`; the router
+        phases run inside :class:`~repro.network.vectorized.VectorizedCore`
+        over flat channel-state arrays, in the same sorted node order and
+        the same per-``_active``-set iteration order, so results stay
+        bit-identical to :meth:`step_reference`.  Fault reactions hand
+        state back to the router objects first (they purge worms through
+        the object API); introspection goes through
+        :meth:`materialize_views`.
+        """
+        cycle = self.cycle
+        if self.fault_schedule is not None and self.fault_schedule.has_due(cycle):
+            if self._core is not None and self._core.attached:
+                self._core.detach()
+            self._apply_due_faults(cycle)
+        work = 0
+        tracker = self.activity
+        if tracker.active_nis:
+            for idx in sorted(tracker.active_nis):
+                work += self.interfaces[idx].pre_cycle(cycle)
+        plane = self.plane
+        if plane is not None and not plane.is_idle():
+            before = plane.work_done
+            plane.step(cycle)
+            work += plane.work_done - before
+        if tracker.active_routers:
+            core = self._core
+            if core is None:
+                core = self._core = VectorizedCore(self)
+            if not core.attached:
+                core.attach()
+            work += core.step(cycle, sorted(tracker.active_routers))
+        self.work_counter += work
+        self.cycle = cycle + 1
+
+    def materialize_views(self) -> None:
+        """Refresh router-object state from the vectorized core's arrays.
+
+        No-op on the other backends (the objects are already live).
+        Needed before anything reads per-router routing/credit state
+        directly: the deadlock detector, the invariant harness, tests.
+        """
+        if self._core is not None and self._core.attached:
+            self._core.materialize()
+
     def step_reference(self) -> None:
         """The original O(num_nodes) loop, kept as the executable spec
         for the cycle-exactness tests (see tests/integration/
@@ -360,4 +422,5 @@ class Network:
         """Raise :class:`~repro.errors.DeadlockError` on a wait-for cycle."""
         from repro.verify.deadlock import assert_no_deadlock
 
+        self.materialize_views()
         assert_no_deadlock(self)

@@ -179,6 +179,11 @@ class JobSpec:
         # results keep their content-hash keys (see key()).
         if data["config"].get("reliability") is None:
             del data["config"]["reliability"]
+        # The stepping backend never changes results (bit-identity
+        # contract), but a non-default choice is still recorded so a
+        # campaign file round-trips faithfully.
+        if data["config"].get("backend", "active") == "active":
+            data["config"].pop("backend", None)
         if not self.mtbf:
             del data["mtbf"]
         if not self.mttr:
@@ -207,6 +212,7 @@ class JobSpec:
             wave=wave,
             seed=cfg.get("seed", 0),
             reliability=reliability,
+            backend=cfg.get("backend", "active"),
         )
         return cls(
             config=config,
@@ -229,11 +235,15 @@ class JobSpec:
         """Stable content hash of everything that affects the result.
 
         The ``label`` is cosmetic and excluded, so renaming sweep points
-        still hits the cache.  Uses canonical (sorted-keys) JSON over the
-        spec dict and BLAKE2b, the same keyed-derivation primitive the
-        simulator's RNG uses -- stable across processes and Python runs.
+        still hits the cache.  The stepping ``backend`` is likewise
+        excluded: all backends are bit-identical, so a result computed
+        under one is valid for every other.  Uses canonical (sorted-keys)
+        JSON over the spec dict and BLAKE2b, the same keyed-derivation
+        primitive the simulator's RNG uses -- stable across processes and
+        Python runs.
         """
         data = self.to_dict()
         data.pop("label", None)
+        data["config"].pop("backend", None)
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()

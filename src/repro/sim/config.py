@@ -27,6 +27,12 @@ TopologyName = Literal["mesh", "torus", "hypercube"]
 RoutingName = Literal["dor", "adaptive"]
 ReplacementPolicyName = Literal["lru", "lfu", "fifo", "random"]
 ProtocolName = Literal["clrp", "carp", "wormhole"]
+# Stepping-core implementations (all bit-identical; see DESIGN.md §9):
+#   reference  -- the original O(num_nodes) loop, the executable spec;
+#   active     -- active-set registries, O(active components) per cycle;
+#   vectorized -- struct-of-arrays wormhole data path over flat channel
+#                 state, batched per cycle.
+BackendName = Literal["active", "reference", "vectorized"]
 # Section 3.1's simplification menu for CLRP:
 #   standard        -- phase 1 tries all k switches, then phase 2 all k;
 #   eager_force     -- phase 1 tries only the Initial Switch before forcing;
@@ -267,6 +273,13 @@ class NetworkConfig:
             the raw protocol behaviour.
         seed: master RNG seed -- every stochastic decision in a run derives
             from it, making runs exactly reproducible.
+        backend: stepping-core implementation ``Network.step`` binds to.
+            All three produce bit-identical results (enforced by
+            ``tests/integration/test_cycle_exact.py``); they differ only
+            in wall-clock speed.  ``"active"`` (default) steps registered
+            components only; ``"vectorized"`` additionally runs the
+            wormhole data path over struct-of-arrays channel state;
+            ``"reference"`` is the plain O(num_nodes) executable spec.
     """
 
     topology: TopologyName = "mesh"
@@ -276,10 +289,13 @@ class NetworkConfig:
     wave: WaveConfig | None = field(default_factory=WaveConfig)
     seed: int = 0
     reliability: ReliabilityConfig | None = None
+    backend: BackendName = "active"
 
     def __post_init__(self) -> None:
         if self.topology not in ("mesh", "torus", "hypercube"):
             raise ConfigError(f"unknown topology {self.topology!r}")
+        if self.backend not in ("active", "reference", "vectorized"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
         if not self.dims:
             raise ConfigError("dims must be non-empty")
         if any(d < 2 for d in self.dims):

@@ -220,12 +220,23 @@ class Simulator:
             if self.progress_timeout:
                 self._check_progress()
             if self.on_cycle is not None:
+                # Probes may read per-router state directly; give the
+                # vectorized backend a chance to refresh the object views
+                # first.  getattr: engine tests drive stub networks.
+                materialize = getattr(net, "materialize_views", None)
+                if materialize is not None:
+                    materialize()
                 self.on_cycle(net)
         else:
             # Deadline hit; a fully drained idle network still counts done.
             if not self._pump_workload() and net.is_idle():
                 self._finished = True
 
+        # Leave router objects fresh for post-run inspection (end-of-run
+        # invariant audits, tests) regardless of the stepping backend.
+        materialize = getattr(net, "materialize_views", None)
+        if materialize is not None:
+            materialize()
         stats = net.stats
         return SimulationResult(
             cycles=net.cycle,

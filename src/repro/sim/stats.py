@@ -10,6 +10,7 @@ analyses in the paper reason about qualitatively.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -110,14 +111,20 @@ class Histogram:
         self.overflow = 0
         self.n = 0
         self.total = 0.0
-        self.total_sq = 0.0
+        # Welford running mean / sum of squared deviations: numerically
+        # stable for large-offset samples where sum-of-squares minus
+        # mean-squared cancels catastrophically.
+        self._mean = 0.0
+        self._m2 = 0.0
         self.min: float = math.inf
         self.max: float = -math.inf
 
     def add(self, value: float) -> None:
         self.n += 1
         self.total += value
-        self.total_sq += value * value
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -127,7 +134,12 @@ class Histogram:
         elif value >= self.hi:
             self.overflow += 1
         else:
-            self.counts[int((value - self.lo) / self._width)] += 1
+            # Roundoff in the division can land a value one ULP below
+            # ``hi`` on index ``bins``; clamp to the top bin.
+            idx = int((value - self.lo) / self._width)
+            if idx >= self.bins:
+                idx = self.bins - 1
+            self.counts[idx] += 1
 
     def extend(self, values: Iterable[float]) -> None:
         for v in values:
@@ -141,8 +153,7 @@ class Histogram:
     def variance(self) -> float:
         if self.n < 2:
             return math.nan
-        m = self.mean
-        return max(0.0, self.total_sq / self.n - m * m)
+        return self._m2 / self.n
 
     @property
     def stddev(self) -> float:
@@ -198,9 +209,17 @@ class TimeSeries:
         self.values.append(value)
 
     def mean_after(self, cycle: int) -> float:
-        """Mean of samples at or after ``cycle`` (warmup exclusion)."""
-        vals = [v for t, v in zip(self.times, self.values) if t >= cycle]
-        return sum(vals) / len(vals) if vals else math.nan
+        """Mean of samples at or after ``cycle`` (warmup exclusion).
+
+        ``record`` appends in non-decreasing cycle order, so the window
+        start is a binary search, not a full rescan -- this is called
+        once per sweep point by saturation detection.
+        """
+        start = bisect_left(self.times, cycle)
+        if start >= len(self.values):
+            return math.nan
+        vals = self.values[start:]
+        return sum(vals) / len(vals)
 
     def __len__(self) -> int:
         return len(self.times)

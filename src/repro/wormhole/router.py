@@ -19,6 +19,14 @@ Timing: a flit enqueued at cycle ``t`` may move again at ``t + 1``
 (1 cycle/hop pipelining); a header may be *routed* from cycle
 ``t + router_delay`` on, so ``router_delay > 1`` charges extra per-hop
 latency to headers only.
+
+Sharing contract with the vectorized backend
+(:class:`~repro.network.vectorized.VectorizedCore`): the flit deques,
+``_active`` sets, ``_rr`` dicts and ``link_flits`` lists are held by the
+core *by reference* and must keep their identity (mutate in place, never
+rebind); the scalar route/credit/ownership state (``InputVC.route``/
+``msg``, ``OutputVC.credits``/``owner``, ``eject_owner``, ``_va_rr``)
+is core-owned while attached and written back on detach/materialize.
 """
 
 from __future__ import annotations
@@ -129,6 +137,11 @@ class WormholeRouter:
         # registers with on the empty<->non-empty transitions of _active;
         # None for routers driven standalone in unit tests.
         self.active_set: set[int] | None = None
+        # NI registry (ActivityTracker.active_nis): the local NI parks
+        # itself when its injection backlog is blocked on buffer space,
+        # so whenever a flit leaves an injection-row buffer the router
+        # re-registers the NI to pump again next cycle.
+        self.ni_active_set: set[int] | None = None
         self._rr: dict[int, int] = {}  # per-out-port round-robin pointer
         self._va_rr = 0  # VC-allocation rotation for adaptive fairness
         # Called (msg_id, node, cycle, reason) when a worm is poisoned
@@ -344,6 +357,8 @@ class WormholeRouter:
                     raise ProtocolError(
                         f"credit overflow on node {self.node} input ({port},{vc})"
                     )
+            elif port == self.inject_port and self.ni_active_set is not None:
+                self.ni_active_set.add(self.node)
             self.stats.bump("wormhole.flits_dropped")
             if flit.is_tail:
                 ivc.route = None
@@ -370,6 +385,8 @@ class WormholeRouter:
                 raise ProtocolError(
                     f"credit overflow on node {self.node} input ({port},{vc})"
                 )
+        elif port == self.inject_port and self.ni_active_set is not None:
+            self.ni_active_set.add(self.node)
         if out_port == EJECT_PORT:
             self.deliver(flit, cycle)
             if flit.is_tail:
@@ -425,7 +442,10 @@ class WormholeRouter:
                 if ivc.buffer and any(f.msg_id == msg_id for f in ivc.buffer):
                     kept = [f for f in ivc.buffer if f.msg_id != msg_id]
                     gone = len(ivc.buffer) - len(kept)
-                    ivc.buffer = deque(kept)
+                    # In place, not a fresh deque: the vectorized core
+                    # holds this buffer by reference.
+                    ivc.buffer.clear()
+                    ivc.buffer.extend(kept)
                     up = self.upstream[ivc.port][ivc.vc]
                     if up is not None:
                         up.credits += gone
@@ -434,6 +454,9 @@ class WormholeRouter:
                                 f"credit overflow purging msg {msg_id} at "
                                 f"node {self.node} input ({ivc.port},{ivc.vc})"
                             )
+                    elif (ivc.port == self.inject_port
+                          and self.ni_active_set is not None):
+                        self.ni_active_set.add(self.node)
                     removed += gone
                 if ivc.msg == msg_id and ivc.route is not None:
                     key = (ivc.port, ivc.vc)

@@ -1,29 +1,48 @@
-"""Cycle-exactness of the active-set stepping core.
+"""Cycle-exactness of the active-set and vectorized stepping cores.
 
-``Network.step`` (active sets + O(1) idleness) and ``Simulator``'s idle
-fast-forward are pure performance work: for any seed and workload they
-must produce *bit-identical* results to ``Network.step_reference`` (the
-original O(num_nodes) loop) driven without fast-forward.  These tests run
-both loops over the same configurations -- all three protocols, mesh and
+``Network.step`` (active sets + O(1) idleness), the struct-of-arrays
+``step_vectorized`` core and ``Simulator``'s idle fast-forward are pure
+performance work: for any seed and workload they must produce
+*bit-identical* results to ``Network.step_reference`` (the original
+O(num_nodes) loop) driven without fast-forward.  These tests run every
+backend over the same configurations -- all three protocols, mesh and
 torus, with a bursty workload full of idle gaps (the fast-forward path's
 favourite food) -- and compare every observable: counters, per-message
-records, mode breakdown, final cycle and work counter.
+records, mode breakdown, final cycle and work counter.  A fault +
+reliability scenario and the fuzzer's corpus reproducers repeat the
+comparison with the recovery machinery engaged.
 
-A separate run per configuration steps with the registry validator
-attached, asserting the ActivityTracker invariants against the O(N)
-ground truth on every cycle.
+Separate runs per configuration step with the registry validator
+attached, asserting the ActivityTracker invariants (and, with the
+vectorized backend, the flat-array mirrors) against the O(N) ground
+truth on every cycle.
 """
+
+import dataclasses
+from functools import lru_cache
+from pathlib import Path
 
 import pytest
 
 from repro.network.message import MessageFactory
 from repro.network.network import Network
-from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
+from repro.orchestrate.runner import execute_job
+from repro.sim.config import (
+    NetworkConfig,
+    ReliabilityConfig,
+    WaveConfig,
+    WormholeConfig,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
+from repro.topology import build_topology
+from repro.topology.faults import FaultSchedule, derive_fault_rng
 from repro.traffic import UniformPattern, compile_directives, uniform_workload
+from repro.verify.fuzz import load_spec
 
 MAX_CYCLES = 60_000
+CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+BACKENDS = ["active", "vectorized"]
 
 
 def make_config(protocol: str, topology: str, dims: tuple) -> NetworkConfig:
@@ -96,19 +115,19 @@ def fingerprint(net: Network, result) -> dict:
     }
 
 
-def run_one(protocol, topology, dims, *, reference, on_cycle=None):
-    config = make_config(protocol, topology, dims)
+def run_one(protocol, topology, dims, *, backend, on_cycle=None):
+    config = dataclasses.replace(
+        make_config(protocol, topology, dims), backend=backend
+    )
     net = Network(config)
     items = bursty_workload(protocol, config.num_nodes, wl_seed=99)
-    if reference:
-        net.step = net.step_reference
     sim = Simulator(
         net,
         items,
         deadlock_check_interval=64,
         progress_timeout=20_000,
         on_cycle=on_cycle,
-        fast_forward=not reference,
+        fast_forward=backend != "reference",
     )
     result = sim.run(MAX_CYCLES)
     assert result.completed, f"{protocol}/{topology} did not drain"
@@ -125,28 +144,106 @@ CONFIGS = [
 ]
 
 
+@lru_cache(maxsize=None)
+def reference_fingerprint(protocol, topology, dims):
+    net, result = run_one(protocol, topology, dims, backend="reference")
+    return fingerprint(net, result)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("protocol,topology,dims", CONFIGS)
-def test_active_set_matches_reference(protocol, topology, dims):
-    net_ref, res_ref = run_one(protocol, topology, dims, reference=True)
-    net_act, res_act = run_one(protocol, topology, dims, reference=False)
-    assert fingerprint(net_act, res_act) == fingerprint(net_ref, res_ref)
+def test_backend_matches_reference(protocol, topology, dims, backend):
+    net, result = run_one(protocol, topology, dims, backend=backend)
+    assert fingerprint(net, result) == reference_fingerprint(
+        protocol, topology, dims
+    )
 
 
 @pytest.mark.parametrize(
-    "protocol,topology,dims",
-    [("wormhole", "mesh", (4, 4)), ("clrp", "mesh", (4, 4)),
-     ("carp", "torus", (3, 3))],
+    "protocol,topology,dims,backend",
+    [("wormhole", "mesh", (4, 4), "active"),
+     ("wormhole", "mesh", (4, 4), "vectorized"),
+     ("clrp", "mesh", (4, 4), "active"),
+     ("clrp", "mesh", (4, 4), "vectorized"),
+     ("carp", "torus", (3, 3), "active"),
+     ("carp", "torus", (3, 3), "vectorized")],
 )
 def test_activity_tracker_invariants_hold_every_cycle(
-    protocol, topology, dims
+    protocol, topology, dims, backend
 ):
     # on_cycle disables fast-forward, so the validator sees every cycle.
+    # With the vectorized backend, ActivityTracker.validate also asserts
+    # the core's struct-of-arrays state against the per-object ground
+    # truth, so this doubles as the SoA drift check.
     net, _result = run_one(
         protocol, topology, dims,
-        reference=False,
+        backend=backend,
         on_cycle=lambda n: n.activity.validate(n),
     )
     net.activity.validate(net)
+
+
+# -- faults + reliability ---------------------------------------------------
+
+
+def run_faulted(backend):
+    """Bursty wormhole run with a live fault campaign and the ack /
+    retransmit layer engaged -- the backends must agree while worms are
+    purged, poisoned, retried and (sometimes) double-delivered."""
+    config = dataclasses.replace(
+        make_config("wormhole", "mesh", (4, 4)),
+        backend=backend,
+        reliability=ReliabilityConfig(
+            timeout=400, max_timeout=1600, max_retries=4
+        ),
+    )
+    sched = FaultSchedule.random_campaign(
+        build_topology("mesh", (4, 4)),
+        mtbf=900, mttr=600, horizon=9_500,
+        rng=derive_fault_rng(config.seed),
+    )
+    net = Network(config, faults=sched)
+    items = bursty_workload("wormhole", config.num_nodes, wl_seed=99)
+    sim = Simulator(
+        net, items,
+        progress_timeout=20_000,
+        fast_forward=backend != "reference",
+    )
+    result = sim.run(MAX_CYCLES)
+    return fingerprint(net, result)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_equivalence_under_faults_and_reliability(backend):
+    fp = run_faulted(backend)
+    # The campaign must actually exercise the recovery paths for the
+    # equivalence to mean anything.
+    assert fp["counters"]["fault.links_killed"] > 0
+    assert fp["counters"]["reliability.retransmits"] > 0
+    assert fp == run_faulted("reference")
+
+
+# -- fuzzer corpus reproducers ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec_name", ["clrp_phase_budget.json", "deadlock_selfwait.json"]
+)
+def test_corpus_reproducers_match_across_backends(spec_name):
+    """The regression corpus re-runs bit-identically on every backend."""
+    spec = load_spec(CORPUS / spec_name)
+
+    def metrics(backend):
+        return execute_job(
+            dataclasses.replace(
+                spec,
+                config=dataclasses.replace(spec.config, backend=backend),
+            )
+        )
+
+    ref = metrics("reference")
+    assert metrics("active") == ref
+    assert metrics("vectorized") == ref
 
 
 def test_fast_forward_skips_idle_gaps():

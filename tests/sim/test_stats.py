@@ -86,6 +86,33 @@ class TestHistogram:
         h.extend(values)
         assert h.underflow + h.overflow + sum(h.counts) == len(values)
 
+    def test_bin_index_clamped_at_top_edge(self):
+        # With width = 0.3 / 3 = 0.1 (inexact in binary), a sample one
+        # ULP below ``hi`` divides to exactly 3.0 and would index past
+        # the last bin without the clamp in ``add``.
+        h = Histogram(0.0, 0.3, bins=3)
+        h.add(math.nextafter(0.3, 0))
+        assert h.counts[2] == 1
+        assert h.overflow == 0
+        assert h.underflow == 0
+
+    def test_variance_stable_at_large_offset(self):
+        # Sum-of-squares minus mean-squared cancels catastrophically for
+        # samples near 1e8 with unit spread; Welford does not.
+        h = Histogram(0, 2e8, 10)
+        h.extend([1e8, 1e8 + 1, 1e8 + 2])
+        assert h.variance == pytest.approx(2.0 / 3.0, rel=1e-12)
+        assert h.stddev == pytest.approx(math.sqrt(2.0 / 3.0), rel=1e-12)
+
+    @given(st.lists(st.floats(min_value=1e8, max_value=1e8 + 10), min_size=2,
+                    max_size=50))
+    def test_variance_matches_two_pass_reference(self, values):
+        h = Histogram(0, 2e8, 10)
+        h.extend(values)
+        mean = sum(values) / len(values)
+        ref = sum((v - mean) ** 2 for v in values) / len(values)
+        assert h.variance == pytest.approx(ref, abs=1e-6)
+
 
 class TestTimeSeries:
     def test_record_and_mean_after(self):
@@ -100,6 +127,25 @@ class TestTimeSeries:
         ts = TimeSeries("x")
         ts.record(0, 1.0)
         assert math.isnan(ts.mean_after(10))
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 500), st.floats(-1e3, 1e3)),
+                 min_size=1, max_size=60),
+        st.integers(-10, 510),
+    )
+    def test_mean_after_matches_linear_scan(self, samples, cutoff):
+        # The bisect window start must agree with the O(n) rescan it
+        # replaced, including duplicate timestamps at the cutoff.
+        samples.sort(key=lambda s: s[0])
+        ts = TimeSeries("x")
+        for t, v in samples:
+            ts.record(t, v)
+        kept = [v for t, v in samples if t >= cutoff]
+        got = ts.mean_after(cutoff)
+        if not kept:
+            assert math.isnan(got)
+        else:
+            assert got == pytest.approx(sum(kept) / len(kept))
 
 
 class TestStatsCollector:
