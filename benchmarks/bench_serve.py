@@ -1,0 +1,160 @@
+"""Service-path benchmark: server submission vs direct batch, dedup rate.
+
+Standalone script (not a pytest benchmark): runs the same campaign four
+ways and measures wall-clock plus dedup effectiveness --
+
+* **direct batch** -- ``run_jobs`` in-process, the `repro batch` path
+  (the baseline the server must stay honest against),
+* **cold server** -- the campaign submitted through the HTTP job
+  server with an empty store: the full price of HTTP + scheduling +
+  streaming around the same simulations,
+* **warm server** -- the identical campaign resubmitted: every job
+  resolves from the sqlite content-hash index, so this is the
+  server-side dedup fast path (expect orders of magnitude faster),
+* **second tenant** -- the same campaign from a different tenant:
+  cross-tenant dedup means the hit rate stays 100%.
+
+Asserts the server results are bit-identical to the direct batch and
+writes throughput and hit-rate numbers to ``BENCH_serve.json`` at the
+repository root.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.client import Session
+from repro.orchestrate import parse_campaign, run_jobs
+from repro.service.server import ServiceConfig, ServiceThread
+
+SEEDS = 12
+LOADS = [0.05, 0.1, 0.2]
+WORKERS = 4
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+CAMPAIGN_DOC = {
+    "name": "bench-serve",
+    "defaults": {
+        "topology": "mesh",
+        "dims": "4x4",
+        "protocol": "clrp",
+        "max_cycles": 60_000,
+        "workload": {"kind": "uniform", "load": 0.05,
+                     "length": 32, "duration": 1500},
+    },
+    "grid": {
+        "workload.load": LOADS,
+        "seed": list(range(SEEDS)),
+    },
+}
+
+
+def canonical(metrics) -> str:
+    return json.dumps(metrics, sort_keys=True)
+
+
+def main() -> None:
+    name, specs = parse_campaign(CAMPAIGN_DOC)
+    n = len(specs)
+    cpus = os.cpu_count() or 1
+    print(f"{n}-job campaign ({len(LOADS)} loads x {SEEDS} seeds), "
+          f"host cpus={cpus}")
+
+    start = time.perf_counter()
+    outcomes = run_jobs(specs, jobs=1)
+    direct_s = time.perf_counter() - start
+    assert all(o.ok for o in outcomes)
+    truth = {s.key(): o.metrics for s, o in zip(specs, outcomes)}
+    print(f"  direct batch (jobs=1)     : {direct_s:6.2f}s "
+          f"({n / direct_s:6.1f} jobs/s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            port=0, store=f"sqlite:{Path(tmp) / 'store'}",
+            workers=WORKERS, executor="process",
+        )
+        with ServiceThread(config) as url:
+            session = Session(url, tenant="bench")
+
+            start = time.perf_counter()
+            cold = session.submit_campaign(CAMPAIGN_DOC).wait(timeout=600)
+            cold_s = time.perf_counter() - start
+            assert cold.status == "done"
+            for row in cold.results():
+                assert canonical(row["metrics"]) == canonical(
+                    truth[row["key"]]
+                ), f"server diverged from direct batch on {row['key']}"
+            print(f"  cold server (workers={WORKERS})  : {cold_s:6.2f}s "
+                  f"({n / cold_s:6.1f} jobs/s, bit-identical)")
+
+            start = time.perf_counter()
+            warm = session.submit_campaign(CAMPAIGN_DOC).wait(timeout=600)
+            warm_s = time.perf_counter() - start
+            warm_counts = warm.data["counts"]
+            assert warm_counts["cached"] == n
+
+            start = time.perf_counter()
+            other = Session(url, tenant="other").submit_campaign(
+                CAMPAIGN_DOC
+            ).wait(timeout=600)
+            tenant_s = time.perf_counter() - start
+            assert other.data["counts"]["cached"] == n
+
+            stats = session.store_stats()
+
+    executed = stats["executed"]
+    hits = stats["cache_hits"]
+    hit_rate = hits / (hits + executed)
+    print(f"  warm server               : {warm_s:6.2f}s "
+          f"({n / warm_s:6.1f} jobs/s, 100% cached)")
+    print(f"  second tenant             : {tenant_s:6.2f}s "
+          f"(cross-tenant dedup, 100% cached)")
+    print(f"  executed {executed}, cache hits {hits} "
+          f"(hit rate {hit_rate:.1%}); "
+          f"warm speedup over cold {cold_s / warm_s:.0f}x")
+
+    results = {
+        "benchmark": (
+            f"job service, {n}-job CLRP campaign on 4x4 mesh "
+            f"({len(LOADS)} loads x {SEEDS} seeds), submitted via the "
+            f"HTTP client vs direct run_jobs"
+        ),
+        "host_cpus": cpus,
+        "jobs": n,
+        "workers": WORKERS,
+        "direct_batch_wall_seconds": round(direct_s, 3),
+        "cold_server_wall_seconds": round(cold_s, 3),
+        "warm_server_wall_seconds": round(warm_s, 3),
+        "second_tenant_wall_seconds": round(tenant_s, 3),
+        "direct_jobs_per_second": round(n / direct_s, 1),
+        "cold_jobs_per_second": round(n / cold_s, 1),
+        "warm_jobs_per_second": round(n / warm_s, 1),
+        "executed": executed,
+        "cache_hits": hits,
+        "dedup_hit_rate": round(hit_rate, 4),
+        "warm_speedup_over_cold": round(cold_s / warm_s, 1),
+        "bit_identical_server_vs_direct": True,
+        "note": (
+            "cold server wall-clock includes HTTP framing, fair "
+            "scheduling and result streaming around the same "
+            "execute_job calls; with >= 2 usable cores the process-pool "
+            "workers make it faster than the serial direct batch. warm "
+            "and second-tenant runs execute nothing: every spec resolves "
+            "from the sqlite content-hash index (100% dedup)"
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

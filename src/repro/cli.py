@@ -35,6 +35,17 @@ simulating subcommand takes ``--metrics-every N`` to sample the metric
 registry on an N-cycle cadence (sweep/compare/chaos/batch jobs then
 carry per-job ``observe`` summaries in their result store).  ``-v``
 (before the subcommand) raises log verbosity to DEBUG.
+
+Service mode: ``repro serve`` starts the asyncio HTTP job server
+(:mod:`repro.service`) with a sharded sqlite result store, per-tenant
+fair scheduling and cross-campaign dedup; ``repro submit campaign.json
+--follow`` sends a campaign to it and streams per-job results live;
+``repro jobs`` lists campaigns/jobs and server statistics.  ``repro
+store stats|compact|convert`` maintains result stores directly --
+``compact`` rewrites a JSONL store to its last-record-wins snapshot and
+reports how many superseded records were dropped, ``convert`` copies
+records between the JSONL and sqlite backends.  Stores everywhere are
+named either as a ``.jsonl`` path or ``sqlite:DIR``.
 """
 
 from __future__ import annotations
@@ -63,6 +74,7 @@ from repro.orchestrate import (
     ResultStore,
     WorkloadRecipe,
     load_campaign,
+    open_store,
     run_jobs,
 )
 from repro.sim.config import (
@@ -328,9 +340,9 @@ def job_spec(
     )
 
 
-def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+def _store_from_args(args: argparse.Namespace):
     path = getattr(args, "store", None)
-    return ResultStore(path) if path else None
+    return open_store(path) if path else None
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -408,7 +420,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     store_path = args.store or str(
         Path(args.campaign).with_suffix(".results.jsonl")
     )
-    store = ResultStore(store_path)
+    store = open_store(store_path)
     logger.info("campaign %s: %d jobs, store %s, jobs=%d",
                 name, len(specs), store_path, args.jobs)
 
@@ -617,6 +629,165 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async job server in the foreground (see repro.service)."""
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        workers=args.workers,
+        executor=args.executor,
+        max_inflight_per_tenant=args.max_inflight,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    run_service(config)
+    return 0
+
+
+def _client_errors(func):
+    """Turn server/connection failures into friendly ConfigErrors."""
+    from functools import wraps
+
+    @wraps(func)
+    def wrapper(args: argparse.Namespace) -> int:
+        from repro.client import ServiceError
+
+        try:
+            return func(args)
+        except ServiceError as exc:
+            raise ConfigError(f"server at {args.url}: {exc}")
+        except (ConnectionError, OSError) as exc:
+            raise ConfigError(
+                f"cannot reach job server at {args.url} ({exc}); "
+                f"is `repro serve` running?"
+            )
+
+    return wrapper
+
+
+@_client_errors
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign file to a running server via the client."""
+    import json as _json
+
+    from repro.client import Session
+
+    try:
+        document = _json.loads(Path(args.campaign).read_text(encoding="utf-8"))
+    except (OSError, _json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read campaign {args.campaign}: {exc}")
+    session = Session(args.url, tenant=args.tenant)
+    campaign = session.submit_campaign(
+        document, priority=args.priority
+    )
+    logger.info("campaign %s (%s): %d job(s) submitted to %s",
+                campaign.id, campaign.name, campaign.data["jobs"], args.url)
+    if not args.follow:
+        print(f"{campaign.id} {campaign.name}: {campaign.data['jobs']} "
+              f"job(s) submitted")
+        return 0
+    for event in campaign.stream():
+        if event.terminal:
+            break
+        state = "cached" if event.from_cache else event.status
+        logger.info("%s %s (%.1fs)", state, event.label, event.elapsed_s)
+    campaign.refresh()
+    rows = []
+    failures = 0
+    for job in campaign.jobs:
+        m = job.metrics
+        if job.status in ("ok", "cached") and m is not None:
+            rows.append(
+                (job.label, job.status, m["mean_latency"], m["throughput"],
+                 f"{m['delivered']}/{m['injected']}")
+            )
+        else:
+            failures += job.status == "failed"
+            rows.append((job.label, job.status, "-", "-", "-"))
+    print()
+    print(format_table(
+        ["job", "status", "mean latency", "throughput", "delivered"], rows
+    ))
+    counts = campaign.counts
+    print(f"\n{campaign.status}: {counts.get('ok', 0)} ran, "
+          f"{counts.get('cached', 0)} cached, "
+          f"{counts.get('failed', 0)} failed")
+    return 0 if campaign.status == "done" else 1
+
+
+@_client_errors
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Query campaigns/jobs on a running server."""
+    from repro.client import Session
+
+    session = Session(args.url, tenant=args.tenant)
+    if not args.campaign and not args.status and not args.all_jobs:
+        rows = [
+            (c.id, c.name, c.data["tenant"], c.status,
+             c.counts.get("ok", 0) + c.counts.get("cached", 0),
+             c.data["jobs"])
+            for c in session.campaigns()
+        ]
+        print(format_table(
+            ["id", "name", "tenant", "status", "done", "jobs"], rows
+        ))
+        stats = session.store_stats()
+        print(f"\nserver: {stats['executed']} executed, "
+              f"{stats['cache_hits']} cache hits, "
+              f"{stats['coalesced']} coalesced, "
+              f"{stats['pending']} pending "
+              f"({stats['store']['backend']} store, "
+              f"{stats['store']['records']} records)")
+        return 0
+    jobs = session.jobs
+    if args.campaign:
+        campaign = session.get_campaign(args.campaign)
+        jobs = campaign.jobs
+    if args.status:
+        jobs = jobs.filter(status=args.status)
+    rows = [
+        (j.id, j.label, j.data["tenant"], j.status,
+         f"{j.data['elapsed_s']:.2f}s" if j.data.get("elapsed_s") else "-")
+        for j in jobs
+    ]
+    print(format_table(["id", "label", "tenant", "status", "elapsed"], rows))
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Result-store maintenance: stats, compact, convert."""
+    from repro.orchestrate import copy_records
+
+    if args.store_command == "stats":
+        store = open_store(args.path)
+        info = store.describe()
+        rows = sorted(info.items())
+        print(format_table(["field", "value"], rows))
+        store.close()
+        return 0
+    if args.store_command == "compact":
+        store = open_store(args.path)
+        stats = store.compact()
+        print(f"{args.path}: kept {stats.kept} record(s), "
+              f"dropped {stats.dropped} superseded line(s)")
+        store.close()
+        return 0
+    if args.store_command == "convert":
+        src = open_store(args.path)
+        dst = open_store(args.dest)
+        copied = copy_records(src, dst)
+        print(f"{args.path} -> {args.dest}: {copied} record(s) copied "
+              f"({src.describe()['backend']} -> "
+              f"{dst.describe()['backend']})")
+        src.close()
+        dst.close()
+        return 0
+    raise ConfigError(f"unknown store command {args.store_command!r}")
+
+
 def _shipped_verify_configs() -> list[NetworkConfig]:
     """The configurations the repo ships and documents, for ``--all``."""
     return [
@@ -692,7 +863,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"replay failed: {signature}")
         return 1
 
-    store = ResultStore(args.store) if args.store else None
+    store = open_store(args.store) if args.store else None
 
     def progress(event: PoolProgress) -> None:
         if event.last is None:
@@ -939,6 +1110,95 @@ def make_parser() -> argparse.ArgumentParser:
                         help="replay one reproducer JSON file under the "
                              "harness instead of fuzzing")
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async HTTP job server (submission, dedup, "
+             "streaming, fair multi-tenant scheduling)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral)")
+    serve_p.add_argument("--store", default="sqlite:repro-store",
+                         help="result store: sqlite:DIR (sharded) or a "
+                              ".jsonl path")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="concurrent job executions")
+    serve_p.add_argument("--executor", default="process",
+                         choices=["process", "thread"],
+                         help="job execution backend (thread is for "
+                              "tests/containers without fork headroom)")
+    serve_p.add_argument("--max-inflight", type=int, default=None,
+                         help="per-tenant cap on concurrently running "
+                              "jobs (default: unlimited)")
+    serve_p.add_argument("--rate", type=float, default=None,
+                         help="per-tenant execution rate limit in "
+                              "jobs/second (token bucket)")
+    serve_p.add_argument("--burst", type=int, default=4,
+                         help="token-bucket burst size for --rate")
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a campaign file to a running job server and "
+             "stream its progress (client-side `repro batch`)",
+    )
+    submit_p.add_argument("campaign", help="path to a campaign JSON file")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8642",
+                          help="job server base URL")
+    submit_p.add_argument("--tenant", default=None,
+                          help="tenant identity for fair scheduling")
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="campaign priority (higher runs first "
+                               "within your tenant)")
+    follow_group = submit_p.add_mutually_exclusive_group()
+    follow_group.add_argument("--follow", dest="follow",
+                              action="store_true",
+                              help="stream per-job results until the "
+                                   "campaign finishes (default)")
+    follow_group.add_argument("--no-follow", dest="follow",
+                              action="store_false",
+                              help="submit and exit without streaming")
+    submit_p.set_defaults(func=cmd_submit, follow=True)
+
+    jobs_p = sub.add_parser(
+        "jobs",
+        help="query a running job server: campaigns, job states, "
+             "server/dedup statistics",
+    )
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8642")
+    jobs_p.add_argument("--tenant", default=None)
+    jobs_p.add_argument("--campaign", default=None,
+                        help="restrict to one campaign (id or name)")
+    jobs_p.add_argument("--status", default=None,
+                        help="filter by job status "
+                             "(queued|running|ok|failed|cached|cancelled)")
+    jobs_p.add_argument("--all-jobs", action="store_true",
+                        help="list jobs across all campaigns instead of "
+                             "the campaign table")
+    jobs_p.set_defaults(func=cmd_jobs)
+
+    store_p = sub.add_parser(
+        "store",
+        help="result-store maintenance (stats, compact, convert "
+             "between JSONL and sqlite backends)",
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    stats_p = store_sub.add_parser("stats", help="backend, size, shards")
+    stats_p.add_argument("path", help="store path (JSONL file or "
+                                      "sqlite:DIR)")
+    compact_p = store_sub.add_parser(
+        "compact",
+        help="rewrite a JSONL store to its last-record-wins snapshot "
+             "(sqlite stores VACUUM) and report dropped records",
+    )
+    compact_p.add_argument("path")
+    convert_p = store_sub.add_parser(
+        "convert", help="copy all records between store backends"
+    )
+    convert_p.add_argument("path", help="source store")
+    convert_p.add_argument("dest", help="destination store")
+    store_p.set_defaults(func=cmd_store)
 
     heat_p = sub.add_parser("heatmap",
                             help="link-load heat map of one run (2-D mesh)")

@@ -1,0 +1,32 @@
+"""Typed fluent client for the simulation job service.
+
+:class:`Session` (blocking) and :class:`AsyncSession` (asyncio) talk to
+a running ``repro serve`` instance; campaigns are built fluently and
+jobs are queried through chainable lazy collections.  See
+:mod:`repro.client.session` for the full tour and docs/SERVICE.md for
+the quickstart.
+"""
+
+from repro.client.session import (
+    AsyncCampaign,
+    AsyncSession,
+    Campaign,
+    CampaignBuilder,
+    Job,
+    JobCollection,
+    JobEvent,
+    ServiceError,
+    Session,
+)
+
+__all__ = [
+    "AsyncCampaign",
+    "AsyncSession",
+    "Campaign",
+    "CampaignBuilder",
+    "Job",
+    "JobCollection",
+    "JobEvent",
+    "ServiceError",
+    "Session",
+]

@@ -1,0 +1,204 @@
+"""HTTP transports for the fluent client: blocking and asyncio.
+
+Both speak the job server's one-request-per-connection dialect
+(:mod:`repro.service.server`): JSON request/response bodies, and JSONL
+streams framed by connection close.  The blocking transport rides
+stdlib ``http.client``; the async one rides ``asyncio.open_connection``
+with the same minimal HTTP/1.1 the server itself uses.  Everything
+above this module (sessions, elements, collections) is transport-
+agnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import urllib.parse
+from typing import AsyncIterator, Iterator
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _split_url(base_url: str) -> tuple[str, int]:
+    parsed = urllib.parse.urlsplit(base_url)
+    if parsed.scheme not in ("http", ""):
+        raise ValueError(f"only http:// service URLs are supported, "
+                         f"got {base_url!r}")
+    host = parsed.hostname or "127.0.0.1"
+    return host, parsed.port or 80
+
+
+def _qs(params: dict | None) -> str:
+    if not params:
+        return ""
+    clean = {k: v for k, v in params.items() if v is not None}
+    return "?" + urllib.parse.urlencode(clean) if clean else ""
+
+
+class HttpTransport:
+    """Blocking transport: one ``http.client`` connection per request."""
+
+    def __init__(self, base_url: str, *, tenant: str | None = None,
+                 timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.host, self.port = _split_url(self.base_url)
+        self.tenant = tenant
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _headers(self) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        params: dict | None = None,
+    ) -> dict:
+        conn = self._connect()
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = self._headers()
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path + _qs(params), body=payload,
+                         headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            parsed = json.loads(data) if data else {}
+            if resp.status >= 400:
+                raise ServiceError(
+                    resp.status, parsed.get("error", data.decode()[:200])
+                )
+            return parsed
+        finally:
+            conn.close()
+
+    def stream(
+        self, path: str, *, params: dict | None = None
+    ) -> Iterator[dict]:
+        """Yield JSONL objects as the server writes them, until EOF."""
+        conn = self._connect()
+        try:
+            conn.request("GET", path + _qs(params), headers=self._headers())
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                data = resp.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except json.JSONDecodeError:
+                    message = data.decode()[:200]
+                raise ServiceError(resp.status, message)
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+
+class AsyncHttpTransport:
+    """Asyncio transport: the same dialect over stream reader/writers."""
+
+    def __init__(self, base_url: str, *, tenant: str | None = None) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.host, self.port = _split_url(self.base_url)
+        self.tenant = tenant
+
+    async def _open(self, method: str, path: str,
+                    body: dict | None) -> tuple:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Accept: application/json",
+            "Connection: close",
+        ]
+        if self.tenant:
+            head.append(f"X-Repro-Tenant: {self.tenant}")
+        if payload:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(payload)}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        while True:  # skip response headers; framing is close-delimited
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return reader, writer, status
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        params: dict | None = None,
+    ) -> dict:
+        reader, writer, status = await self._open(
+            method, path + _qs(params), body
+        )
+        try:
+            data = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        parsed = json.loads(data) if data else {}
+        if status >= 400:
+            raise ServiceError(
+                status, parsed.get("error", data.decode()[:200])
+            )
+        return parsed
+
+    async def stream(
+        self, path: str, *, params: dict | None = None
+    ) -> AsyncIterator[dict]:
+        reader, writer, status = await self._open(
+            "GET", path + _qs(params), None
+        )
+        try:
+            if status >= 400:
+                data = await reader.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except json.JSONDecodeError:
+                    message = data.decode()[:200]
+                raise ServiceError(status, message)
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass

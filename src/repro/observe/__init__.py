@@ -16,6 +16,7 @@ See ``docs/OBSERVABILITY.md`` for the walkthrough.
 from repro.observe.export import (
     chrome_trace,
     chrome_trace_events,
+    observe_headline,
     read_metrics_jsonl,
     validate_chrome_trace,
     write_chrome_trace,
@@ -34,6 +35,7 @@ __all__ = [
     "chrome_trace_events",
     "configure",
     "get_logger",
+    "observe_headline",
     "read_metrics_jsonl",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -308,3 +308,23 @@ def read_metrics_jsonl(path) -> MetricRegistry:
         row = json.loads(line)
         registry.record(row["series"], row["cycle"], row["value"])
     return registry
+
+
+def observe_headline(observe: dict | None) -> dict | None:
+    """Compact a per-job ``observe`` summary for streaming.
+
+    Orchestrated jobs with ``metrics_every`` set carry a full per-series
+    ``{n, mean, max, last}`` summary in their result metrics; the job
+    server streams completions as JSONL where that full table is noise.
+    The headline keeps the sampling cadence and each series' final value
+    -- enough to watch a campaign converge live -- while the complete
+    summary stays in the result store.
+    """
+    if not observe:
+        return None
+    series = observe.get("series") or {}
+    return {
+        "every": observe.get("every"),
+        "samples": observe.get("samples"),
+        "last": {name: stats.get("last") for name, stats in series.items()},
+    }

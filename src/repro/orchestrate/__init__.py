@@ -12,8 +12,10 @@ bit-identical to serial ones by construction.
 """
 
 from repro.orchestrate.campaign import (
+    SERVICE_FIELDS,
     expand_entries,
     load_campaign,
+    parse_campaign,
     spec_from_entry,
 )
 from repro.orchestrate.pool import (
@@ -38,9 +40,21 @@ from repro.orchestrate.runner import (
     result_to_metrics,
 )
 from repro.orchestrate.spec import JobSpec, WorkloadRecipe, recipe_from_dict
-from repro.orchestrate.store import ResultStore
+from repro.orchestrate.store import (
+    BaseResultStore,
+    CompactStats,
+    ResultStore,
+    copy_records,
+    open_store,
+)
+from repro.orchestrate.store_sqlite import SqliteResultStore
 
 __all__ = [
+    "BaseResultStore",
+    "CompactStats",
+    "SqliteResultStore",
+    "copy_records",
+    "open_store",
     "FAILURE_CRASH",
     "FAILURE_EXCEPTION",
     "FAILURE_TIMEOUT",
@@ -57,6 +71,8 @@ __all__ = [
     "known_recipes",
     "load_campaign",
     "materialize_spec",
+    "parse_campaign",
+    "SERVICE_FIELDS",
     "metrics_to_experiment_result",
     "recipe_from_dict",
     "register_recipe",

@@ -46,7 +46,17 @@ _SPEC_FIELDS = (
     "fault_fraction",
     "deadlock_check_interval",
     "progress_timeout",
+    "mtbf",
+    "mttr",
+    "metrics_every",
+    "invariants_every",
 )
+
+# Campaign-document fields that configure *submission* (the service
+# layer: repro.service) rather than the simulation itself.  They are
+# ignored by entry expansion so a serviceful campaign file still runs
+# byte-identically through `repro batch`.
+SERVICE_FIELDS = ("tenant", "priority")
 
 
 def _parse_dims(value) -> tuple[int, ...]:
@@ -131,6 +141,21 @@ def _default_label(config: NetworkConfig, workload: dict) -> str:
     return " ".join(parts)
 
 
+def parse_campaign(data: dict, default_name: str = "campaign") -> tuple[str, list[JobSpec]]:
+    """Expand an in-memory campaign document into ``(name, specs)``.
+
+    The same expansion the batch runner applies to campaign files, so a
+    document POSTed to the job server (:mod:`repro.service`) yields
+    exactly the specs -- and exactly the content keys -- a local
+    ``repro batch`` of that file would.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError("campaign must be a JSON object")
+    name = str(data.get("name", default_name))
+    specs = [spec_from_entry(entry) for entry in expand_entries(data)]
+    return name, specs
+
+
 def load_campaign(path) -> tuple[str, list[JobSpec]]:
     """Parse a campaign file into ``(name, specs)``."""
     path = Path(path)
@@ -142,6 +167,4 @@ def load_campaign(path) -> tuple[str, list[JobSpec]]:
         raise ConfigError(f"campaign {path} is not valid JSON: {exc}")
     if not isinstance(data, dict):
         raise ConfigError(f"campaign {path} must be a JSON object")
-    name = str(data.get("name", path.stem))
-    specs = [spec_from_entry(entry) for entry in expand_entries(data)]
-    return name, specs
+    return parse_campaign(data, default_name=path.stem)

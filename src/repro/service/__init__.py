@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: the async job server over the orchestrator.
+
+The service wraps the existing JobSpec / worker / ResultStore machinery
+behind a small REST API so long-running, multi-tenant campaign traffic
+gets submission, status, streaming, cancellation and resume without
+one-shot ``repro batch`` invocations:
+
+* :mod:`.model` -- submission envelopes (:class:`SubmittedJob`,
+  :class:`CampaignState`).  Service-only metadata (tenant, priority,
+  submitted_at) lives **here**, never on :class:`JobSpec`, so content
+  keys -- and therefore every existing result store -- stay stable.
+* :mod:`.scheduler` -- :class:`FairScheduler`: per-tenant round-robin
+  with in-flight caps and token-bucket rate limits, priority ordering
+  within a tenant.  A million-job tenant cannot starve others.
+* :mod:`.state` -- :class:`ServiceState`: dedup against the result
+  store (warm-cache hits never execute), in-flight coalescing of
+  identical specs across campaigns/tenants, per-campaign event logs.
+* :mod:`.server` -- the asyncio HTTP server (stdlib only) exposing the
+  REST + JSONL-streaming API, and :class:`ServiceThread` for embedding
+  a live server in tests and benchmarks.
+
+The typed fluent client lives in :mod:`repro.client`.
+"""
+
+from repro.service.model import (
+    CampaignState,
+    SubmittedJob,
+    TERMINAL_STATUSES,
+)
+from repro.service.scheduler import FairScheduler, TenantQuota
+from repro.service.server import ServiceConfig, ServiceThread, run_service
+from repro.service.state import ServiceState
+
+__all__ = [
+    "CampaignState",
+    "FairScheduler",
+    "ServiceConfig",
+    "ServiceState",
+    "ServiceThread",
+    "SubmittedJob",
+    "TenantQuota",
+    "TERMINAL_STATUSES",
+    "run_service",
+]

@@ -1,0 +1,146 @@
+"""Service-side envelopes around JobSpecs.
+
+The cache-key stability contract: everything the *service* needs to
+know about a submission -- who submitted it (tenant), how urgent it is
+(priority), when it arrived (submitted_at) -- is metadata about the
+*request*, not the *simulation*.  It therefore lives on
+:class:`SubmittedJob`, the envelope, and never on
+:class:`~repro.orchestrate.spec.JobSpec` itself.  Adding or changing
+envelope fields can never move a spec's content key
+(:meth:`JobSpec.key`), so results computed before the service existed
+stay valid cache hits forever (guarded by
+``tests/orchestrate/test_spec.py::TestServiceEnvelopeKeyStability``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.orchestrate.spec import JobSpec
+
+# Job lifecycle: queued -> running -> ok | failed; cached resolves at
+# submission time, cancelled while still queued.
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_CACHED = "cached"
+STATUS_CANCELLED = "cancelled"
+
+TERMINAL_STATUSES = frozenset(
+    {STATUS_OK, STATUS_FAILED, STATUS_CACHED, STATUS_CANCELLED}
+)
+
+_job_ids = itertools.count(1)
+_campaign_ids = itertools.count(1)
+
+
+@dataclass
+class SubmittedJob:
+    """One spec in flight through the service, plus request metadata."""
+
+    spec: JobSpec
+    tenant: str = "default"
+    priority: int = 0
+    campaign_id: str = ""
+    campaign: str = ""
+    submitted_at: float = field(default_factory=time.time)
+    job_id: str = field(default_factory=lambda: f"j-{next(_job_ids):06d}")
+    seq: int = 0  # FIFO tiebreak within (tenant, priority)
+
+    status: str = STATUS_QUEUED
+    from_cache: bool = False
+    coalesced_with: str | None = None  # primary job_id running our spec
+    metrics: dict | None = None
+    failure: dict | None = None
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def key(self) -> str:
+        return self.spec.key()
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def as_dict(self, *, with_spec: bool = True) -> dict:
+        data = {
+            "id": self.job_id,
+            "key": self.key,
+            "label": self.spec.label,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "campaign_id": self.campaign_id,
+            "campaign": self.campaign,
+            "submitted_at": self.submitted_at,
+            "status": self.status,
+            "from_cache": self.from_cache,
+            "coalesced_with": self.coalesced_with,
+            "metrics": self.metrics,
+            "failure": self.failure,
+            "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
+        }
+        if with_spec:
+            data["spec"] = self.spec.to_dict()
+        return data
+
+
+@dataclass
+class CampaignState:
+    """Server-side bookkeeping for one submitted campaign."""
+
+    name: str
+    tenant: str = "default"
+    priority: int = 0
+    campaign_id: str = field(
+        default_factory=lambda: f"c-{next(_campaign_ids):04d}"
+    )
+    created_at: float = field(default_factory=time.time)
+    jobs: list[SubmittedJob] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    cancelled: bool = False
+
+    def counts(self) -> dict[str, int]:
+        out = {
+            STATUS_QUEUED: 0,
+            STATUS_RUNNING: 0,
+            STATUS_OK: 0,
+            STATUS_FAILED: 0,
+            STATUS_CACHED: 0,
+            STATUS_CANCELLED: 0,
+        }
+        for job in self.jobs:
+            out[job.status] += 1
+        return out
+
+    @property
+    def done(self) -> bool:
+        return all(job.done for job in self.jobs)
+
+    @property
+    def status(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        if not self.done:
+            return "running"
+        if any(job.status == STATUS_FAILED for job in self.jobs):
+            return "failed"
+        return "done"
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.campaign_id,
+            "name": self.name,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "created_at": self.created_at,
+            "status": self.status,
+            "jobs": len(self.jobs),
+            "counts": self.counts(),
+        }

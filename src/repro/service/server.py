@@ -1,0 +1,571 @@
+"""The asyncio HTTP job server (stdlib only).
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+-- request line + headers + Content-Length body in, JSON out, one
+request per connection (``Connection: close``) so streaming responses
+can simply write JSONL until EOF.  No external web framework: the
+container bakes in only the standard toolchain, and the API surface is
+a dozen routes.
+
+REST surface (see docs/SERVICE.md for the full contract)::
+
+    GET  /health                        liveness + version
+    GET  /api/store                     backend stats, dedup counters
+    POST /api/campaigns                 submit a campaign document/specs
+    GET  /api/campaigns                 list campaigns
+    GET  /api/campaigns/<id>            status + counts
+    GET  /api/campaigns/<id>/jobs       job summaries (filterable)
+    GET  /api/campaigns/<id>/results    JSONL: one record per job
+    GET  /api/campaigns/<id>/stream     JSONL: live completion events
+    POST /api/campaigns/<id>/cancel     cancel queued work
+    POST /api/jobs                      submit one spec
+    GET  /api/jobs                      query jobs across campaigns
+    GET  /api/jobs/<id>                 one job, with spec + metrics
+
+Execution rides :func:`repro.orchestrate.runner.execute_job` in a
+process pool (thread pool or inline for tests), gated by the
+:class:`~repro.service.scheduler.FairScheduler` so the pool only ever
+holds jobs fairness already admitted.  Results are bit-identical to
+``repro batch`` because both paths run the same ``execute_job`` on the
+same specs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import multiprocessing
+import threading
+import time
+import urllib.parse
+
+from repro.errors import ConfigError
+from repro.observe.logbook import get_logger
+from repro.orchestrate.campaign import parse_campaign
+from repro.orchestrate.pool import FAILURE_EXCEPTION
+from repro.orchestrate.runner import execute_job
+from repro.orchestrate.spec import JobSpec
+from repro.orchestrate.store import BaseResultStore, open_store
+from repro.service.model import CampaignState
+from repro.service.scheduler import FairScheduler, TenantQuota
+from repro.service.state import ServiceState
+
+logger = get_logger("service")
+
+API_VERSION = 1
+MAX_BODY_BYTES = 256 << 20  # campaign documents can be large; specs are not
+MAX_HEADER_BYTES = 64 << 10
+TENANT_HEADER = "x-repro-tenant"
+
+
+class ServiceConfig:
+    """Server wiring: where to listen, how to execute, how to fair-share."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        store: str | BaseResultStore = "sqlite:repro-store",
+        workers: int = 2,
+        executor: str = "process",
+        max_inflight_per_tenant: int | None = None,
+        rate: float | None = None,
+        burst: int = 4,
+    ) -> None:
+        if executor not in ("process", "thread"):
+            raise ConfigError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.host = host
+        self.port = port
+        self.store = store
+        self.workers = workers
+        self.executor = executor
+        self.quota = TenantQuota(
+            max_inflight=max_inflight_per_tenant, rate=rate, burst=burst
+        )
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class JobServer:
+    """One service instance: HTTP front, scheduler pump, executor."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        store = config.store
+        if not isinstance(store, BaseResultStore):
+            store = open_store(store)
+        self.state = ServiceState(
+            store, FairScheduler(default_quota=config.quota)
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._running = 0
+        self._executor: concurrent.futures.Executor | None = None
+        self._stopping = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.config.executor == "process":
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-job",
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._pump_task = asyncio.ensure_future(self._pump())
+        logger.info("service listening on %s:%d (workers=%d, %s executor, "
+                    "store=%s)", self.config.host, self.port,
+                    self.config.workers, self.config.executor,
+                    self.state.store.describe()["path"])
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.state.store.close()
+
+    # -- execution pump -------------------------------------------------
+
+    async def _pump(self) -> None:
+        """Feed admitted jobs to the executor, one slot per worker.
+
+        The scheduler -- not the executor queue -- holds the backlog, so
+        fairness and priority apply at the moment a worker frees up, not
+        at submission time.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            self.state.work_available.clear()
+            job = None
+            if self._running < self.config.workers:
+                job = self.state.scheduler.acquire()
+            if job is None:
+                delay = self.state.scheduler.next_ready_in()
+                try:
+                    await asyncio.wait_for(
+                        self.state.work_available.wait(), timeout=delay
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            self.state.mark_running(job)
+            self._running += 1
+            loop.create_task(self._run_job(job))
+
+    async def _run_job(self, job) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            metrics = await loop.run_in_executor(
+                self._executor, execute_job, job.spec
+            )
+            failure = None
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            raise
+        except BaseException as exc:
+            metrics = None
+            failure = {
+                "kind": FAILURE_EXCEPTION,
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        elapsed = time.perf_counter() - start
+        self._running -= 1
+        if self._stopping:
+            return
+        self.state.finish(
+            job, metrics=metrics, failure=failure, elapsed_s=elapsed
+        )
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, query, headers, body = await _read_request(
+                    reader
+                )
+            except _HttpError as exc:
+                await _send_json(
+                    writer, {"error": str(exc)}, status=exc.status
+                )
+                return
+            try:
+                await self._route(
+                    method, path, query, headers, body, writer
+                )
+            except _HttpError as exc:
+                await _send_json(
+                    writer, {"error": str(exc)}, status=exc.status
+                )
+            except ConfigError as exc:
+                await _send_json(writer, {"error": str(exc)}, status=400)
+            except Exception as exc:  # pragma: no cover - defensive
+                logger.error("internal error handling %s %s: %s",
+                             method, path, exc)
+                await _send_json(
+                    writer, {"error": f"internal error: {exc}"}, status=500
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method, path, query, headers, body, writer
+    ) -> None:
+        parts = [p for p in path.split("/") if p]
+        if path == "/health" and method == "GET":
+            await _send_json(writer, {
+                "status": "ok",
+                "api_version": API_VERSION,
+                "uptime_s": round(time.time() - self.state.started_at, 3),
+            })
+            return
+        if path == "/api/store" and method == "GET":
+            await _send_json(writer, self.state.describe())
+            return
+        if parts[:2] == ["api", "campaigns"]:
+            await self._route_campaigns(
+                method, parts[2:], query, headers, body, writer
+            )
+            return
+        if parts[:2] == ["api", "jobs"]:
+            await self._route_jobs(
+                method, parts[2:], query, headers, body, writer
+            )
+            return
+        raise _HttpError(404, f"no such route: {method} {path}")
+
+    # -- campaign routes ------------------------------------------------
+
+    async def _route_campaigns(
+        self, method, rest, query, headers, body, writer
+    ) -> None:
+        if not rest:
+            if method == "POST":
+                campaign = self._submit(body or {}, headers)
+                await _send_json(writer, campaign.as_dict())
+            elif method == "GET":
+                await _send_json(writer, {
+                    "campaigns": [
+                        c.as_dict() for c in self.state.campaigns.values()
+                    ]
+                })
+            else:
+                raise _HttpError(405, f"{method} not allowed here")
+            return
+        campaign = self.state.find_campaign(rest[0])
+        if campaign is None:
+            raise _HttpError(404, f"no such campaign: {rest[0]}")
+        sub = rest[1] if len(rest) > 1 else None
+        if sub is None and method == "GET":
+            await _send_json(writer, campaign.as_dict())
+        elif sub == "cancel" and method == "POST":
+            cancelled = self.state.cancel_campaign(campaign)
+            await _send_json(writer, {
+                "id": campaign.campaign_id,
+                "cancelled": cancelled,
+                "status": campaign.status,
+            })
+        elif sub == "jobs" and method == "GET":
+            jobs = self.state.list_jobs(
+                campaign_id=campaign.campaign_id,
+                status=query.get("status"),
+            )
+            await _send_json(writer, {
+                "jobs": [j.as_dict(with_spec=False) for j in jobs]
+            })
+        elif sub == "results" and method == "GET":
+            async def dump():
+                for job in campaign.jobs:
+                    yield job.as_dict()
+            await _send_jsonl(writer, dump())
+        elif sub == "stream" and method == "GET":
+            await _send_jsonl(
+                writer, self.state.stream_events(campaign)
+            )
+        else:
+            raise _HttpError(404, f"no such campaign route: {sub}")
+
+    def _submit(self, body: dict, headers: dict) -> CampaignState:
+        """Common submission path for documents and raw spec lists."""
+        if not isinstance(body, dict):
+            raise _HttpError(400, "submission body must be a JSON object")
+        tenant = str(
+            body.get("tenant")
+            or headers.get(TENANT_HEADER)
+            or "default"
+        )
+        priority = int(body.get("priority", 0))
+        if "document" in body:
+            name, specs = parse_campaign(body["document"])
+        elif "specs" in body:
+            specs = [JobSpec.from_dict(d) for d in body["specs"]]
+            name = str(body.get("name", f"specs-{len(specs)}"))
+        else:
+            raise _HttpError(
+                400, "submission needs 'document' (campaign) or 'specs'"
+            )
+        if not specs:
+            raise _HttpError(400, "submission contains no jobs")
+        campaign = self.state.submit(
+            name, specs, tenant=tenant, priority=priority
+        )
+        logger.info(
+            "campaign %s (%s): %d job(s) from tenant %s, %d cached, "
+            "%d coalesced",
+            campaign.campaign_id, name, len(specs), tenant,
+            campaign.counts()["cached"],
+            sum(1 for j in campaign.jobs if j.coalesced_with),
+        )
+        return campaign
+
+    # -- job routes -----------------------------------------------------
+
+    async def _route_jobs(
+        self, method, rest, query, headers, body, writer
+    ) -> None:
+        if not rest:
+            if method == "POST":
+                body = body or {}
+                if "spec" not in body:
+                    raise _HttpError(400, "job submission needs 'spec'")
+                spec = JobSpec.from_dict(body["spec"])
+                campaign = self._submit(
+                    {
+                        "specs": [body["spec"]],
+                        "name": body.get("name", spec.label or spec.key()),
+                        "tenant": body.get("tenant"),
+                        "priority": body.get("priority", 0),
+                    },
+                    headers,
+                )
+                await _send_json(
+                    writer, campaign.jobs[0].as_dict(with_spec=False)
+                )
+            elif method == "GET":
+                campaign_id = query.get("campaign")
+                if campaign_id is not None:
+                    found = self.state.find_campaign(campaign_id)
+                    campaign_id = found.campaign_id if found else "<none>"
+                jobs = self.state.list_jobs(
+                    campaign_id=campaign_id,
+                    tenant=query.get("tenant"),
+                    status=query.get("status"),
+                )
+                await _send_json(writer, {
+                    "jobs": [j.as_dict(with_spec=False) for j in jobs]
+                })
+            else:
+                raise _HttpError(405, f"{method} not allowed here")
+            return
+        job = self.state.jobs.get(rest[0])
+        if job is None or rest[1:]:
+            raise _HttpError(404, f"no such job: {'/'.join(rest)}")
+        if method != "GET":
+            raise _HttpError(405, f"{method} not allowed here")
+        await _send_json(writer, job.as_dict())
+
+
+# -- wire helpers -------------------------------------------------------
+
+
+async def _read_request(reader):
+    """Parse one HTTP request: (method, path, query, headers, json_body)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "request head too large")
+    except asyncio.IncompleteReadError:
+        raise _HttpError(400, "truncated request")
+    if len(head) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parsed = urllib.parse.urlsplit(target)
+    query = {
+        k: v[0]
+        for k, v in urllib.parse.parse_qs(parsed.query).items()
+    }
+    body = None
+    length = int(headers.get("content-length", 0) or 0)
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {length} bytes exceeds limit")
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}")
+    return method.upper(), parsed.path, query, headers, body
+
+
+def _head(status: int, content_type: str, extra: str = "") -> bytes:
+    reason = _REASONS.get(status, "?")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Connection: close\r\n{extra}\r\n"
+    ).encode("latin-1")
+
+
+async def _send_json(writer, obj, status: int = 200) -> None:
+    payload = (json.dumps(obj) + "\n").encode()
+    writer.write(
+        _head(status, "application/json",
+              f"Content-Length: {len(payload)}\r\n")
+    )
+    writer.write(payload)
+    await writer.drain()
+
+
+async def _send_jsonl(writer, events) -> None:
+    """Stream an async iterator of dicts as JSON Lines until it ends.
+
+    No Content-Length: the client reads lines until the connection
+    closes, which is what makes live campaign streaming work over
+    plain ``http.client``.
+    """
+    writer.write(_head(200, "application/jsonl"))
+    await writer.drain()
+    async for event in events:
+        writer.write((json.dumps(event) + "\n").encode())
+        await writer.drain()
+
+
+# -- embedding and CLI entrypoints --------------------------------------
+
+
+def run_service(config: ServiceConfig) -> None:
+    """Run a server in the foreground until interrupted (``repro serve``)."""
+
+    async def main() -> None:
+        server = JobServer(config)
+        await server.start()
+        try:
+            await asyncio.Event().wait()  # serve until cancelled
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        logger.info("service stopped")
+
+
+class ServiceThread:
+    """A live server on a background thread, for tests and benchmarks.
+
+    ::
+
+        with ServiceThread(ServiceConfig(port=0, executor="thread")) as url:
+            Session(url).submit_campaign(...)
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.server: JobServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> str:
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover
+            raise RuntimeError("service thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error}"
+            )
+        assert self.server is not None
+        return self.server.url
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self.server = JobServer(self.config)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(body())
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=30)
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None
+        return self.server.url
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,286 @@
+"""In-memory service state: dedup, coalescing, events, cancellation.
+
+One :class:`ServiceState` instance lives on the server's event loop.
+Submission resolves every spec through three gates, cheapest first:
+
+1. **Store dedup** -- the spec's content key already has a successful
+   record (from any tenant, any campaign, any prior run): the job
+   resolves as ``cached`` instantly, no execution, no queueing.
+2. **In-flight coalescing** -- the same key is already queued or
+   running for someone else: the new job becomes a *follower* of that
+   primary and resolves with the primary's result.  A thousand tenants
+   submitting the same sweep costs one execution.
+3. **Queue** -- genuinely new work enters the
+   :class:`~repro.service.scheduler.FairScheduler`.
+
+Completion records through the pluggable result store (so restarts
+resume via gate 1) and appends a JSONL-able event to the owning
+campaign's log; streams (`GET .../stream`) replay the log then wait on
+the shared condition for more.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.observe.export import observe_headline
+from repro.orchestrate.spec import JobSpec
+from repro.orchestrate.store import BaseResultStore
+from repro.service.model import (
+    STATUS_CACHED,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    CampaignState,
+    SubmittedJob,
+)
+from repro.service.scheduler import FairScheduler
+
+
+class ServiceState:
+    """Everything the HTTP layer and the executor pump share."""
+
+    def __init__(
+        self, store: BaseResultStore, scheduler: FairScheduler
+    ) -> None:
+        self.store = store
+        self.scheduler = scheduler
+        self.campaigns: dict[str, CampaignState] = {}
+        self.jobs: dict[str, SubmittedJob] = {}
+        self._primaries: dict[str, SubmittedJob] = {}  # key -> in-flight
+        self._followers: dict[str, list[SubmittedJob]] = {}
+        self.started_at = time.time()
+        # Pump wake-up (new work) and stream wake-up (new events).
+        self.work_available = asyncio.Event()
+        self.events_cond = asyncio.Condition()
+        # Counters for /api/store and the dedup benchmark.
+        self.executed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        specs: list[JobSpec],
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> CampaignState:
+        """Register a campaign: resolve dedup, queue the remainder."""
+        campaign = CampaignState(name=name, tenant=tenant, priority=priority)
+        self.campaigns[campaign.campaign_id] = campaign
+        resolved: list[SubmittedJob] = []
+        for spec in specs:
+            job = SubmittedJob(
+                spec=spec,
+                tenant=tenant,
+                priority=priority,
+                campaign_id=campaign.campaign_id,
+                campaign=name,
+            )
+            campaign.jobs.append(job)
+            self.jobs[job.job_id] = job
+            key = job.key
+            metrics = self.store.cached_metrics(key)
+            if metrics is not None:
+                job.status = STATUS_CACHED
+                job.from_cache = True
+                job.metrics = metrics
+                self.cache_hits += 1
+                resolved.append(job)
+                continue
+            primary = self._primaries.get(key)
+            if primary is not None:
+                job.coalesced_with = primary.job_id
+                self._followers.setdefault(key, []).append(job)
+                self.coalesced += 1
+                continue
+            self._primaries[key] = job
+            self.scheduler.add(job)
+        for job in resolved:
+            self._append_event(campaign, job)
+        self.work_available.set()
+        self._notify_streams()
+        return campaign
+
+    # -- execution lifecycle (driven by the server pump) ---------------
+
+    def mark_running(self, job: SubmittedJob) -> None:
+        job.status = STATUS_RUNNING
+        job.started_at = time.time()
+
+    def finish(
+        self,
+        job: SubmittedJob,
+        *,
+        metrics: dict | None,
+        failure: dict | None,
+        elapsed_s: float,
+    ) -> None:
+        """Resolve a primary job and every follower coalesced onto it."""
+        job.status = STATUS_OK if failure is None else STATUS_FAILED
+        job.metrics = metrics
+        job.failure = failure
+        job.elapsed_s = elapsed_s
+        job.attempts = 1
+        job.finished_at = time.time()
+        self.executed += 1
+        self.scheduler.release(job.tenant)
+        self.store.record(
+            job.key,
+            spec_dict=job.spec.to_dict(),
+            status=job.status,
+            metrics=metrics,
+            failure=failure,
+            elapsed_s=elapsed_s,
+            attempts=1,
+            campaign=job.campaign,
+        )
+        self._primaries.pop(job.key, None)
+        self._append_event(self.campaigns[job.campaign_id], job)
+        for follower in self._followers.pop(job.key, []):
+            if follower.status == STATUS_CANCELLED:
+                continue
+            follower.status = job.status
+            follower.metrics = metrics
+            follower.failure = failure
+            follower.from_cache = failure is None
+            follower.finished_at = job.finished_at
+            self._append_event(
+                self.campaigns[follower.campaign_id], follower
+            )
+        self.work_available.set()
+        self._notify_streams()
+
+    # -- cancellation ---------------------------------------------------
+
+    def cancel_campaign(self, campaign: CampaignState) -> int:
+        """Cancel queued work; running jobs finish (and cache) normally."""
+        campaign.cancelled = True
+        cid = campaign.campaign_id
+        dropped = self.scheduler.drop(lambda j: j.campaign_id == cid)
+        for job in dropped:
+            self._primaries.pop(job.key, None)
+            # The primary is gone: promote the first follower, if any.
+            followers = self._followers.pop(job.key, [])
+            live = [f for f in followers if f.status != STATUS_CANCELLED]
+            if live:
+                head, rest = live[0], live[1:]
+                head.coalesced_with = None
+                self._primaries[head.key] = head
+                self.scheduler.add(head)
+                if rest:
+                    self._followers[head.key] = rest
+                    for f in rest:
+                        f.coalesced_with = head.job_id
+        cancelled = list(dropped)
+        dropped_ids = {job.job_id for job in dropped}
+        for job in campaign.jobs:
+            if job.status == STATUS_QUEUED and job.job_id not in dropped_ids:
+                # Queued followers of another campaign's primary.
+                cancelled.append(job)
+        for job in cancelled:
+            job.status = STATUS_CANCELLED
+            job.finished_at = time.time()
+            self._append_event(campaign, job)
+        self._notify_streams()
+        return len(cancelled)
+
+    # -- events and queries ---------------------------------------------
+
+    def _append_event(self, campaign: CampaignState, job: SubmittedJob) -> None:
+        event = {
+            "event": "job",
+            "seq": len(campaign.events),
+            "id": job.job_id,
+            "key": job.key,
+            "label": job.spec.label,
+            "status": job.status,
+            "from_cache": job.from_cache,
+            "elapsed_s": job.elapsed_s,
+            "metrics": job.metrics,
+            "failure": job.failure,
+        }
+        observe = (job.metrics or {}).get("observe")
+        if observe:
+            event["observe"] = observe_headline(observe)
+        campaign.events.append(event)
+
+    def _notify_streams(self) -> None:
+        async def notify() -> None:
+            async with self.events_cond:
+                self.events_cond.notify_all()
+
+        # Mutators stay synchronous (no await mid-bookkeeping); the
+        # notify rides the loop as its own task.  Without a running
+        # loop (direct unit-test use) there are no streams to wake.
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        loop.create_task(notify())
+
+    async def stream_events(self, campaign: CampaignState):
+        """Yield the campaign's events: replay, then live until done."""
+        cursor = 0
+        while True:
+            while cursor < len(campaign.events):
+                yield campaign.events[cursor]
+                cursor += 1
+            if campaign.done:
+                yield {
+                    "event": "end",
+                    "status": campaign.status,
+                    "counts": campaign.counts(),
+                }
+                return
+            async with self.events_cond:
+                # Re-check under the condition: an event appended since
+                # the unlocked check must not strand this stream.
+                if cursor >= len(campaign.events) and not campaign.done:
+                    await self.events_cond.wait()
+
+    def find_campaign(self, ident: str) -> CampaignState | None:
+        got = self.campaigns.get(ident)
+        if got is not None:
+            return got
+        for campaign in self.campaigns.values():
+            if campaign.name == ident:
+                return campaign
+        return None
+
+    def list_jobs(
+        self,
+        *,
+        campaign_id: str | None = None,
+        tenant: str | None = None,
+        status: str | None = None,
+    ) -> list[SubmittedJob]:
+        out = []
+        for job in self.jobs.values():
+            if campaign_id is not None and job.campaign_id != campaign_id:
+                continue
+            if tenant is not None and job.tenant != tenant:
+                continue
+            if status is not None and job.status != status:
+                continue
+            out.append(job)
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "campaigns": len(self.campaigns),
+            "jobs": len(self.jobs),
+            "pending": self.scheduler.pending(),
+            "inflight": self.scheduler.inflight(),
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "store": self.store.describe(),
+        }

@@ -1,0 +1,99 @@
+"""End-to-end service demo: the PR's acceptance scenario.
+
+A client submits a 100+ job campaign to a local server; the results
+must be bit-identical to a serial ``repro batch`` of the same campaign
+document, and resubmitting the campaign must complete with 100% cache
+hits and zero re-executed jobs.
+"""
+
+import json
+
+import pytest
+
+from repro.client import Session
+from repro.orchestrate import ResultStore, parse_campaign, run_jobs
+from repro.service.server import ServiceConfig, ServiceThread
+
+# 2 protocols x 5 loads x 10 seeds + 4 explicit entries = 104 jobs.
+CAMPAIGN_DOC = {
+    "name": "e2e-demo",
+    "defaults": {
+        "topology": "mesh",
+        "dims": "4x4",
+        "max_cycles": 20_000,
+        "workload": {"kind": "uniform", "load": 0.05,
+                     "length": 6, "duration": 100},
+    },
+    "grid": {
+        "protocol": ["wormhole", "clrp"],
+        "workload.load": [0.02, 0.04, 0.06, 0.08, 0.1],
+        "seed": list(range(10)),
+    },
+    "jobs": [
+        {"protocol": "carp", "seed": seed} for seed in range(4)
+    ],
+}
+
+
+def canonical(metrics: dict | None) -> str:
+    """Bit-exact comparison form (JSON is the wire format both ways)."""
+    return json.dumps(metrics, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_results(tmp_path_factory):
+    """The ground truth: the same campaign through `repro batch`'s path."""
+    name, specs = parse_campaign(CAMPAIGN_DOC)
+    store = ResultStore(
+        tmp_path_factory.mktemp("serial") / "results.jsonl"
+    )
+    outcomes = run_jobs(specs, jobs=1, store=store)
+    assert all(o.ok for o in outcomes)
+    return {spec.key(): o.metrics for spec, o in zip(specs, outcomes)}
+
+
+class TestServiceEndToEnd:
+    def test_campaign_via_client_matches_serial_batch(
+        self, tmp_path, serial_results
+    ):
+        config = ServiceConfig(
+            port=0, store=f"sqlite:{tmp_path / 'store'}",
+            workers=2, executor="thread",
+        )
+        with ServiceThread(config) as url:
+            session = Session(url, tenant="demo")
+
+            # -- first submission: everything executes on the server --
+            campaign = session.submit_campaign(CAMPAIGN_DOC)
+            assert campaign.data["jobs"] >= 100
+            streamed = [e for e in campaign.stream() if e.event == "job"]
+            campaign.refresh()
+            assert campaign.status == "done"
+            assert len(streamed) == campaign.data["jobs"]
+
+            by_key = {row["key"]: row for row in campaign.results()}
+            assert set(by_key) == set(serial_results)
+            for key, serial_metrics in serial_results.items():
+                assert canonical(by_key[key]["metrics"]) == canonical(
+                    serial_metrics
+                ), f"server result for {key} diverged from serial batch"
+
+            stats = session.store_stats()
+            assert stats["executed"] == len(serial_results)
+            assert stats["cache_hits"] == 0
+
+            # -- resubmission: 100% cache hits, zero re-executions --
+            again = session.submit_campaign(CAMPAIGN_DOC)
+            again.wait(timeout=60)
+            counts = again.data["counts"]
+            assert counts["cached"] == campaign.data["jobs"]
+            assert counts["ok"] == 0 and counts["failed"] == 0
+            stats = session.store_stats()
+            assert stats["executed"] == len(serial_results)  # unchanged
+            assert stats["cache_hits"] == campaign.data["jobs"]
+
+            # Cached results are the same bits again.
+            for row in again.results():
+                assert canonical(row["metrics"]) == canonical(
+                    serial_results[row["key"]]
+                )

@@ -99,6 +99,78 @@ class TestSpecKey:
         assert a.key() != b.key()
 
 
+class TestServiceEnvelopeKeyStability:
+    """Service metadata must never move a spec's content key.
+
+    The job service (:mod:`repro.service`) hangs tenant / priority /
+    submitted_at on the :class:`~repro.service.model.SubmittedJob`
+    envelope, never on the JobSpec.  If any service-only field ever
+    leaked into ``key()``, every stored result would silently stop
+    being a cache hit -- so the key of a reference spec is pinned to a
+    golden value here.
+    """
+
+    # Computed once from the spec below; a change means every existing
+    # result store on disk is invalidated.  Do not update this constant
+    # without a deliberate cache-migration plan.
+    GOLDEN_KEY = "9adaae96ee63002ab51ed6754ecc3c4b"
+
+    def golden_spec(self) -> JobSpec:
+        return JobSpec(
+            config=NetworkConfig(dims=(4, 4), protocol="clrp", seed=7),
+            workload=WorkloadRecipe.make(
+                "uniform", load=0.1, length=16, duration=300
+            ),
+        )
+
+    def test_golden_key_is_pinned(self):
+        assert self.golden_spec().key() == self.GOLDEN_KEY
+
+    def test_envelope_fields_do_not_change_key(self):
+        from repro.service.model import SubmittedJob
+
+        spec = self.golden_spec()
+        plain = SubmittedJob(spec=spec)
+        dressed = SubmittedJob(
+            spec=spec, tenant="alice", priority=99, campaign="urgent",
+            campaign_id="c-9999", submitted_at=1234567890.0,
+        )
+        assert plain.key == dressed.key == self.GOLDEN_KEY
+
+    def test_spec_dataclass_has_no_service_fields(self):
+        """Envelope fields must not even exist on JobSpec, so they can
+        never be serialised into the content hash by accident."""
+        import dataclasses
+
+        spec_fields = {f.name for f in dataclasses.fields(JobSpec)}
+        assert spec_fields.isdisjoint({"tenant", "priority", "submitted_at"})
+
+    def test_campaign_service_fields_are_not_spec_fields(self):
+        from repro.orchestrate.campaign import _SPEC_FIELDS, SERVICE_FIELDS
+
+        assert set(SERVICE_FIELDS).isdisjoint(_SPEC_FIELDS)
+
+    def test_document_service_fields_do_not_change_keys(self):
+        """The same campaign document with and without service fields
+        expands to specs with identical content keys."""
+        from repro.orchestrate.campaign import parse_campaign
+
+        doc = {
+            "name": "svc",
+            "defaults": {
+                "dims": "4x4", "protocol": "clrp", "seed": 7,
+                "workload": {"kind": "uniform", "load": 0.1,
+                             "length": 16, "duration": 300},
+            },
+            "grid": {"workload.load": [0.1, 0.2]},
+        }
+        _, plain = parse_campaign(doc)
+        _, dressed = parse_campaign(
+            {**doc, "tenant": "alice", "priority": 42}
+        )
+        assert [s.key() for s in plain] == [s.key() for s in dressed]
+
+
 class TestSpecValidation:
     def test_bad_max_cycles(self):
         with pytest.raises(ConfigError):

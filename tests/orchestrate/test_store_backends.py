@@ -1,0 +1,270 @@
+"""Store backends: sqlite sharding, factory, round-trips, robustness.
+
+The JSONL store is the simple single-file backend; the sqlite store is
+the sharded service-scale backend.  Both implement BaseResultStore and
+must be interchangeable: a record written through one and copied to the
+other round-trips bit-identically, torn/concurrent writes never poison
+a store, and compaction reports exactly what it dropped.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.orchestrate import (
+    CompactStats,
+    ResultStore,
+    SqliteResultStore,
+    copy_records,
+    open_store,
+)
+from repro.orchestrate.spec import JobSpec, WorkloadRecipe
+from repro.orchestrate.store_sqlite import shard_name
+from repro.sim.config import NetworkConfig
+
+
+def tiny_spec(load=0.05, seed=0) -> JobSpec:
+    return JobSpec(
+        config=NetworkConfig(dims=(4, 4), protocol="wormhole", wave=None,
+                             seed=seed),
+        workload=WorkloadRecipe.make(
+            "uniform", load=load, length=8, duration=150
+        ),
+        label=f"tiny@{load:g}#{seed}",
+        max_cycles=20_000,
+    )
+
+
+class TestSqliteBasics:
+    def test_record_get_reload(self, tmp_path):
+        root = tmp_path / "store"
+        store = SqliteResultStore(root)
+        spec = tiny_spec()
+        store.record(
+            spec.key(), spec_dict=spec.to_dict(), status="ok",
+            metrics={"throughput": 0.25}, elapsed_s=1.0,
+        )
+        store.close()
+        reloaded = SqliteResultStore(root)
+        assert len(reloaded) == 1
+        assert reloaded.cached_metrics(spec.key()) == {"throughput": 0.25}
+        assert reloaded.get(spec.key())["label"] == spec.label
+        reloaded.close()
+
+    def test_failed_records_are_not_cache_hits(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        store.record(
+            spec.key(), spec_dict=spec.to_dict(), status="failed",
+            failure={"kind": "exception", "message": "boom"},
+        )
+        assert store.cached_metrics(spec.key()) is None
+        assert store.get(spec.key())["failure"]["kind"] == "exception"
+
+    def test_last_record_wins(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="failed",
+                     failure={"kind": "crash", "message": "died"})
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={"throughput": 1.0})
+        assert len(store) == 1
+        assert store.cached_metrics(spec.key()) == {"throughput": 1.0}
+
+    def test_shards_are_per_campaign(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        a, b = tiny_spec(0.05), tiny_spec(0.1)
+        store.record(a.key(), spec_dict=a.to_dict(), status="ok",
+                     metrics={}, campaign="alpha")
+        store.record(b.key(), spec_dict=b.to_dict(), status="ok",
+                     metrics={}, campaign="beta sweep")
+        assert store.describe()["shards"] == ["alpha", "beta_sweep"]
+        assert store.campaign_keys("alpha") == [a.key()]
+        assert store.campaign_keys("beta sweep") == [b.key()]
+        # Dedup index spans shards: both keys resolve from one store.
+        assert store.get(a.key()) is not None
+        assert store.get(b.key()) is not None
+
+    def test_rerecord_moves_key_between_shards(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={}, campaign="old")
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={"v": 2}, campaign="new")
+        assert store.campaign_keys("old") == []
+        assert store.campaign_keys("new") == [spec.key()]
+        assert len(store) == 1
+        assert store.get(spec.key())["metrics"] == {"v": 2}
+
+    def test_shard_name_slugs_hostile_campaign_labels(self):
+        assert shard_name("alpha") == "alpha"
+        assert shard_name("../../etc/passwd") == "etc_passwd"
+        assert shard_name("") == "default"
+        assert len(shard_name("x" * 500)) <= 80
+
+    def test_compact_reports_zero_dropped(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={})
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={"v": 2})
+        stats = store.compact()
+        assert stats == CompactStats(kept=1, dropped=0)
+
+    def test_concurrent_readers_and_writer(self, tmp_path):
+        # sqlite's own locking: a second store handle on the same root
+        # sees committed writes from the first.
+        root = tmp_path / "store"
+        writer, reader = SqliteResultStore(root), SqliteResultStore(root)
+        spec = tiny_spec()
+        writer.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                      metrics={"throughput": 0.5})
+        assert reader.cached_metrics(spec.key()) == {"throughput": 0.5}
+
+
+class TestOpenStoreFactory:
+    def test_jsonl_by_default(self, tmp_path):
+        store = open_store(tmp_path / "results.jsonl")
+        assert isinstance(store, ResultStore)
+        assert store.describe()["backend"] == "jsonl"
+
+    @pytest.mark.parametrize("prefix", ["sqlite:", "sqlite://"])
+    def test_sqlite_url(self, tmp_path, prefix):
+        store = open_store(f"{prefix}{tmp_path / 'shards-root'}")
+        assert isinstance(store, SqliteResultStore)
+        assert store.describe()["backend"] == "sqlite"
+
+    def test_existing_directory_is_sqlite(self, tmp_path):
+        root = tmp_path / "existing"
+        SqliteResultStore(root).close()  # creates the layout
+        assert isinstance(open_store(root), SqliteResultStore)
+
+    def test_sqlite_suffix_is_sqlite(self, tmp_path):
+        assert isinstance(
+            open_store(tmp_path / "results.sqlite"), SqliteResultStore
+        )
+
+
+class TestBackendRoundTrip:
+    def populate(self, store):
+        for i, load in enumerate((0.05, 0.1, 0.2)):
+            spec = tiny_spec(load)
+            store.record(
+                spec.key(), spec_dict=spec.to_dict(),
+                status="ok" if i else "failed",
+                metrics=None if not i else {"throughput": load * 2,
+                                            "mean_latency": 13.25},
+                failure={"kind": "x", "message": "y"} if not i else None,
+                elapsed_s=0.5 + i, attempts=i + 1, campaign=f"camp-{i % 2}",
+            )
+
+    def test_jsonl_to_sqlite_and_back_is_identical(self, tmp_path):
+        jsonl = ResultStore(tmp_path / "a.jsonl")
+        self.populate(jsonl)
+        sqlite = SqliteResultStore(tmp_path / "b")
+        assert copy_records(jsonl, sqlite) == 3
+        back = ResultStore(tmp_path / "c.jsonl")
+        assert copy_records(sqlite, back) == 3
+        # Bit-identical records after two backend hops, including the
+        # original recorded_at stamps and campaign assignment.
+        assert list(jsonl.records()) == list(back.records())
+        assert list(jsonl.records()) == list(sqlite.records())
+
+    def test_cache_semantics_identical_across_backends(self, tmp_path):
+        jsonl = ResultStore(tmp_path / "a.jsonl")
+        self.populate(jsonl)
+        sqlite = SqliteResultStore(tmp_path / "b")
+        copy_records(jsonl, sqlite)
+        for key in jsonl.keys():
+            assert jsonl.cached_metrics(key) == sqlite.cached_metrics(key)
+        assert jsonl.keys() == sqlite.keys()
+
+
+class TestJsonlRobustness:
+    def test_torn_line_mid_file_recovers_neighbours(self, tmp_path):
+        """A torn line anywhere -- not just the tail -- must only lose
+        itself: every other intact line still loads."""
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        specs = [tiny_spec(load) for load in (0.05, 0.1, 0.2)]
+        for spec in specs:
+            store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                         metrics={"load": spec.workload.param("load")})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear the MIDDLE line
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.cached_metrics(specs[0].key()) == {"load": 0.05}
+        assert reloaded.cached_metrics(specs[1].key()) is None
+        assert reloaded.cached_metrics(specs[2].key()) == {"load": 0.2}
+
+    def test_concurrent_appends_from_two_processes(self, tmp_path):
+        """Two writer processes appending to one JSONL file must
+        interleave whole lines (single O_APPEND write per record)."""
+        path = tmp_path / "results.jsonl"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_append_batch, args=(path, writer, 25))
+            for writer in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        merged = ResultStore(path)
+        assert len(merged) == 50
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line intact, none interleaved
+        for writer in range(2):
+            for i in range(25):
+                assert merged.get(f"w{writer}-{i:03d}") is not None
+
+
+class TestCompact:
+    def test_drops_superseded_lines_and_reports_counts(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        spec_a, spec_b = tiny_spec(0.05), tiny_spec(0.1)
+        for attempt in range(3):  # 3 historical lines for spec_a
+            store.record(spec_a.key(), spec_dict=spec_a.to_dict(),
+                         status="ok", metrics={"attempt": attempt})
+        store.record(spec_b.key(), spec_dict=spec_b.to_dict(), status="ok",
+                     metrics={})
+        assert len(path.read_text().splitlines()) == 4
+        stats = store.compact()
+        assert stats == CompactStats(kept=2, dropped=2)
+        assert len(path.read_text().splitlines()) == 2
+        reloaded = ResultStore(path)
+        assert reloaded.cached_metrics(spec_a.key()) == {"attempt": 2}
+        assert reloaded.cached_metrics(spec_b.key()) == {}
+
+    def test_compact_is_idempotent(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        spec = tiny_spec()
+        store.record(spec.key(), spec_dict=spec.to_dict(), status="ok",
+                     metrics={})
+        first = store.compact()
+        second = ResultStore(path).compact()
+        assert first == CompactStats(kept=1, dropped=0)
+        assert second == CompactStats(kept=1, dropped=0)
+
+    def test_compact_of_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "never-written.jsonl")
+        assert store.compact() == CompactStats(kept=0, dropped=0)
+
+
+def _append_batch(path, writer: int, count: int) -> None:
+    spec = tiny_spec()
+    store = ResultStore(path)
+    for i in range(count):
+        store.record(
+            f"w{writer}-{i:03d}", spec_dict=spec.to_dict(), status="ok",
+            metrics={"writer": writer, "i": i,
+                     "pad": "x" * 2000},  # big lines stress interleaving
+        )
