@@ -633,6 +633,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the async job server in the foreground (see repro.service)."""
     from repro.service import ServiceConfig, run_service
 
+    journal: str | bool | None = args.journal
+    if isinstance(journal, str) and journal.lower() == "off":
+        journal = False
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -642,9 +645,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight_per_tenant=args.max_inflight,
         rate=args.rate,
         burst=args.burst,
+        journal=journal,
+        resume=args.resume,
+        job_timeout_s=args.job_timeout,
+        retries=args.retries,
+        drain_timeout_s=args.drain_timeout,
     )
     run_service(config)
     return 0
+
+
+def cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Run the scripted kill-and-resume chaos scenario (dev/CI smoke)."""
+    from repro.service.chaos import cli_chaos_serve
+
+    return cli_chaos_serve(args)
 
 
 def _client_errors(func):
@@ -1136,7 +1151,46 @@ def make_parser() -> argparse.ArgumentParser:
                               "jobs/second (token bucket)")
     serve_p.add_argument("--burst", type=int, default=4,
                          help="token-bucket burst size for --rate")
+    serve_p.add_argument("--journal", default=None,
+                         help="campaign journal path, or 'off' to disable "
+                              "(default: derived from the store path)")
+    serve_p.add_argument("--resume", action="store_true",
+                         help="replay the journal on startup: restore "
+                              "campaign history and re-queue unfinished "
+                              "work from a previous (possibly crashed) run")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         help="per-job execution timeout in seconds "
+                              "(default: none)")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="re-admissions per job after worker "
+                              "crashes (default: 1)")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds to wait for running jobs on "
+                              "SIGTERM/stop (0 = abort immediately)")
     serve_p.set_defaults(func=cmd_serve)
+
+    chaos_serve_p = sub.add_parser(
+        "chaos-serve",
+        help="crash-safety smoke: drive a real `repro serve` through "
+             "scripted SIGKILLs + --resume restarts and a worker kill, "
+             "asserting exactly-once results bit-identical to serial",
+    )
+    chaos_serve_p.add_argument("--jobs", type=int, default=8,
+                               help="campaign size (seed grid)")
+    chaos_serve_p.add_argument("--duration", type=int, default=10_000,
+                               help="workload duration per job (bigger = "
+                                    "longer jobs = kills land mid-run)")
+    chaos_serve_p.add_argument("--port", type=int, default=None,
+                               help="server port (default: ephemeral)")
+    chaos_serve_p.add_argument("--workdir", default=None,
+                               help="scratch directory (default: a fresh "
+                                    "temp dir; keeps logs/stores for "
+                                    "inspection)")
+    chaos_serve_p.add_argument("--timeout", type=float, default=180.0,
+                               help="overall scenario deadline in seconds")
+    chaos_serve_p.add_argument("--no-worker-kill", action="store_true",
+                               help="skip the worker-process kill phase")
+    chaos_serve_p.set_defaults(func=cmd_chaos_serve)
 
     submit_p = sub.add_parser(
         "submit",

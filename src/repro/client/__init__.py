@@ -17,6 +17,8 @@ from repro.client.session import (
     JobEvent,
     ServiceError,
     Session,
+    StreamInterrupted,
+    TransportError,
 )
 
 __all__ = [
@@ -29,4 +31,6 @@ __all__ = [
     "JobEvent",
     "ServiceError",
     "Session",
+    "StreamInterrupted",
+    "TransportError",
 ]

@@ -31,14 +31,19 @@ same surface for embedding in event-loop code.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 from typing import AsyncIterator, Callable, Iterator
 
 from repro.client.transport import (
+    RETRYABLE_ERRORS,
     AsyncHttpTransport,
     HttpTransport,
     ServiceError,
+    StreamInterrupted,
+    TransportError,
+    backoff_delays,
 )
 
 __all__ = [
@@ -51,6 +56,8 @@ __all__ = [
     "JobEvent",
     "ServiceError",
     "Session",
+    "StreamInterrupted",
+    "TransportError",
 ]
 
 _SERVER_FILTERS = ("status", "tenant")
@@ -71,6 +78,7 @@ class JobEvent:
     """One streamed completion event (a JSONL line, typed)."""
 
     event: str
+    seq: int | None = None
     id: str | None = None
     key: str | None = None
     label: str | None = None
@@ -275,15 +283,60 @@ class Campaign:
         )
         return self
 
-    def stream(self) -> Iterator[JobEvent]:
-        """Live completion events as they happen, ending with ``end``."""
-        for line in self._session._transport.stream(
-            f"/api/campaigns/{self.id}/stream"
-        ):
-            yield JobEvent.from_dict(line)
+    def stream(self, *, reconnect: bool | None = None) -> Iterator[JobEvent]:
+        """Live completion events as they happen, ending with ``end``.
+
+        Self-healing by default: if the stream dies before its terminal
+        event (server restart, dropped connection, idle timeout), the
+        client reconnects with ``?since=<next seq>`` -- the server
+        replays from exactly that cursor, so each job event is yielded
+        **exactly once** even across a `serve --resume` restart
+        mid-campaign.  ``reconnect=False`` restores single-shot
+        behaviour (errors propagate).
+        """
+        session = self._session
+        if reconnect is None:
+            reconnect = session.reconnect
+        since = 0
+        delays = None  # fresh backoff schedule per outage
+        while True:
+            try:
+                for line in session._transport.stream(
+                    f"/api/campaigns/{self.id}/stream",
+                    params={"since": since} if since else None,
+                ):
+                    event = JobEvent.from_dict(line)
+                    if event.seq is not None:
+                        since = event.seq + 1
+                    delays = None  # stream is healthy again
+                    yield event
+                    if event.terminal:
+                        return
+                # EOF with no terminal event: the server went away
+                # mid-stream (crash/restart); treat as reconnectable.
+                last: Exception = StreamInterrupted(
+                    "stream ended before the campaign finished"
+                )
+            except RETRYABLE_ERRORS as exc:
+                last = exc
+            if not reconnect:
+                raise last
+            if delays is None:
+                delays = backoff_delays(
+                    session.reconnect_attempts,
+                    base=session.reconnect_backoff_s,
+                )
+            delay = next(delays, None)
+            if delay is None:
+                raise last
+            time.sleep(delay)
 
     def wait(self, timeout: float | None = None) -> "Campaign":
-        """Block until the campaign finishes (stream-driven, no polling)."""
+        """Block until the campaign finishes (stream-driven, no polling).
+
+        Rides the self-healing :meth:`stream`, so it survives server
+        restarts mid-campaign.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         for event in self.stream():
             if deadline is not None and time.monotonic() > deadline:
@@ -359,7 +412,15 @@ class CampaignBuilder:
 
 
 class Session:
-    """Blocking entry point to one job server."""
+    """Blocking entry point to one job server.
+
+    Resilience knobs: ``retries``/``backoff_s`` govern the transport's
+    automatic retry of idempotent requests; ``reconnect`` /
+    ``reconnect_attempts`` / ``reconnect_backoff_s`` govern stream
+    auto-reconnect (``camp.stream()`` / ``camp.wait()`` surviving a
+    server restart mid-campaign); ``idle_timeout`` bounds how long a
+    silent stream read may block before reconnecting.
+    """
 
     def __init__(
         self,
@@ -367,10 +428,21 @@ class Session:
         *,
         tenant: str | None = None,
         timeout: float = 300.0,
+        idle_timeout: float = 60.0,
+        retries: int = 4,
+        backoff_s: float = 0.25,
+        reconnect: bool = True,
+        reconnect_attempts: int = 8,
+        reconnect_backoff_s: float = 0.25,
     ) -> None:
         self._transport = HttpTransport(
-            base_url, tenant=tenant, timeout=timeout
+            base_url, tenant=tenant, timeout=timeout,
+            idle_timeout=idle_timeout, retries=retries,
+            backoff_base=backoff_s,
         )
+        self.reconnect = reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_s = reconnect_backoff_s
 
     # -- service-level --------------------------------------------------
 
@@ -473,11 +545,46 @@ class AsyncCampaign:
         )
         return self
 
-    async def stream(self) -> AsyncIterator[JobEvent]:
-        async for line in self._session._transport.stream(
-            f"/api/campaigns/{self.id}/stream"
-        ):
-            yield JobEvent.from_dict(line)
+    async def stream(
+        self, *, reconnect: bool | None = None
+    ) -> AsyncIterator[JobEvent]:
+        """Self-healing event stream (asyncio mirror of
+        :meth:`Campaign.stream`): reconnects with the ``?since=`` cursor
+        so each event is yielded exactly once across server restarts."""
+        session = self._session
+        if reconnect is None:
+            reconnect = session.reconnect
+        since = 0
+        delays = None
+        while True:
+            try:
+                async for line in session._transport.stream(
+                    f"/api/campaigns/{self.id}/stream",
+                    params={"since": since} if since else None,
+                ):
+                    event = JobEvent.from_dict(line)
+                    if event.seq is not None:
+                        since = event.seq + 1
+                    delays = None
+                    yield event
+                    if event.terminal:
+                        return
+                last: Exception = StreamInterrupted(
+                    "stream ended before the campaign finished"
+                )
+            except RETRYABLE_ERRORS as exc:
+                last = exc
+            if not reconnect:
+                raise last
+            if delays is None:
+                delays = backoff_delays(
+                    session.reconnect_attempts,
+                    base=session.reconnect_backoff_s,
+                )
+            delay = next(delays, None)
+            if delay is None:
+                raise last
+            await asyncio.sleep(delay)
 
     async def wait(self) -> "AsyncCampaign":
         async for event in self.stream():
@@ -506,8 +613,14 @@ class AsyncSession:
         base_url: str = "http://127.0.0.1:8642",
         *,
         tenant: str | None = None,
+        reconnect: bool = True,
+        reconnect_attempts: int = 8,
+        reconnect_backoff_s: float = 0.25,
     ) -> None:
         self._transport = AsyncHttpTransport(base_url, tenant=tenant)
+        self.reconnect = reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_s = reconnect_backoff_s
 
     async def health(self) -> dict:
         return await self._transport.request("GET", "/health")

@@ -7,6 +7,18 @@ stdlib ``http.client``; the async one rides ``asyncio.open_connection``
 with the same minimal HTTP/1.1 the server itself uses.  Everything
 above this module (sessions, elements, collections) is transport-
 agnostic.
+
+Failure taxonomy (what the retry/reconnect layers classify on):
+
+* :class:`ServiceError` -- the server *answered* with an error status.
+  Never retried: the request reached a live server and was rejected.
+* :class:`TransportError` -- the connection failed before a valid
+  response (refused, reset, closed pre-status-line, malformed head).
+  Retryable for idempotent requests; the blocking transport retries
+  GETs itself with capped exponential backoff + jitter.
+* :class:`StreamInterrupted` -- a live JSONL stream died mid-flight
+  (connection drop, idle-read timeout).  The session layer reconnects
+  with its ``?since=`` cursor and resumes exactly where it stopped.
 """
 
 from __future__ import annotations
@@ -14,6 +26,9 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
+import socket
+import time
 import urllib.parse
 from typing import AsyncIterator, Iterator
 
@@ -24,6 +39,42 @@ class ServiceError(RuntimeError):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+
+
+class TransportError(ServiceError):
+    """Connection-level failure before a valid HTTP response.
+
+    Raised in place of the opaque ``IndexError``/``ValueError`` soup
+    you get parsing a status line the server never wrote (crash or
+    restart mid-request).  ``status == 0`` marks "no response at all",
+    which is what makes it safely retryable for idempotent requests.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(0, message)
+
+
+class StreamInterrupted(TransportError):
+    """A JSONL stream died before its terminal event (reconnectable)."""
+
+
+# Everything that means "the server never answered this request":
+# refused/reset/closed connections, OS-level socket errors, and our own
+# pre-response classification.  Idempotent requests retry on these.
+RETRYABLE_ERRORS = (ConnectionError, TimeoutError, OSError, TransportError)
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base: float = 0.25,
+    cap: float = 5.0,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Capped exponential backoff with full jitter, ``attempts`` long."""
+    rng = rng if rng is not None else random
+    for n in range(attempts):
+        yield min(cap, base * (2 ** n)) * (0.5 + rng.random() / 2)
 
 
 def _split_url(base_url: str) -> tuple[str, int]:
@@ -43,14 +94,29 @@ def _qs(params: dict | None) -> str:
 
 
 class HttpTransport:
-    """Blocking transport: one ``http.client`` connection per request."""
+    """Blocking transport: one ``http.client`` connection per request.
+
+    ``retries``/``backoff_base``/``backoff_cap`` govern the automatic
+    retry of *idempotent* (GET) requests on transport-level failures --
+    a server restarting under a campaign looks like a few refused
+    connections, not an error.  POSTs are never retried automatically:
+    submission is cheap to re-issue deliberately but not provably
+    idempotent at the envelope level (a retry could register a
+    duplicate campaign).
+    """
 
     def __init__(self, base_url: str, *, tenant: str | None = None,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0, idle_timeout: float = 60.0,
+                 retries: int = 4, backoff_base: float = 0.25,
+                 backoff_cap: float = 5.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.host, self.port = _split_url(self.base_url)
         self.tenant = tenant
         self.timeout = timeout
+        self.idle_timeout = idle_timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(
@@ -71,6 +137,28 @@ class HttpTransport:
         body: dict | None = None,
         params: dict | None = None,
     ) -> dict:
+        idempotent = method.upper() in ("GET", "HEAD")
+        delays = backoff_delays(
+            self.retries if idempotent else 0,
+            base=self.backoff_base, cap=self.backoff_cap,
+        )
+        while True:
+            try:
+                return self._request_once(method, path, body, params)
+            except http.client.HTTPException as exc:
+                # Malformed / absent response head (server died mid-
+                # reply): classify cleanly, then fall through to retry.
+                exc = TransportError(f"{type(exc).__name__}: {exc}")
+                delay = next(delays, None)
+                if delay is None:
+                    raise exc from None
+            except RETRYABLE_ERRORS as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+            time.sleep(delay)
+
+    def _request_once(self, method, path, body, params) -> dict:
         conn = self._connect()
         try:
             payload = json.dumps(body).encode() if body is not None else None
@@ -93,11 +181,27 @@ class HttpTransport:
     def stream(
         self, path: str, *, params: dict | None = None
     ) -> Iterator[dict]:
-        """Yield JSONL objects as the server writes them, until EOF."""
+        """Yield JSONL objects as the server writes them, until EOF.
+
+        The per-request ``timeout`` only governs connect + response
+        head; once the stream is live, reads run under ``idle_timeout``
+        instead, and a quiet-too-long (or dropped) stream surfaces as
+        :class:`StreamInterrupted` -- a reconnectable condition for the
+        session's auto-reconnect -- never a raw ``socket.timeout``.
+        """
         conn = self._connect()
         try:
-            conn.request("GET", path + _qs(params), headers=self._headers())
-            resp = conn.getresponse()
+            try:
+                conn.request("GET", path + _qs(params),
+                             headers=self._headers())
+                # Grab the socket *before* getresponse(): close-framed
+                # responses hand it to the response object and null out
+                # conn.sock, but it is the same socket underneath and
+                # settimeout() on it governs the stream reads below.
+                sock = conn.sock
+                resp = conn.getresponse()
+            except http.client.HTTPException as exc:
+                raise TransportError(f"{type(exc).__name__}: {exc}") from None
             if resp.status >= 400:
                 data = resp.read()
                 try:
@@ -105,8 +209,19 @@ class HttpTransport:
                 except json.JSONDecodeError:
                     message = data.decode()[:200]
                 raise ServiceError(resp.status, message)
+            if sock is not None and self.idle_timeout is not None:
+                sock.settimeout(self.idle_timeout)
             while True:
-                line = resp.readline()
+                try:
+                    line = resp.readline()
+                except socket.timeout:
+                    raise StreamInterrupted(
+                        f"no stream data for {self.idle_timeout:g}s"
+                    ) from None
+                except (ConnectionError, OSError) as exc:
+                    raise StreamInterrupted(
+                        f"stream connection lost: {exc}"
+                    ) from None
                 if not line:
                     return
                 line = line.strip()
@@ -142,7 +257,24 @@ class AsyncHttpTransport:
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
         await writer.drain()
         status_line = await reader.readline()
-        status = int(status_line.split()[1])
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            # Server closed (or garbled) the connection before writing a
+            # status line -- a restart mid-request.  Classify it cleanly
+            # instead of letting IndexError/ValueError escape.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            if not status_line:
+                raise TransportError(
+                    "server closed the connection before sending a response"
+                )
+            raise TransportError(
+                f"malformed HTTP status line: {status_line[:80]!r}"
+            )
+        status = int(parts[1])
         while True:  # skip response headers; framing is close-delimited
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -190,7 +322,12 @@ class AsyncHttpTransport:
                     message = data.decode()[:200]
                 raise ServiceError(status, message)
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError) as exc:
+                    raise StreamInterrupted(
+                        f"stream connection lost: {exc}"
+                    ) from None
                 if not line:
                     return
                 line = line.strip()

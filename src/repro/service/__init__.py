@@ -15,13 +15,19 @@ one-shot ``repro batch`` invocations:
 * :mod:`.state` -- :class:`ServiceState`: dedup against the result
   store (warm-cache hits never execute), in-flight coalescing of
   identical specs across campaigns/tenants, per-campaign event logs.
+* :mod:`.journal` -- :class:`CampaignJournal`: the durable write-ahead
+  journal that lets ``repro serve --resume`` rebuild queued/in-flight
+  work after a crash (results themselves live in the store).
 * :mod:`.server` -- the asyncio HTTP server (stdlib only) exposing the
   REST + JSONL-streaming API, and :class:`ServiceThread` for embedding
   a live server in tests and benchmarks.
+* :mod:`.chaos` -- the scripted kill-and-resume chaos harness behind
+  ``repro chaos-serve`` and the service chaos integration tests.
 
 The typed fluent client lives in :mod:`repro.client`.
 """
 
+from repro.service.journal import CampaignJournal, default_journal_path
 from repro.service.model import (
     CampaignState,
     SubmittedJob,
@@ -32,6 +38,7 @@ from repro.service.server import ServiceConfig, ServiceThread, run_service
 from repro.service.state import ServiceState
 
 __all__ = [
+    "CampaignJournal",
     "CampaignState",
     "FairScheduler",
     "ServiceConfig",
@@ -40,5 +47,6 @@ __all__ = [
     "SubmittedJob",
     "TenantQuota",
     "TERMINAL_STATUSES",
+    "default_journal_path",
     "run_service",
 ]

@@ -14,7 +14,6 @@ stay valid cache hits forever (guarded by
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 
@@ -33,8 +32,42 @@ TERMINAL_STATUSES = frozenset(
     {STATUS_OK, STATUS_FAILED, STATUS_CACHED, STATUS_CANCELLED}
 )
 
-_job_ids = itertools.count(1)
-_campaign_ids = itertools.count(1)
+
+class _IdCounter:
+    """Monotonic id source that journal resume can fast-forward.
+
+    Restoring journaled jobs pins their original ids; the counter must
+    then start *past* the highest restored id so fresh submissions on
+    the resumed server never collide with replayed ones.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def next(self) -> int:
+        self.n += 1
+        return self.n
+
+    def advance_past(self, n: int) -> None:
+        self.n = max(self.n, n)
+
+
+_job_ids = _IdCounter()
+_campaign_ids = _IdCounter()
+
+
+def _id_suffix(ident: str) -> int:
+    """Numeric tail of a ``j-000042`` / ``c-0007`` style id (0 if none)."""
+    _, _, tail = ident.rpartition("-")
+    return int(tail) if tail.isdigit() else 0
+
+
+def advance_ids(job_ids: list[str] = (), campaign_ids: list[str] = ()) -> None:
+    """Fast-forward the id counters past every restored id."""
+    for ident in job_ids:
+        _job_ids.advance_past(_id_suffix(ident))
+    for ident in campaign_ids:
+        _campaign_ids.advance_past(_id_suffix(ident))
 
 
 @dataclass
@@ -47,7 +80,7 @@ class SubmittedJob:
     campaign_id: str = ""
     campaign: str = ""
     submitted_at: float = field(default_factory=time.time)
-    job_id: str = field(default_factory=lambda: f"j-{next(_job_ids):06d}")
+    job_id: str = field(default_factory=lambda: f"j-{_job_ids.next():06d}")
     seq: int = 0  # FIFO tiebreak within (tenant, priority)
 
     status: str = STATUS_QUEUED
@@ -99,7 +132,7 @@ class CampaignState:
     tenant: str = "default"
     priority: int = 0
     campaign_id: str = field(
-        default_factory=lambda: f"c-{next(_campaign_ids):04d}"
+        default_factory=lambda: f"c-{_campaign_ids.next():04d}"
     )
     created_at: float = field(default_factory=time.time)
     jobs: list[SubmittedJob] = field(default_factory=list)

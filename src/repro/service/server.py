@@ -43,10 +43,15 @@ import urllib.parse
 from repro.errors import ConfigError
 from repro.observe.logbook import get_logger
 from repro.orchestrate.campaign import parse_campaign
-from repro.orchestrate.pool import FAILURE_EXCEPTION
+from repro.orchestrate.pool import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+)
 from repro.orchestrate.runner import execute_job
 from repro.orchestrate.spec import JobSpec
 from repro.orchestrate.store import BaseResultStore, open_store
+from repro.service.journal import CampaignJournal, default_journal_path
 from repro.service.model import CampaignState
 from repro.service.scheduler import FairScheduler, TenantQuota
 from repro.service.state import ServiceState
@@ -73,6 +78,11 @@ class ServiceConfig:
         max_inflight_per_tenant: int | None = None,
         rate: float | None = None,
         burst: int = 4,
+        journal: str | bool | None = None,
+        resume: bool = False,
+        job_timeout_s: float | None = None,
+        retries: int = 1,
+        drain_timeout_s: float = 30.0,
     ) -> None:
         if executor not in ("process", "thread"):
             raise ConfigError(
@@ -80,11 +90,20 @@ class ServiceConfig:
             )
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.store = store
         self.workers = workers
         self.executor = executor
+        # journal: None = derive a path beside the store, a string names
+        # the path explicitly, False disables durability entirely.
+        self.journal = journal
+        self.resume = resume
+        self.job_timeout_s = job_timeout_s
+        self.retries = retries
+        self.drain_timeout_s = drain_timeout_s
         self.quota = TenantQuota(
             max_inflight=max_inflight_per_tenant, rate=rate, burst=burst
         )
@@ -109,18 +128,34 @@ class JobServer:
         store = config.store
         if not isinstance(store, BaseResultStore):
             store = open_store(store)
+        journal = None
+        if config.journal is not False:
+            if config.journal in (None, True):
+                journal = CampaignJournal(default_journal_path(store))
+            else:
+                journal = CampaignJournal(config.journal)
         self.state = ServiceState(
-            store, FairScheduler(default_quota=config.quota)
+            store, FairScheduler(default_quota=config.quota),
+            journal=journal,
         )
         self._server: asyncio.AbstractServer | None = None
         self._pump_task: asyncio.Task | None = None
         self._running = 0
         self._executor: concurrent.futures.Executor | None = None
+        self._executor_generation = 0
+        self._job_tasks: set[asyncio.Task] = set()
+        # Worker-death re-admissions per job, *this server life* only.
+        # job.attempts counts every execution start across restarts (it
+        # is journaled), so it cannot double as the crash-retry budget:
+        # a job that happened to be running at each of N server crashes
+        # would arrive with attempts=N and get no retry at its first
+        # real worker death.
+        self._crash_requeues: dict[str, int] = {}
         self._stopping = False
 
     # -- lifecycle ------------------------------------------------------
 
-    async def start(self) -> None:
+    def _make_executor(self) -> None:
         if self.config.executor == "process":
             self._executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.config.workers,
@@ -131,6 +166,42 @@ class JobServer:
                 max_workers=self.config.workers,
                 thread_name_prefix="repro-job",
             )
+
+    def _rebuild_executor(self, generation: int, *, reason: str) -> None:
+        """Replace a broken/wedged executor with a fresh one.
+
+        Worker death poisons a ``ProcessPoolExecutor`` for every future
+        on it, and a timed-out job leaves a zombie worker computing a
+        result nobody wants; both recover by killing the old pool and
+        starting clean.  The generation counter makes concurrent failure
+        paths rebuild exactly once: a job task that observed generation
+        N only rebuilds if no other task already has.
+        """
+        if generation != self._executor_generation or self._stopping:
+            return
+        self._executor_generation += 1
+        old = self._executor
+        self._make_executor()
+        logger.warning("rebuilding %s executor (generation %d): %s",
+                       self.config.executor, self._executor_generation,
+                       reason)
+        if old is None:
+            return
+        # Kill lingering worker processes first (shutdown alone would
+        # wait on — or leak — a worker stuck mid-job).  Thread executors
+        # have no _processes and threads cannot be killed; their zombie
+        # finishes in the background and the result is discarded.
+        for proc in list(getattr(old, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+        old.shutdown(wait=False, cancel_futures=True)
+
+    async def start(self) -> None:
+        self._make_executor()
+        if self.config.resume:
+            self.state.restore()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -149,19 +220,53 @@ class JobServer:
     def url(self) -> str:
         return f"http://{self.config.host}:{self.port}"
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool | None = None) -> None:
+        """Shut down; by default *drain* first (finish running jobs).
+
+        Graceful drain: stop accepting connections and admitting queued
+        work, then wait up to ``drain_timeout_s`` for in-flight jobs to
+        finish and record.  Queued jobs need no special handling -- they
+        were journaled at submission and a ``--resume`` restart picks
+        them up.  ``drain=False`` (or a zero timeout) is the old abrupt
+        path for tests that simulate a crash.
+        """
+        if drain is None:
+            drain = self.config.drain_timeout_s > 0
         self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
         if self._pump_task is not None:
             self._pump_task.cancel()
             try:
                 await self._pump_task
             except asyncio.CancelledError:
                 pass
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        drained = True
+        if self._job_tasks:
+            if drain:
+                running = [t for t in self._job_tasks if not t.done()]
+                if running:
+                    logger.info("draining %d running job(s) (up to %gs)",
+                                len(running), self.config.drain_timeout_s)
+                    done, pending = await asyncio.wait(
+                        running, timeout=self.config.drain_timeout_s
+                    )
+                    drained = not pending
+                    for task in pending:
+                        task.cancel()
+            else:
+                drained = False
+                for task in self._job_tasks:
+                    task.cancel()
+        if self.state.journal is not None:
+            self.state.journal.append(
+                {"op": "drain", "pending": self.state.scheduler.pending()}
+            )
         if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            # After a clean drain the workers are idle and exit promptly;
+            # otherwise don't wait on wedged/zombie workers.
+            self._executor.shutdown(wait=drained, cancel_futures=True)
         self.state.store.close()
 
     # -- execution pump -------------------------------------------------
@@ -190,18 +295,94 @@ class JobServer:
                 continue
             self.state.mark_running(job)
             self._running += 1
-            loop.create_task(self._run_job(job))
+            # Strong reference until done: the loop itself only weakly
+            # references tasks, and a collected job task strands its
+            # scheduler slot forever.
+            task = loop.create_task(self._run_job(job))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
 
     async def _run_job(self, job) -> None:
+        """Execute one admitted job, surviving worker death and timeouts.
+
+        * A worker process dying mid-job (``BrokenExecutor``) rebuilds
+          the pool and re-admits the job, up to ``config.retries``
+          worker-death requeues per job -- parity with the crash-retry
+          budget in :mod:`repro.orchestrate.pool`, which the service
+          path previously bypassed.  The budget counts *crashes*, not
+          ``job.attempts``: attempts also grow across server-restart
+          resumes, which must not eat into it.
+        * A job exceeding ``config.job_timeout_s`` records a ``timeout``
+          failure and the pool is rebuilt so its zombie worker dies too.
+        """
         loop = asyncio.get_running_loop()
+        generation = self._executor_generation
         start = time.perf_counter()
+        timeout = self.config.job_timeout_s
         try:
-            metrics = await loop.run_in_executor(
+            future = loop.run_in_executor(
                 self._executor, execute_job, job.spec
             )
+            if timeout is not None:
+                metrics = await asyncio.wait_for(future, timeout=timeout)
+            else:
+                metrics = await future
             failure = None
         except asyncio.CancelledError:  # pragma: no cover - shutdown path
             raise
+        except asyncio.TimeoutError as exc:
+            metrics = None
+            if timeout is None:
+                # Not wait_for: the job itself raised a TimeoutError.
+                failure = {
+                    "kind": FAILURE_EXCEPTION,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                self._rebuild_executor(
+                    generation,
+                    reason=f"job {job.job_id} exceeded {timeout:g}s timeout",
+                )
+                failure = {
+                    "kind": FAILURE_TIMEOUT,
+                    "message": f"exceeded per-job timeout of {timeout:g}s",
+                }
+        except concurrent.futures.BrokenExecutor as exc:
+            # Worker process died under the job (OOM kill, segfault,
+            # SIGKILL).  Rebuild the poisoned pool, then either re-admit
+            # the orphan (bounded budget) or record an honest crash.
+            self._rebuild_executor(
+                generation, reason=f"worker death under {job.job_id}: {exc}"
+            )
+            self._running -= 1
+            if self._stopping:
+                return
+            crashes = self._crash_requeues.get(job.job_id, 0) + 1
+            if crashes <= self.config.retries:
+                self._crash_requeues[job.job_id] = crashes
+                logger.warning(
+                    "re-admitting %s after worker death "
+                    "(crash %d/%d, attempt %d)",
+                    job.job_id, crashes, self.config.retries,
+                    job.attempts,
+                )
+                self.state.requeue(
+                    job, reason=f"worker died: {type(exc).__name__}"
+                )
+                return
+            self.state.finish(
+                job,
+                metrics=None,
+                failure={
+                    "kind": FAILURE_CRASH,
+                    "message": (
+                        f"worker died ({type(exc).__name__}: {exc}) "
+                        f"after {job.attempts} attempt(s)"
+                    ),
+                },
+                elapsed_s=time.perf_counter() - start,
+            )
+            return
         except BaseException as exc:
             metrics = None
             failure = {
@@ -210,8 +391,7 @@ class JobServer:
             }
         elapsed = time.perf_counter() - start
         self._running -= 1
-        if self._stopping:
-            return
+        self._crash_requeues.pop(job.job_id, None)
         self.state.finish(
             job, metrics=metrics, failure=failure, elapsed_s=elapsed
         )
@@ -325,8 +505,12 @@ class JobServer:
                     yield job.as_dict()
             await _send_jsonl(writer, dump())
         elif sub == "stream" and method == "GET":
+            try:
+                since = int(query.get("since", 0) or 0)
+            except ValueError:
+                raise _HttpError(400, f"bad since cursor: {query['since']!r}")
             await _send_jsonl(
-                writer, self.state.stream_events(campaign)
+                writer, self.state.stream_events(campaign, since=since)
             )
         else:
             raise _HttpError(404, f"no such campaign route: {sub}")
@@ -490,20 +674,36 @@ async def _send_jsonl(writer, events) -> None:
 
 
 def run_service(config: ServiceConfig) -> None:
-    """Run a server in the foreground until interrupted (``repro serve``)."""
+    """Run a server in the foreground until interrupted (``repro serve``).
+
+    SIGTERM/SIGINT trigger a *graceful drain*: stop accepting, let
+    running jobs finish and record (bounded by ``drain_timeout_s``),
+    journal the rest for a later ``--resume``.  A second signal -- or a
+    SIGKILL -- is the crash case the journal exists for.
+    """
+    import signal
 
     async def main() -> None:
         server = JobServer(config)
         await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loop; KeyboardInterrupt still works
         try:
-            await asyncio.Event().wait()  # serve until cancelled
+            await stop.wait()
+            logger.info("signal received; draining")
         finally:
             await server.stop()
 
     try:
         asyncio.run(main())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
-        logger.info("service stopped")
+        pass
+    logger.info("service stopped")
 
 
 class ServiceThread:
@@ -522,6 +722,7 @@ class ServiceThread:
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
+        self._drain: bool | None = None
 
     def start(self) -> str:
         self._thread = threading.Thread(
@@ -550,11 +751,14 @@ class ServiceThread:
                 return
             self._ready.set()
             await self._stop.wait()
-            await self.server.stop()
+            await self.server.stop(drain=self._drain)
 
         asyncio.run(body())
 
-    def stop(self) -> None:
+    def stop(self, *, drain: bool | None = None) -> None:
+        """Stop the server; ``drain=False`` simulates an unclean death
+        (running jobs abandoned, queued work left to the journal)."""
+        self._drain = drain
         if self._loop is not None and self._thread is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
             self._thread.join(timeout=30)

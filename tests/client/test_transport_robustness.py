@@ -1,0 +1,342 @@
+"""Client transport failure handling against scripted fake servers.
+
+Each fake is a real listening socket driven by a thread, scripted to
+misbehave in one specific way (close before the status line, go silent
+mid-stream, refuse the first N connections...).  The assertions pin the
+failure taxonomy: clean classifiable errors, automatic retry of
+idempotent requests, and exactly-once resumption via ``?since=``.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import Session, StreamInterrupted, TransportError
+from repro.client.session import AsyncSession
+from repro.client.transport import (
+    AsyncHttpTransport,
+    HttpTransport,
+    backoff_delays,
+)
+
+
+class ScriptedServer:
+    """A one-thread TCP server running a handler per connection."""
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.connections = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        self.sock.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                self.handler(conn, self.connections)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self.sock.close()
+
+
+def read_request(conn) -> bytes:
+    conn.settimeout(5)
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            break
+        data += chunk
+    return data
+
+
+def http_response(body: dict, status: int = 200) -> bytes:
+    payload = json.dumps(body).encode()
+    return (
+        f"HTTP/1.1 {status} X\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    ).encode() + payload
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(handler) -> ScriptedServer:
+        server = ScriptedServer(handler)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestPrematureClose:
+    def test_async_close_before_status_line_is_clean_error(self, scripted):
+        """Historically an opaque IndexError from ''.split()[1]."""
+        server = scripted(lambda conn, n: read_request(conn))  # then close
+
+        async def go():
+            transport = AsyncHttpTransport(server.url)
+            with pytest.raises(TransportError) as err:
+                await transport.request("GET", "/health")
+            assert "closed the connection" in str(err.value)
+
+        asyncio.run(go())
+
+    def test_async_garbled_status_line_is_clean_error(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"garbage that is not HTTP\r\n\r\n")
+
+        server = scripted(handler)
+
+        async def go():
+            transport = AsyncHttpTransport(server.url)
+            with pytest.raises(TransportError) as err:
+                await transport.request("GET", "/health")
+            assert "malformed" in str(err.value)
+
+        asyncio.run(go())
+
+    def test_blocking_close_before_status_line_is_transport_error(
+        self, scripted
+    ):
+        server = scripted(lambda conn, n: read_request(conn))
+        transport = HttpTransport(server.url, retries=0)
+        with pytest.raises(TransportError):
+            transport.request("GET", "/health")
+
+
+class TestIdempotentRetry:
+    def test_get_retries_through_transient_deaths(self, scripted):
+        """First two connections die pre-response; the third answers."""
+
+        def handler(conn, n):
+            read_request(conn)
+            if n < 3:
+                return  # close without responding
+            conn.sendall(http_response({"status": "ok"}))
+
+        server = scripted(handler)
+        transport = HttpTransport(
+            server.url, retries=4, backoff_base=0.01
+        )
+        assert transport.request("GET", "/health") == {"status": "ok"}
+        assert server.connections == 3
+
+    def test_post_is_never_auto_retried(self, scripted):
+        def handler(conn, n):
+            read_request(conn)  # always die pre-response
+
+        server = scripted(handler)
+        transport = HttpTransport(
+            server.url, retries=4, backoff_base=0.01
+        )
+        with pytest.raises(TransportError):
+            transport.request("POST", "/api/campaigns", body={"x": 1})
+        assert server.connections == 1  # exactly one attempt
+
+    def test_retry_budget_exhaustion_raises_last_error(self, scripted):
+        server = scripted(lambda conn, n: read_request(conn))
+        transport = HttpTransport(
+            server.url, retries=2, backoff_base=0.01
+        )
+        with pytest.raises(TransportError):
+            transport.request("GET", "/health")
+        assert server.connections == 3  # 1 try + 2 retries
+
+    def test_server_4xx_is_never_retried(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(http_response({"error": "nope"}, status=404))
+
+        server = scripted(handler)
+        transport = HttpTransport(
+            server.url, retries=4, backoff_base=0.01
+        )
+        with pytest.raises(Exception) as err:
+            transport.request("GET", "/api/campaigns/ghost")
+        assert not isinstance(err.value, TransportError)
+        assert server.connections == 1
+
+
+class TestStreamInterruption:
+    def test_idle_stream_times_out_as_stream_interrupted(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            conn.sendall(b'{"event": "job", "seq": 0}\n')
+            time.sleep(3)  # silent well past the idle timeout
+
+        server = scripted(handler)
+        transport = HttpTransport(server.url, idle_timeout=0.2)
+        events = []
+        with pytest.raises(StreamInterrupted) as err:
+            for event in transport.stream("/api/x/stream"):
+                events.append(event)
+        assert events == [{"event": "job", "seq": 0}]
+        assert "no stream data" in str(err.value)
+
+    def test_mid_stream_death_is_stream_interrupted_not_raw(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            conn.sendall(b'{"event": "job", "seq": 0}\n')
+            conn.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",  # RST on close
+            )
+
+        server = scripted(handler)
+        transport = HttpTransport(server.url, idle_timeout=5)
+        events = []
+        with pytest.raises(StreamInterrupted):
+            for event in transport.stream("/api/x/stream"):
+                events.append(event)
+        assert events == [{"event": "job", "seq": 0}]
+
+
+class TestSessionReconnect:
+    def _event(self, seq, status="ok"):
+        return {
+            "event": "job", "seq": seq, "id": f"j-{seq}",
+            "status": status,
+        }
+
+    def test_stream_resumes_with_since_cursor_exactly_once(self, scripted):
+        """Server dies after 2 events; the client must reconnect asking
+        for ?since=2 and never see a duplicate."""
+        seen_paths = []
+
+        def handler(conn, n):
+            request = read_request(conn)
+            seen_paths.append(request.split(b" ")[1].decode())
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            if n == 1:
+                conn.sendall(json.dumps(self._event(0)).encode() + b"\n")
+                conn.sendall(json.dumps(self._event(1)).encode() + b"\n")
+                # die mid-stream, no terminal event
+            else:
+                conn.sendall(json.dumps(self._event(2)).encode() + b"\n")
+                conn.sendall(
+                    b'{"event": "end", "status": "done", "counts": {}}\n'
+                )
+
+        server = scripted(handler)
+        session = Session(server.url, reconnect_backoff_s=0.01)
+        # Build the Campaign element directly (no real GET needed):
+        # stream() is the unit under test.
+        from repro.client.session import Campaign
+
+        events = list(
+            Campaign(session, {"id": "c-1", "name": "x"}).stream()
+        )
+        seqs = [e.seq for e in events if e.event == "job"]
+        assert seqs == [0, 1, 2]  # exactly once, in order
+        assert events[-1].terminal
+        assert seen_paths[0] == "/api/campaigns/c-1/stream"
+        assert seen_paths[1] == "/api/campaigns/c-1/stream?since=2"
+
+    def test_reconnect_false_propagates_interruption(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            conn.sendall(json.dumps(self._event(0)).encode() + b"\n")
+
+        server = scripted(handler)
+        session = Session(server.url)
+        from repro.client.session import Campaign
+
+        with pytest.raises(StreamInterrupted):
+            list(
+                Campaign(session, {"id": "c-1", "name": "x"})
+                .stream(reconnect=False)
+            )
+
+    def test_reconnect_budget_exhaustion_raises(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            # Never any events, never a terminal: hopeless server.
+
+        server = scripted(handler)
+        session = Session(
+            server.url, reconnect_attempts=2, reconnect_backoff_s=0.01
+        )
+        from repro.client.session import Campaign
+
+        with pytest.raises(StreamInterrupted):
+            list(Campaign(session, {"id": "c-1", "name": "x"}).stream())
+        assert server.connections == 3  # 1 try + 2 reconnects
+
+    def test_async_stream_resumes_with_since_cursor(self, scripted):
+        def handler(conn, n):
+            read_request(conn)
+            conn.sendall(b"HTTP/1.1 200 X\r\nConnection: close\r\n\r\n")
+            if n == 1:
+                conn.sendall(json.dumps(self._event(0)).encode() + b"\n")
+            else:
+                conn.sendall(json.dumps(self._event(1)).encode() + b"\n")
+                conn.sendall(
+                    b'{"event": "end", "status": "done", "counts": {}}\n'
+                )
+
+        server = scripted(handler)
+
+        async def go():
+            session = AsyncSession(
+                server.url, reconnect_backoff_s=0.01
+            )
+            from repro.client.session import AsyncCampaign
+
+            campaign = AsyncCampaign(session, {"id": "c-1", "name": "x"})
+            return [e async for e in campaign.stream()]
+
+        events = asyncio.run(go())
+        seqs = [e.seq for e in events if e.event == "job"]
+        assert seqs == [0, 1]
+
+
+class TestBackoff:
+    def test_delays_are_capped_and_jittered(self):
+        import random
+
+        delays = list(
+            backoff_delays(8, base=0.25, cap=2.0, rng=random.Random(7))
+        )
+        assert len(delays) == 8
+        # Jitter keeps every delay within [0.5x, 1x] of the raw value.
+        raw = [min(2.0, 0.25 * 2 ** n) for n in range(8)]
+        for delay, ceiling in zip(delays, raw):
+            assert 0.5 * ceiling <= delay <= ceiling
+        assert max(delays) <= 2.0
+
+    def test_zero_attempts_yields_nothing(self):
+        assert list(backoff_delays(0)) == []

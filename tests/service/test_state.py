@@ -209,6 +209,51 @@ class TestEventsAndQueries:
         assert state.find_campaign("my-sweep") is campaign
         assert state.find_campaign("nope") is None
 
+    def test_find_campaign_duplicate_name_returns_newest(self, tmp_path):
+        """A reused name must resolve to the latest submission, not an
+        arbitrary (historically: the oldest) match."""
+        state = make_state(tmp_path)
+        first = state.submit("nightly", [tiny_spec(0.05)])
+        second = state.submit("nightly", [tiny_spec(0.1)])
+        assert state.find_campaign("nightly") is second
+        # Both remain addressable by id.
+        assert state.find_campaign(first.campaign_id) is first
+
+    def test_requeue_keeps_attempt_count_honest(self, tmp_path):
+        """Worker-death requeue: attempts accumulate and reach both the
+        finish event and the store record (not hardcoded to 1)."""
+        state = make_state(tmp_path)
+        campaign = state.submit("camp", [tiny_spec()])
+        job = state.scheduler.acquire()
+        state.mark_running(job)
+        assert job.attempts == 1
+        state.requeue(job, reason="worker died: test")
+        assert job.status == STATUS_QUEUED
+        assert state.scheduler.pending() == 1
+        job = state.scheduler.acquire()
+        state.mark_running(job)
+        assert job.attempts == 2
+        state.finish(job, metrics={}, failure=None, elapsed_s=0.1)
+        assert job.attempts == 2
+        assert state.store.get(job.key)["attempts"] == 2
+        assert campaign.status == "done"
+
+    def test_notify_tasks_strongly_referenced_until_done(self, tmp_path):
+        """The loop only weakly references tasks; state must hold each
+        notify task until it runs, or a GC pass can strand streams."""
+        state = make_state(tmp_path)
+
+        async def scenario():
+            state.submit("camp", [tiny_spec()])
+            # The notify task must be retained right after scheduling...
+            assert len(state._notify_tasks) >= 1
+            for task in list(state._notify_tasks):
+                await task
+            # ...and dropped once it has run (no unbounded growth).
+            assert not state._notify_tasks
+
+        asyncio.run(scenario())
+
     def test_list_jobs_filters(self, tmp_path):
         state = make_state(tmp_path)
         one = state.submit("one", [tiny_spec(0.05)], tenant="alice")
