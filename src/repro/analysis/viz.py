@@ -45,8 +45,8 @@ def node_heatmap(
             ``lambda n: net.interfaces[n].messages_delivered``).
     """
     topo = network.topology
-    if topo.n_dims != 2:
-        raise ConfigError("node_heatmap needs a 2-D topology")
+    if not topo.cartesian or topo.n_dims != 2:
+        raise ConfigError("node_heatmap needs a 2-D Cartesian topology")
     rows, cols = topo.dims
     values = [[metric(topo.node_at((r, c))) for c in range(cols)]
               for r in range(rows)]
@@ -68,8 +68,8 @@ def link_loadmap(network: "Network", *, title: str = "") -> str:
     pair.  Nodes render as ``o``.
     """
     topo = network.topology
-    if topo.n_dims != 2:
-        raise ConfigError("link_loadmap needs a 2-D topology")
+    if not topo.cartesian or topo.n_dims != 2:
+        raise ConfigError("link_loadmap needs a 2-D Cartesian topology")
     from repro.analysis.utilization import measure_utilization
 
     report = measure_utilization(network)

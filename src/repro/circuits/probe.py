@@ -106,7 +106,8 @@ class Probe:
         path = plane.table.get(self.circuit_id).path
         if path:
             prev_node, prev_port = path[-1]
-            back_port = topo.reverse_port(prev_node, prev_port)
+            # None on unidirectional links (no back-link to U-turn onto).
+            back_port = topo.return_port(prev_node, prev_port)
 
         # Candidate output links in preference order: profitable first,
         # then misroutes if budget remains.  History-searched and faulty

@@ -85,7 +85,12 @@ from repro.sim.config import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRandom
-from repro.topology import FaultSchedule, FaultSet, build_topology
+from repro.topology import (
+    FaultSchedule,
+    FaultSet,
+    build_topology,
+    registered_topologies,
+)
 from repro.topology.faults import derive_fault_rng
 from repro.traffic.compiler import compile_directives
 from repro.traffic.patterns import make_pattern
@@ -818,6 +823,16 @@ def _shipped_verify_configs() -> list[NetworkConfig]:
                       wormhole=WormholeConfig(vcs=3, routing="adaptive")),
         NetworkConfig(dims=(4, 4), protocol="clrp"),
         NetworkConfig(topology="torus", dims=(4, 4), protocol="carp"),
+        # Diameter-1 full mesh: deadlock-free with a single VC.
+        NetworkConfig(topology="fullmesh", dims=(8,), protocol="wormhole",
+                      wave=None, wormhole=WormholeConfig(vcs=1)),
+        NetworkConfig(topology="fullmesh", dims=(8,), protocol="clrp",
+                      wormhole=WormholeConfig(vcs=1)),
+        # 2-ary 3-fly MIN: unidirectional stages, acyclic with one VC.
+        NetworkConfig(topology="min", dims=(2, 2, 2), protocol="wormhole",
+                      wave=None, wormhole=WormholeConfig(vcs=1)),
+        NetworkConfig(topology="min", dims=(2, 2, 2), protocol="clrp",
+                      wormhole=WormholeConfig(vcs=1)),
     ]
 
 
@@ -939,8 +954,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--topology", default="mesh",
-                       choices=["mesh", "torus", "hypercube"])
-        p.add_argument("--dims", default="8x8", help="e.g. 8x8 or 2x2x2x2")
+                       choices=list(registered_topologies()))
+        p.add_argument("--dims", default="8x8",
+                       help="e.g. 8x8, 2x2x2x2, 16 (fullmesh), 4x4 (min)")
         p.add_argument("--pattern", default="uniform",
                        help="uniform|transpose|bit_reversal|bit_complement|"
                             "neighbor|permutation|hotspot")

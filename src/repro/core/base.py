@@ -129,7 +129,7 @@ class CircuitEngineBase(ProtocolEngine):
     def initial_switch(self) -> int:
         """The paper's suggestion generalised: neighbouring nodes start on
         different switches, e.g. ``1 + (x + y) mod k`` on a 2D mesh."""
-        return sum(self.topology.coords(self.node)) % self.num_switches
+        return self.topology.switch_offset(self.node) % self.num_switches
 
     def _record(self, msg: "Message"):
         return self.stats.messages[msg.msg_id]

@@ -218,9 +218,11 @@ class Network:
                         cycle, EventKind.LINK_KILLED, ev.node, ev.port, nbr=nbr
                     )
                 self._react_link_killed(ev.node, ev.port, cycle)
-                self._react_link_killed(
-                    nbr, self.topology.reverse_port(ev.node, ev.port), cycle
-                )
+                if self.topology.bidirectional:
+                    # fail_link killed the reverse direction too.
+                    self._react_link_killed(
+                        nbr, self.topology.reverse_port(ev.node, ev.port), cycle
+                    )
             else:
                 self.stats.bump("fault.links_healed")
                 if self.log is not None:

@@ -123,7 +123,7 @@ def _uniform(spec: JobSpec, topology: Topology) -> list:
     return uniform_workload(
         MessageFactory(),
         pattern,
-        num_nodes=topology.num_nodes,
+        num_nodes=topology.num_endpoints,
         offered_load=recipe.require("load"),
         length=recipe.require("length"),
         duration=recipe.require("duration"),
@@ -163,7 +163,7 @@ def _all_to_all(spec: JobSpec, topology: Topology) -> list:
     recipe = spec.workload
     return all_to_all_workload(
         MessageFactory(),
-        topology.num_nodes,
+        topology.num_endpoints,
         rounds=recipe.require("rounds"),
         round_gap=recipe.require("round_gap"),
         length=recipe.require("length"),

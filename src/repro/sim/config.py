@@ -23,7 +23,7 @@ from typing import Literal
 
 from repro.errors import ConfigError
 
-TopologyName = Literal["mesh", "torus", "hypercube"]
+TopologyName = Literal["mesh", "torus", "hypercube", "fullmesh", "min"]
 RoutingName = Literal["dor", "adaptive"]
 ReplacementPolicyName = Literal["lru", "lfu", "fifo", "random"]
 ProtocolName = Literal["clrp", "carp", "wormhole"]
@@ -260,9 +260,11 @@ class NetworkConfig:
     """Complete description of one simulated machine.
 
     Attributes:
-        topology: one of ``mesh`` / ``torus`` / ``hypercube``.
+        topology: one of ``mesh`` / ``torus`` / ``hypercube`` /
+            ``fullmesh`` / ``min``.
         dims: radix per dimension, e.g. ``(8, 8)`` for an 8x8 mesh.  For a
-            hypercube use ``(2,) * n``.
+            hypercube use ``(2,) * n``; for a fullmesh ``(num_nodes,)``;
+            for a ``min`` (k-ary n-fly butterfly) ``(k,) * n``.
         protocol: the switching protocol under test: ``"clrp"``,
             ``"carp"`` or ``"wormhole"`` (baseline: every message uses S0).
         wormhole: S0 parameters.
@@ -292,7 +294,7 @@ class NetworkConfig:
     backend: BackendName = "active"
 
     def __post_init__(self) -> None:
-        if self.topology not in ("mesh", "torus", "hypercube"):
+        if self.topology not in ("mesh", "torus", "hypercube", "fullmesh", "min"):
             raise ConfigError(f"unknown topology {self.topology!r}")
         if self.backend not in ("active", "reference", "vectorized"):
             raise ConfigError(f"unknown backend {self.backend!r}")
@@ -302,6 +304,16 @@ class NetworkConfig:
             raise ConfigError(f"every dimension must have radix >= 2, got {self.dims}")
         if self.topology == "hypercube" and any(d != 2 for d in self.dims):
             raise ConfigError("hypercube requires radix 2 in every dimension")
+        if self.topology == "fullmesh" and len(self.dims) != 1:
+            raise ConfigError(
+                f"fullmesh takes a single dimension (the node count), "
+                f"got {self.dims}"
+            )
+        if self.topology == "min" and len(set(self.dims)) != 1:
+            raise ConfigError(
+                f"min (k-ary n-fly) needs one radix for every stage, "
+                f"got {self.dims}"
+            )
         if self.protocol not in ("clrp", "carp", "wormhole"):
             raise ConfigError(f"unknown protocol {self.protocol!r}")
         if self.protocol != "wormhole" and self.wave is None:
@@ -316,6 +328,12 @@ class NetworkConfig:
 
     @property
     def num_nodes(self) -> int:
+        """Number of message *endpoints* (workloads size themselves by this).
+
+        Equals the product of ``dims``: all nodes on the Cartesian family
+        and fullmesh; the terminal count on a ``min``, whose internal
+        switch nodes never source or sink messages.
+        """
         n = 1
         for d in self.dims:
             n *= d

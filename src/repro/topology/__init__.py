@@ -1,54 +1,107 @@
-"""Network topologies: k-ary n-meshes, k-ary n-cubes (tori) and hypercubes.
+"""Network topologies behind one registry: cubes, full mesh and MIN.
 
-Nodes are integers ``0..N-1`` laid out row-major over the configured
-dimension radices.  Each node exposes numbered *ports*; directed physical
-links are ``(node, port)`` pairs.  Port numbering is uniform across the
-package: for dimension ``d``, port ``2d`` steps the coordinate up ("plus")
-and port ``2d + 1`` steps it down ("minus"); the hypercube collapses the
-pair onto port ``2d`` since radix-2 has a single neighbour per dimension.
+Nodes are integers ``0..N-1``; each node exposes numbered *ports*;
+directed physical links are ``(node, port)`` pairs.  The Cartesian
+family (mesh, torus, hypercube) lays nodes out row-major over the
+configured dimension radices with two ports per dimension (port ``2d``
+steps coordinate ``d`` up, ``2d + 1`` down; the hypercube collapses the
+pair onto ``2d``).  ``fullmesh`` links every node pair directly, and
+``min`` is a unidirectional k-ary n-fly butterfly whose endpoints are a
+terminals-first id prefix -- see the per-module docstrings for each
+port-numbering contract.
 
-:class:`~repro.topology.faults.FaultSet` injects static link faults, which
-the MB-m probe protocol of the paper is designed to tolerate (experiment
-E7 in DESIGN.md).
+:class:`~repro.topology.faults.FaultSet` injects static link faults,
+which the MB-m probe protocol of the paper is designed to tolerate
+(experiment E7 in DESIGN.md).
 """
 
-from repro.topology.base import Topology, reverse_direction
+from typing import Callable
+
+from repro.errors import TopologyError
+from repro.topology.base import CartesianTopology, Topology, reverse_direction
+from repro.topology.butterfly import Butterfly
 from repro.topology.faults import (
     FaultEvent,
     FaultSchedule,
     FaultSet,
     derive_fault_rng,
 )
+from repro.topology.fullmesh import FullMesh
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh
 from repro.topology.torus import Torus
+
+
+def _build_hypercube(dims: tuple[int, ...]) -> Hypercube:
+    # Guard the radices here, not only in NetworkConfig: a direct
+    # build_topology("hypercube", (4, 4)) used to build a 4-node 2-cube,
+    # silently discarding the radices.
+    if any(d != 2 for d in dims):
+        raise TopologyError(
+            f"hypercube requires radix 2 in every dimension, got {dims}"
+        )
+    return Hypercube(len(dims))
+
+
+def _build_fullmesh(dims: tuple[int, ...]) -> FullMesh:
+    if len(dims) != 1:
+        raise TopologyError(
+            f"fullmesh takes a single dimension (the node count), got {dims}"
+        )
+    return FullMesh(dims[0])
+
+
+def _build_min(dims: tuple[int, ...]) -> Butterfly:
+    if len(set(dims)) != 1:
+        raise TopologyError(
+            f"min (k-ary n-fly) needs one radix for every stage, got {dims}"
+        )
+    return Butterfly(dims[0], len(dims))
+
+
+TOPOLOGY_BUILDERS: dict[str, Callable[[tuple[int, ...]], Topology]] = {
+    "mesh": Mesh,
+    "torus": Torus,
+    "hypercube": _build_hypercube,
+    "fullmesh": _build_fullmesh,
+    "min": _build_min,
+}
+
+
+def registered_topologies() -> tuple[str, ...]:
+    """All buildable topology names (the property suite sweeps these)."""
+    return tuple(sorted(TOPOLOGY_BUILDERS))
 
 
 def build_topology(name: str, dims: tuple[int, ...]) -> Topology:
     """Construct a topology by configuration name.
 
     Args:
-        name: ``"mesh"``, ``"torus"`` or ``"hypercube"``.
-        dims: radix per dimension.
+        name: one of :func:`registered_topologies` -- ``"mesh"``,
+            ``"torus"``, ``"hypercube"``, ``"fullmesh"`` or ``"min"``.
+        dims: radix per dimension.  ``fullmesh`` takes ``(num_nodes,)``;
+            ``min`` takes ``(k,) * n`` for a k-ary n-fly.
     """
-    if name == "mesh":
-        return Mesh(dims)
-    if name == "torus":
-        return Torus(dims)
-    if name == "hypercube":
-        return Hypercube(len(dims))
-    raise ValueError(f"unknown topology {name!r}")
+    builder = TOPOLOGY_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(f"unknown topology {name!r}")
+    return builder(tuple(dims))
 
 
 __all__ = [
+    "Butterfly",
+    "CartesianTopology",
     "FaultEvent",
     "FaultSchedule",
     "FaultSet",
+    "FullMesh",
     "Hypercube",
     "Mesh",
+    "TOPOLOGY_BUILDERS",
     "Topology",
     "Torus",
     "build_topology",
     "derive_fault_rng",
+    "registered_topologies",
     "reverse_direction",
 ]

@@ -1,14 +1,30 @@
-"""Abstract topology interface shared by mesh, torus and hypercube.
+"""Graph-first topology abstraction.
 
-The interface is small on purpose: routers and probes only ever need
-"who is over this port", "which ports make progress towards dst" and
-"what is the dimension-order port".  Everything is precomputed where cheap
-because these queries sit on the simulator's hot path.
+Nodes are integers ``0..N-1``; each node exposes ``num_ports`` numbered
+port slots; a directed physical link is a ``(node, port)`` pair with
+:meth:`Topology.neighbor` naming its far side.  The base class derives
+everything routers and probes need -- ``distance``, ``minimal_ports``,
+``dor_port``, ``diameter`` -- from the adjacency alone via cached BFS,
+so a new topology only has to describe its wiring.  Product topologies
+(mesh, torus, hypercube) extend :class:`CartesianTopology`, which adds
+the coordinate arithmetic and the 2-ports-per-dimension numbering plus
+analytic overrides for the hot-path queries.
+
+Two port-semantics accessors exist because links may be unidirectional
+(multistage networks):
+
+* :meth:`Topology.reverse_port` -- the *input-port index* the link lands
+  on at the neighbour (what the network wiring and the wave-plane
+  mapping need).  Defined for every connected link.
+* :meth:`Topology.return_port` -- the neighbour's output port whose link
+  leads *back*, or ``None`` when no such back-link exists (what U-turn
+  avoidance needs).  On bidirectional topologies the two coincide.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from functools import reduce
 from operator import mul
 
@@ -24,18 +40,292 @@ def reverse_direction(port: int) -> int:
 
 
 class Topology(ABC):
-    """Base class for all topologies.
+    """Base class for all topologies: an explicit directed port graph.
 
-    Subclasses fill in neighbour structure; the base provides coordinate
-    arithmetic and common validation.
+    Subclasses fill in the wiring (``num_ports``, ``neighbor``); the base
+    derives the routing oracle by BFS.  All derived queries are cached,
+    so they are cheap enough for the simulator's hot path even without
+    analytic overrides.
     """
+
+    #: Every link has a same-channel reverse direction.  Unidirectional
+    #: topologies (e.g. multistage networks) set this False, which turns
+    #: off symmetric fault injection and reverse-direction reactions.
+    bidirectional: bool = True
+
+    #: True for product topologies with a coordinate system (``coords`` /
+    #: ``node_at`` work and ports follow the 2-per-dimension scheme).
+    cartesian: bool = False
+
+    #: Virtual-channel classes the deadlock-avoidance discipline needs on
+    #: this topology (2 for torus datelines, 1 otherwise).
+    num_vc_classes: int = 1
+
+    def __init__(self, num_nodes: int, dims: tuple[int, ...]) -> None:
+        if num_nodes < 1:
+            raise TopologyError(f"need >= 1 node, got {num_nodes}")
+        if not dims:
+            raise TopologyError("dims must be non-empty")
+        self.num_nodes = num_nodes
+        self.dims = tuple(dims)
+        self.n_dims = len(self.dims)
+        # Lazy caches for the BFS-derived oracle.
+        self._cache_connected: list[list[int]] | None = None
+        self._cache_dist_to: dict[int, list[int]] = {}
+        self._cache_preds: list[list[tuple[int, int]]] | None = None
+        self._cache_return: dict[tuple[int, int], int | None] = {}
+        self._cache_diameter: int | None = None
+
+    # -- wiring (subclass responsibility) -------------------------------
+
+    @property
+    @abstractmethod
+    def num_ports(self) -> int:
+        """Number of port slots per node (some may be unconnected)."""
+
+    @abstractmethod
+    def neighbor(self, node: int, port: int) -> int | None:
+        """Node on the far side of ``port``, or None if unconnected."""
+
+    def reverse_port(self, node: int, port: int) -> int:
+        """Input-port index of this link at ``neighbor(node, port)``.
+
+        For bidirectional topologies this is also the port that leads
+        back (see :meth:`return_port`).  The default scans the
+        neighbour's ports for one whose link returns here; topologies
+        with unidirectional links or parallel links must override.
+        """
+        nbr = self.neighbor(node, port)
+        if nbr is None:
+            raise TopologyError(f"port {port} of node {node} is unconnected")
+        for q in self.connected_ports(nbr):
+            if self.neighbor(nbr, q) == node:
+                return q
+        raise TopologyError(
+            f"no reverse port for ({node}, {port}); unidirectional "
+            "topologies must override reverse_port with input-port wiring"
+        )
+
+    def return_port(self, node: int, port: int) -> int | None:
+        """The neighbour's output port whose link leads back to ``node``.
+
+        ``None`` when the link has no back-link (unidirectional stage
+        links in a multistage network).
+        """
+        key = (node, port)
+        if key not in self._cache_return:
+            nbr = self.neighbor(node, port)
+            if nbr is None:
+                raise TopologyError(
+                    f"port {port} of node {node} is unconnected"
+                )
+            found = None
+            for q in self.connected_ports(nbr):
+                if self.neighbor(nbr, q) == node:
+                    found = q
+                    break
+            self._cache_return[key] = found
+        return self._cache_return[key]
+
+    # -- endpoints ------------------------------------------------------
+
+    def endpoints(self) -> range:
+        """Nodes that inject and consume traffic.
+
+        Topologies with dedicated switching elements (multistage
+        networks) override this; endpoints are always a contiguous id
+        prefix ``0..num_endpoints-1`` so workload generators can size
+        themselves by count alone.
+        """
+        return range(self.num_nodes)
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoints())
+
+    # -- deadlock-avoidance hooks ---------------------------------------
+
+    def crosses_dateline(self, node: int, port: int) -> bool:
+        """True if taking ``port`` at ``node`` crosses a dateline.
+
+        Only ring-closing topologies (torus) have datelines; the routing
+        function promotes a worm to VC class 1 after the crossing.
+        """
+        return False
+
+    def dateline_bit(self, node: int, port: int) -> int:
+        """Header-bit index recording a dateline crossing on this link."""
+        return 0
+
+    def switch_offset(self, node: int) -> int:
+        """Deterministic per-node stagger for the CLRP Initial Switch.
+
+        Neighbouring nodes should start their circuit searches on
+        different wave switches (section 3.1's suggestion); any roughly
+        neighbour-distinguishing integer works.
+        """
+        return node
+
+    # -- derived helpers ------------------------------------------------
+
+    def check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    def connected_ports(self, node: int) -> list[int]:
+        """Ports of ``node`` that have a neighbour (cached)."""
+        if self._cache_connected is None:
+            self._cache_connected = [
+                [
+                    p
+                    for p in range(self.num_ports)
+                    if self.neighbor(n, p) is not None
+                ]
+                for n in range(self.num_nodes)
+            ]
+        self.check_node(node)
+        return self._cache_connected[node]
+
+    def links(self) -> list[tuple[int, int]]:
+        """All directed links as ``(node, port)`` pairs."""
+        out = []
+        for node in range(self.num_nodes):
+            for port in self.connected_ports(node):
+                out.append((node, port))
+        return out
+
+    # -- BFS-derived routing oracle -------------------------------------
+
+    def _predecessors(self) -> list[list[tuple[int, int]]]:
+        """Reverse adjacency: for each node, incoming ``(src, port)``."""
+        if self._cache_preds is None:
+            preds: list[list[tuple[int, int]]] = [
+                [] for _ in range(self.num_nodes)
+            ]
+            for node, port in self.links():
+                nbr = self.neighbor(node, port)
+                assert nbr is not None
+                preds[nbr].append((node, port))
+            self._cache_preds = preds
+        return self._cache_preds
+
+    def _dist_to(self, dst: int) -> list[int]:
+        """Hop counts from every node *to* ``dst`` (reverse BFS, cached)."""
+        cached = self._cache_dist_to.get(dst)
+        if cached is not None:
+            return cached
+        preds = self._predecessors()
+        dist = [-1] * self.num_nodes
+        dist[dst] = 0
+        queue: deque[int] = deque([dst])
+        while queue:
+            node = queue.popleft()
+            d = dist[node] + 1
+            for src, _port in preds[node]:
+                if dist[src] < 0:
+                    dist[src] = d
+                    queue.append(src)
+        self._cache_dist_to[dst] = dist
+        return dist
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count from ``a`` to ``b``."""
+        self.check_node(a)
+        self.check_node(b)
+        d = self._dist_to(b)[a]
+        if d < 0:
+            raise TopologyError(f"no path from {a} to {b}")
+        return d
+
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        """All ports at ``node`` lying on some minimal path to ``dst``."""
+        self.check_node(node)
+        self.check_node(dst)
+        if node == dst:
+            return []
+        dist = self._dist_to(dst)
+        here = dist[node]
+        out = []
+        for port in self.connected_ports(node):
+            nbr = self.neighbor(node, port)
+            assert nbr is not None
+            if dist[nbr] == here - 1:
+                out.append(port)
+        return out
+
+    def dor_port(self, node: int, dst: int) -> int:
+        """The unique deterministic-routing port towards ``dst``.
+
+        The graph default picks the lowest-numbered minimal port, which
+        generalises dimension-order routing: on product topologies the
+        lowest minimal port *is* the lowest unresolved dimension.
+        Subclasses may override with the analytic rule.  Raises
+        :class:`TopologyError` if ``node == dst``.
+        """
+        ports = self.minimal_ports(node, dst)
+        if not ports:
+            raise TopologyError(f"dor_port called with node == dst == {node}")
+        return min(ports)
+
+    def diameter(self) -> int:
+        """Maximum minimal distance over all node pairs (exact, cached).
+
+        Computed by breadth-first search (or the subclass's analytic
+        ``distance``) over every pair -- never a product-topology
+        shortcut, so irregular topologies cannot inherit a wrong answer.
+        """
+        if self._cache_diameter is None:
+            self._cache_diameter = max(
+                self.distance(a, b)
+                for b in range(self.num_nodes)
+                for a in range(self.num_nodes)
+            )
+        return self._cache_diameter
+
+    # -- presentation ---------------------------------------------------
+
+    def node_label(self, node: int) -> str:
+        """Human-readable node name for reports and cycle chains."""
+        return str(node)
+
+    def port_label(self, port: int) -> str:
+        """Human-readable port name for reports and cycle chains."""
+        return f"p{port}"
+
+    # -- bisection ------------------------------------------------------
+
+    def bisection_nodes(self) -> set[int]:
+        """One side of the canonical bisection cut.
+
+        The graph default halves the id space; topologies with more
+        structure override with their true worst cut.
+        """
+        return set(range(self.num_nodes // 2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "x".join(str(d) for d in self.dims)
+        return f"{type(self).__name__}({shape})"
+
+
+class CartesianTopology(Topology):
+    """Product topologies: nodes on a grid, two ports per dimension.
+
+    Nodes are laid out row-major over the dimension radices; for
+    dimension ``d``, port ``2d`` steps the coordinate up ("plus") and
+    port ``2d + 1`` steps it down ("minus").  Subclasses (mesh, torus,
+    hypercube) keep analytic overrides for the hot-path queries; the
+    BFS oracle of :class:`Topology` remains the semantic ground truth
+    (asserted by the topology property suite).
+    """
+
+    cartesian = True
 
     def __init__(self, dims: tuple[int, ...]) -> None:
         if not dims or any(d < 2 for d in dims):
             raise TopologyError(f"invalid dims {dims!r}")
-        self.dims = tuple(dims)
-        self.n_dims = len(dims)
-        self.num_nodes = reduce(mul, dims, 1)
+        super().__init__(reduce(mul, dims, 1), dims)
         # Row-major strides: coordinate d advances by _strides[d] node ids.
         strides = []
         acc = 1
@@ -73,67 +363,38 @@ class Topology(ABC):
             node += c * self._strides[d]
         return node
 
-    def check_node(self, node: int) -> None:
-        if not 0 <= node < self.num_nodes:
-            raise TopologyError(
-                f"node {node} out of range [0, {self.num_nodes})"
-            )
+    # -- port scheme ----------------------------------------------------
 
-    # -- structure ------------------------------------------------------
+    def port_dimension(self, port: int) -> int:
+        """Dimension a port belongs to under the 2-per-dim scheme."""
+        return port // 2
 
-    @property
-    @abstractmethod
-    def num_ports(self) -> int:
-        """Number of port slots per node (some may be unconnected)."""
+    def port_is_plus(self, port: int) -> bool:
+        """True if the port steps its coordinate upward."""
+        return port % 2 == 0
 
-    @abstractmethod
-    def neighbor(self, node: int, port: int) -> int | None:
-        """Node on the far side of ``port``, or None if unconnected."""
+    def dateline_bit(self, node: int, port: int) -> int:
+        return self.port_dimension(port)
 
-    @abstractmethod
-    def reverse_port(self, node: int, port: int) -> int:
-        """The port at ``neighbor(node, port)`` that leads back to ``node``."""
+    def switch_offset(self, node: int) -> int:
+        # Neighbours differ by 1 in exactly one coordinate, so the
+        # coordinate sum staggers adjacent Initial Switches.
+        return sum(self.coords(node))
 
-    @abstractmethod
-    def minimal_ports(self, node: int, dst: int) -> list[int]:
-        """All ports at ``node`` lying on some minimal path to ``dst``."""
+    def return_port(self, node: int, port: int) -> int | None:
+        # Every Cartesian link is bidirectional; the back-link is the
+        # same channel pair the wiring uses.
+        return self.reverse_port(node, port)
 
-    @abstractmethod
-    def dor_port(self, node: int, dst: int) -> int:
-        """The unique dimension-order-routing port towards ``dst``.
-
-        Raises :class:`TopologyError` if ``node == dst``.
-        """
-
-    @abstractmethod
-    def distance(self, a: int, b: int) -> int:
-        """Minimal hop count between two nodes."""
-
-    # -- derived helpers ------------------------------------------------
-
-    def connected_ports(self, node: int) -> list[int]:
-        """Ports of ``node`` that have a neighbour."""
-        return [
-            p for p in range(self.num_ports) if self.neighbor(node, p) is not None
-        ]
-
-    def links(self) -> list[tuple[int, int]]:
-        """All directed links as ``(node, port)`` pairs."""
-        out = []
-        for node in range(self.num_nodes):
-            for port in self.connected_ports(node):
-                out.append((node, port))
-        return out
-
-    def diameter(self) -> int:
-        """Maximum minimal distance over all node pairs.
-
-        Computed from per-dimension extremes rather than all-pairs search;
-        valid for all product topologies in this package.
-        """
-        return self.distance(0, self._farthest_from_zero())
+    # -- legacy diameter shortcut ---------------------------------------
 
     def _farthest_from_zero(self) -> int:
+        """Per-dimension-extremes diameter shortcut, valid only here.
+
+        Kept as documentation of the product-topology fast path; the
+        property suite asserts it agrees with the exact BFS diameter on
+        every Cartesian topology.
+        """
         coords = tuple(
             (d // 2) if self._wraps(dim) else (d - 1)
             for dim, d in enumerate(self.dims)
@@ -144,35 +405,46 @@ class Topology(ABC):
         """Whether the given dimension has wrap-around links."""
         return False
 
-    def port_dimension(self, port: int) -> int:
-        """Dimension a port belongs to under the 2-per-dim scheme."""
-        return port // 2
+    # -- presentation ---------------------------------------------------
 
-    def port_is_plus(self, port: int) -> bool:
-        """True if the port steps its coordinate upward."""
-        return port % 2 == 0
+    def node_label(self, node: int) -> str:
+        return "(" + ",".join(str(c) for c in self.coords(node)) + ")"
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        shape = "x".join(str(d) for d in self.dims)
-        return f"{type(self).__name__}({shape})"
+    def port_label(self, port: int) -> str:
+        sign = "+" if self.port_is_plus(port) else "-"
+        return f"d{self.port_dimension(port)}{sign}"
+
+    # -- bisection ------------------------------------------------------
+
+    def bisection_nodes(self) -> set[int]:
+        # Cut the *max-radix* dimension at half: the standard worst cut
+        # for k-ary n-cubes.  Cutting a fixed dimension is wrong for
+        # asymmetric shapes (a 2x8 mesh's dim-0 cut crosses 8 physical
+        # links; the true bisection crosses 2).
+        dim = max(range(self.n_dims), key=lambda d: self.dims[d])
+        half = self.dims[dim] // 2
+        return {
+            node
+            for node in range(self.num_nodes)
+            if self.coords(node)[dim] < half
+        }
 
 
 def bisection_links(topology: "Topology") -> int:
     """Directed links crossing the canonical bisection of the machine.
 
-    The bisection cuts dimension 0 at half its radix (the standard worst
-    cut for k-ary n-cubes).  The paper's multi-chip discussion turns on
-    this number: splitting each physical channel across ``k`` wave
-    switches keeps the *aggregate* bisection bandwidth constant while
-    multiplying the number of independently-reservable channels by ``k``.
+    The paper's multi-chip discussion turns on this number: splitting
+    each physical channel across ``k`` wave switches keeps the
+    *aggregate* bisection bandwidth constant while multiplying the
+    number of independently-reservable channels by ``k``.
     """
-    half = topology.dims[0] // 2
+    left = topology.bisection_nodes()
     crossing = 0
     for node in range(topology.num_nodes):
-        side = topology.coords(node)[0] < half
+        side = node in left
         for port in topology.connected_ports(node):
             nbr = topology.neighbor(node, port)
             assert nbr is not None
-            if (topology.coords(nbr)[0] < half) != side:
+            if (nbr in left) != side:
                 crossing += 1
     return crossing

@@ -1,0 +1,145 @@
+"""k-ary n-fly butterfly: a unidirectional multistage network (MIN).
+
+Multistage interconnection networks (Stergiou's multi-lane MINs are the
+modern reference point) route every terminal-to-terminal message through
+``n`` stages of ``k x k`` switches.  This is the destination-tag
+butterfly: the switch chosen at stage ``s`` replaces digit ``s`` of the
+current address with the output port taken, so the unique minimal route
+simply spells out the destination's digits.
+
+Node numbering keeps terminals first -- ids ``0..k^n - 1`` are the
+injecting/consuming endpoints (so workload generators sized by
+``num_endpoints`` need no remapping) -- followed by the ``n * k^(n-1)``
+switches stage by stage.  All links are **unidirectional**: a terminal
+feeds stage 0, stage ``s`` feeds stage ``s + 1``, and stage ``n - 1``
+feeds the terminals, closing the graph into a single strongly connected
+cycle of stages.  Because endpoint routes only ever move forward through
+the stages, the channel dependency graph is acyclic with a single VC
+class; there are no datelines.
+
+``reverse_port`` reports the *input-port index* at the downstream node
+(the wiring the network constructor and the wave plane need); there is
+no back-link, so ``return_port`` is ``None`` on every stage link.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+
+class Butterfly(Topology):
+    """Unidirectional k-ary n-fly with terminals-first node numbering."""
+
+    bidirectional = False
+
+    def __init__(self, radix: int, stages: int) -> None:
+        if radix < 2:
+            raise TopologyError(f"butterfly radix must be >= 2, got {radix}")
+        if stages < 1:
+            raise TopologyError(f"butterfly needs >= 1 stage, got {stages}")
+        self.radix = radix
+        self.stages = stages
+        self.num_terminals = radix**stages
+        self.switches_per_stage = radix ** (stages - 1)
+        num_nodes = self.num_terminals + stages * self.switches_per_stage
+        super().__init__(num_nodes, (radix,) * stages)
+        # Digit s of an n-digit base-k address has weight k^(n-1-s).
+        self._digit_w = tuple(
+            radix ** (stages - 1 - s) for s in range(stages)
+        )
+        self._num_ports = radix
+        # Wiring tables: _nbr[node][port] -> downstream node (or None for
+        # the unconnected terminal port slots); _in_port[node][port] ->
+        # input-port index this link lands on at the downstream node.
+        self._nbr: list[list[int | None]] = []
+        self._in_port: list[list[int | None]] = []
+        for t in range(self.num_terminals):
+            row_n: list[int | None] = [None] * radix
+            row_i: list[int | None] = [None] * radix
+            row_n[0] = self._switch_id(0, self._remove_digit(t, 0))
+            row_i[0] = self._digit(t, 0)
+            self._nbr.append(row_n)
+            self._in_port.append(row_i)
+        for s in range(stages):
+            for r in range(self.switches_per_stage):
+                row_n = []
+                row_i = []
+                for j in range(radix):
+                    addr = self._insert_digit(r, s, j)
+                    if s == stages - 1:
+                        row_n.append(addr)  # back to the terminal
+                        row_i.append(0)
+                    else:
+                        row_n.append(
+                            self._switch_id(
+                                s + 1, self._remove_digit(addr, s + 1)
+                            )
+                        )
+                        row_i.append(self._digit(addr, s + 1))
+                self._nbr.append(row_n)
+                self._in_port.append(row_i)
+
+    # -- address arithmetic ---------------------------------------------
+
+    def _digit(self, addr: int, s: int) -> int:
+        return (addr // self._digit_w[s]) % self.radix
+
+    def _remove_digit(self, addr: int, s: int) -> int:
+        w = self._digit_w[s]
+        return (addr // (w * self.radix)) * w + addr % w
+
+    def _insert_digit(self, row: int, s: int, value: int) -> int:
+        w = self._digit_w[s]
+        return ((row // w) * self.radix + value) * w + row % w
+
+    def _switch_id(self, stage: int, row: int) -> int:
+        return self.num_terminals + stage * self.switches_per_stage + row
+
+    def is_terminal(self, node: int) -> bool:
+        self.check_node(node)
+        return node < self.num_terminals
+
+    def switch_pos(self, node: int) -> tuple[int, int]:
+        """(stage, row) of a switch node."""
+        self.check_node(node)
+        if node < self.num_terminals:
+            raise TopologyError(f"node {node} is a terminal, not a switch")
+        off = node - self.num_terminals
+        return divmod(off, self.switches_per_stage)
+
+    # -- wiring ---------------------------------------------------------
+
+    @property
+    def num_ports(self) -> int:
+        return self._num_ports
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        self.check_node(node)
+        if not 0 <= port < self._num_ports:
+            raise TopologyError(f"port {port} out of range")
+        return self._nbr[node][port]
+
+    def reverse_port(self, node: int, port: int) -> int:
+        self.check_node(node)
+        if self._nbr[node][port] is None:
+            raise TopologyError(f"port {port} of node {node} is unconnected")
+        in_port = self._in_port[node][port]
+        assert in_port is not None
+        return in_port
+
+    # -- endpoints ------------------------------------------------------
+
+    def endpoints(self) -> range:
+        return range(self.num_terminals)
+
+    # -- presentation ---------------------------------------------------
+
+    def node_label(self, node: int) -> str:
+        if node < self.num_terminals:
+            return f"t{node}"
+        stage, row = self.switch_pos(node)
+        return f"s{stage}.{row}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Butterfly({self.radix}-ary {self.stages}-fly)"

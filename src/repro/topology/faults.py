@@ -51,7 +51,12 @@ def derive_fault_rng(seed: int) -> SimRandom:
 
 
 def _still_connected(topology: Topology, faulty: set[tuple[int, int]]) -> bool:
-    """BFS over the healthy directed links; True iff every node is reachable."""
+    """True iff the healthy directed graph stays strongly connected.
+
+    For bidirectional topologies a single forward BFS suffices; with
+    unidirectional links (MINs) reachability *to* node 0 is checked too,
+    over the reversed healthy adjacency.
+    """
     total = topology.num_nodes
     seen = bytearray(total)
     seen[0] = 1
@@ -67,15 +72,57 @@ def _still_connected(topology: Topology, faulty: set[tuple[int, int]]) -> bool:
                 seen[nbr] = 1
                 reached += 1
                 queue.append(nbr)
+    if reached != total:
+        return False
+    if topology.bidirectional:
+        return True
+    preds: list[list[int]] = [[] for _ in range(total)]
+    for node, port in topology.links():
+        if (node, port) in faulty:
+            continue
+        nbr = topology.neighbor(node, port)
+        assert nbr is not None
+        preds[nbr].append(node)
+    seen = bytearray(total)
+    seen[0] = 1
+    reached = 1
+    queue = deque([0])
+    while queue:
+        node = queue.popleft()
+        for src in preds[node]:
+            if not seen[src]:
+                seen[src] = 1
+                reached += 1
+                queue.append(src)
     return reached == total
+
+
+def physical_links(topology: Topology) -> list[tuple[int, int]]:
+    """Each physical link exactly once.
+
+    On bidirectional topologies the two directions of a link are one
+    physical entity (a cable), represented by the canonical-direction
+    ``(node, port)`` pair; on unidirectional topologies every directed
+    link is its own physical entity.
+    """
+    if not topology.bidirectional:
+        return list(topology.links())
+    out = []
+    for node, port in topology.links():
+        nbr = topology.neighbor(node, port)
+        assert nbr is not None
+        if (node, port) < (nbr, topology.reverse_port(node, port)):
+            out.append((node, port))
+    return out
 
 
 class FaultSet:
     """A set of faulty directed links ``(node, port)``.
 
-    Faults are injected symmetrically by default (both directions of the
-    physical link die together), matching a severed cable or dead
-    transceiver pair.
+    On bidirectional topologies faults are injected symmetrically by
+    default (both directions of the physical link die together, matching
+    a severed cable or dead transceiver pair); on unidirectional
+    topologies each directed link dies alone.
     """
 
     def __init__(self, topology: Topology) -> None:
@@ -91,30 +138,53 @@ class FaultSet:
     def is_faulty(self, node: int, port: int) -> bool:
         return (node, port) in self._faulty
 
-    def fail_link(self, node: int, port: int, *, bidirectional: bool = True) -> None:
-        """Mark a link faulty; with ``bidirectional`` also kill the reverse."""
+    def _symmetric(self, bidirectional: bool | None) -> bool:
+        return (
+            self.topology.bidirectional
+            if bidirectional is None
+            else bidirectional
+        )
+
+    def fail_link(
+        self, node: int, port: int, *, bidirectional: bool | None = None
+    ) -> None:
+        """Mark a link faulty; symmetric kill on bidirectional topologies.
+
+        ``bidirectional`` overrides the topology's default (e.g. a single
+        dead transmitter on an otherwise healthy cable).
+        """
         nbr = self.topology.neighbor(node, port)
         if nbr is None:
             raise TopologyError(f"({node}, {port}) is not a connected link")
         self._faulty.add((node, port))
-        if bidirectional:
+        if self._symmetric(bidirectional):
             self._faulty.add((nbr, self.topology.reverse_port(node, port)))
 
-    def heal_link(self, node: int, port: int, *, bidirectional: bool = True) -> None:
+    def heal_link(
+        self, node: int, port: int, *, bidirectional: bool | None = None
+    ) -> None:
         """Remove a link from the fault set (no-op if it was healthy)."""
         nbr = self.topology.neighbor(node, port)
         if nbr is None:
             raise TopologyError(f"({node}, {port}) is not a connected link")
         self._faulty.discard((node, port))
-        if bidirectional:
+        if self._symmetric(bidirectional):
             self._faulty.discard((nbr, self.topology.reverse_port(node, port)))
+
+    def _physical_directions(self, node: int, port: int) -> set[tuple[int, int]]:
+        """All directed links that die with the physical link ``(node, port)``."""
+        links = {(node, port)}
+        if self.topology.bidirectional:
+            nbr = self.topology.neighbor(node, port)
+            assert nbr is not None
+            links.add((nbr, self.topology.reverse_port(node, port)))
+        return links
 
     def would_disconnect(self, node: int, port: int) -> bool:
         """Would killing this physical link partition the healthy graph?"""
-        nbr = self.topology.neighbor(node, port)
-        if nbr is None:
+        if self.topology.neighbor(node, port) is None:
             raise TopologyError(f"({node}, {port}) is not a connected link")
-        candidate = {(node, port), (nbr, self.topology.reverse_port(node, port))}
+        candidate = self._physical_directions(node, port)
         return not _still_connected(self.topology, self._faulty | candidate)
 
     def fail_random_links(
@@ -137,14 +207,7 @@ class FaultSet:
         if not 0 <= fraction < 1:
             raise TopologyError(f"fraction must be in [0, 1), got {fraction}")
         topo = self.topology
-        # Physical links counted once: keep (node, port) with node < nbr,
-        # or the canonical side for asymmetric orderings.
-        physical = []
-        for node, port in topo.links():
-            nbr = topo.neighbor(node, port)
-            assert nbr is not None
-            if (node, port) < (nbr, topo.reverse_port(node, port)):
-                physical.append((node, port))
+        physical = physical_links(topo)
         target = int(len(physical) * fraction)
         stream = rng.stream("faults")
         stream.shuffle(physical)
@@ -165,7 +228,8 @@ class FaultSet:
                     continue
             self.fail_link(node, port)
             degree[node] -= 1
-            degree[nbr] -= 1
+            if topo.bidirectional:
+                degree[nbr] -= 1
             failed += 1
         logger.debug(
             "fault set: failed %d/%d physical links (target %d, fraction %.3f)",
@@ -313,13 +377,16 @@ class FaultSchedule(FaultSet):
             raise TopologyError(f"mttr must be >= 0, got {mttr}")
         stream = rng.stream("fault-schedule")
         sched = cls(topology)
-        physical = []
-        for node, port in topology.links():
-            nbr = topology.neighbor(node, port)
-            assert nbr is not None
-            if (node, port) < (nbr, topology.reverse_port(node, port)):
-                physical.append((node, port))
-        physical.sort()
+        physical = sorted(physical_links(topology))
+
+        def directions(link: tuple[int, int]) -> set[tuple[int, int]]:
+            node, port = link
+            dirs = {link}
+            if topology.bidirectional:
+                nbr = topology.neighbor(node, port)
+                assert nbr is not None
+                dirs.add((nbr, topology.reverse_port(node, port)))
+            return dirs
         dead: set[tuple[int, int]] = set()
         heals: list[tuple[int, tuple[int, int]]] = []
         t = 0
@@ -332,25 +399,13 @@ class FaultSchedule(FaultSet):
                 dead.discard(link)
             candidates = [link for link in physical if link not in dead]
             if keep_connected:
-                directed = set()
-                for node, port in dead:
-                    nbr = topology.neighbor(node, port)
-                    directed.add((node, port))
-                    directed.add((nbr, topology.reverse_port(node, port)))
+                directed: set[tuple[int, int]] = set()
+                for link in dead:
+                    directed |= directions(link)
                 candidates = [
-                    (node, port)
-                    for node, port in candidates
-                    if _still_connected(
-                        topology,
-                        directed
-                        | {
-                            (node, port),
-                            (
-                                topology.neighbor(node, port),
-                                topology.reverse_port(node, port),
-                            ),
-                        },
-                    )
+                    link
+                    for link in candidates
+                    if _still_connected(topology, directed | directions(link))
                 ]
             if not candidates:
                 continue

@@ -1,0 +1,72 @@
+"""Fully connected topology: every node one hop from every other.
+
+Modern switch radices make single-hop full-mesh fabrics practical at
+rack scale, and routing on them is deadlock-free *without virtual
+channels* (Cano et al., HOTI 2025): every route is a single channel, so
+the channel dependency graph has no edges at all -- the CDG analyzer
+verifies a ``fullmesh`` config with ``vcs=1`` as trivially acyclic.
+
+Port numbering skips the self-loop: port ``p`` of node ``i`` connects to
+node ``p`` when ``p < i`` and to node ``p + 1`` otherwise, giving every
+node ``N - 1`` ports.  Diameter is 1, which inverts the circuit-reuse
+economics the paper builds on: a wave circuit saves per-hop routing
+latency, and with one hop there is almost none to save (experiment E8g).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+
+class FullMesh(Topology):
+    """N nodes, every pair directly linked (diameter 1)."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise TopologyError(f"fullmesh needs >= 2 nodes, got {num_nodes}")
+        super().__init__(num_nodes, (num_nodes,))
+
+    @property
+    def num_ports(self) -> int:
+        return self.num_nodes - 1
+
+    def _port_to(self, node: int, dst: int) -> int:
+        return dst if dst < node else dst - 1
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        self.check_node(node)
+        if not 0 <= port < self.num_ports:
+            raise TopologyError(f"port {port} out of range")
+        return port if port < node else port + 1
+
+    def reverse_port(self, node: int, port: int) -> int:
+        nbr = self.neighbor(node, port)
+        assert nbr is not None
+        return self._port_to(nbr, node)
+
+    def return_port(self, node: int, port: int) -> int | None:
+        return self.reverse_port(node, port)
+
+    def minimal_ports(self, node: int, dst: int) -> list[int]:
+        self.check_node(node)
+        self.check_node(dst)
+        if node == dst:
+            return []
+        return [self._port_to(node, dst)]
+
+    def dor_port(self, node: int, dst: int) -> int:
+        if node == dst:
+            raise TopologyError(f"dor_port called with node == dst == {node}")
+        return self._port_to(node, dst)
+
+    def distance(self, a: int, b: int) -> int:
+        self.check_node(a)
+        self.check_node(b)
+        return 0 if a == b else 1
+
+    def diameter(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FullMesh({self.num_nodes})"

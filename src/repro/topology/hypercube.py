@@ -4,8 +4,8 @@ Each node has one neighbour per dimension (coordinate flip), so we use one
 port per dimension: port ``2d`` connects to ``node XOR (1 << d)`` and the
 odd port slots are unconnected.  Keeping the 2-slots-per-dimension
 numbering means every routing function can use
-:meth:`~repro.topology.base.Topology.port_dimension` uniformly across
-topologies.
+:meth:`~repro.topology.base.CartesianTopology.port_dimension` uniformly
+across Cartesian topologies.
 
 E-cube routing (resolve the lowest differing bit first) is deadlock-free
 with a single virtual channel class, as for the mesh.
@@ -14,10 +14,10 @@ with a single virtual channel class, as for the mesh.
 from __future__ import annotations
 
 from repro.errors import TopologyError
-from repro.topology.base import Topology
+from repro.topology.base import CartesianTopology
 
 
-class Hypercube(Topology):
+class Hypercube(CartesianTopology):
     """n-dimensional binary hypercube with 2**n nodes."""
 
     def __init__(self, n_dims: int) -> None:

@@ -8,10 +8,10 @@ Seitz 1987, reference [5] of the paper).
 from __future__ import annotations
 
 from repro.errors import TopologyError
-from repro.topology.base import Topology, reverse_direction
+from repro.topology.base import CartesianTopology, reverse_direction
 
 
-class Mesh(Topology):
+class Mesh(CartesianTopology):
     """k-ary n-mesh with 2 ports per dimension (plus / minus)."""
 
     def __init__(self, dims: tuple[int, ...]) -> None:

@@ -11,11 +11,13 @@ routing function needs.
 from __future__ import annotations
 
 from repro.errors import TopologyError
-from repro.topology.base import Topology, reverse_direction
+from repro.topology.base import CartesianTopology, reverse_direction
 
 
-class Torus(Topology):
+class Torus(CartesianTopology):
     """k-ary n-cube with 2 ports per dimension and wrap-around links."""
+
+    num_vc_classes = 2  # dateline classes
 
     def __init__(self, dims: tuple[int, ...]) -> None:
         super().__init__(dims)

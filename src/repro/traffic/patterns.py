@@ -46,8 +46,12 @@ class TransposePattern(TrafficPattern):
 
     def __init__(self, topology: Topology) -> None:
         super().__init__(topology.num_nodes)
-        if topology.n_dims != 2 or topology.dims[0] != topology.dims[1]:
-            raise ConfigError("transpose needs a square 2D topology")
+        if (
+            not topology.cartesian
+            or topology.n_dims != 2
+            or topology.dims[0] != topology.dims[1]
+        ):
+            raise ConfigError("transpose needs a square 2D Cartesian topology")
         self.topology = topology
 
     def pick(self, src: int, stream: random.Random) -> int:
@@ -123,6 +127,11 @@ class NearestNeighborPattern(TrafficPattern):
 
     def __init__(self, topology: Topology) -> None:
         super().__init__(topology.num_nodes)
+        if topology.num_endpoints != topology.num_nodes:
+            raise ConfigError(
+                "neighbor pattern needs every node to be an endpoint "
+                "(a MIN terminal's only neighbour is a switch)"
+            )
         self.topology = topology
 
     def pick(self, src: int, stream: random.Random) -> int:
@@ -154,8 +163,12 @@ class PermutationPattern(TrafficPattern):
 def make_pattern(
     name: str, topology: Topology, stream: random.Random
 ) -> TrafficPattern:
-    """Build a pattern by name (benchmark configuration convenience)."""
-    n = topology.num_nodes
+    """Build a pattern by name (benchmark configuration convenience).
+
+    Patterns permute *endpoints*: on topologies with dedicated switching
+    elements (MINs) only the terminal id prefix sends or receives.
+    """
+    n = topology.num_endpoints
     if name == "uniform":
         return UniformPattern(n)
     if name == "transpose":

@@ -123,10 +123,15 @@ def stencil_workload(
     """
     if phases < 1:
         raise ConfigError("phases must be >= 1")
+    if topology.num_endpoints != topology.num_nodes:
+        raise ConfigError(
+            "stencil needs every node to be an endpoint; a MIN terminal's "
+            "only neighbour is a switch, which cannot sink messages"
+        )
     messages = []
     for phase in range(phases):
         t = start + phase * phase_gap
-        for node in range(topology.num_nodes):
+        for node in topology.endpoints():
             for port in topology.connected_ports(node):
                 nbr = topology.neighbor(node, port)
                 assert nbr is not None
@@ -230,10 +235,10 @@ def dsm_workload(
     if home_window < 1:
         raise ConfigError("home_window must be >= 1")
     messages: list[Message] = []
-    for node in range(topology.num_nodes):
+    for node in topology.endpoints():
         stream = rng.stream(f"dsm.{node}")
         nearby = sorted(
-            (n for n in range(topology.num_nodes) if n != node),
+            (n for n in topology.endpoints() if n != node),
             key=lambda n: (topology.distance(node, n), n),
         )[: home_window * 3]
         homes = []

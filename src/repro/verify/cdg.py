@@ -15,8 +15,10 @@ The paper's deadlock-freedom argument has two legs:
 
 This module checks both legs **statically**, from topology + routing +
 protocol configuration alone, with no simulation: it walks every
-(src, dst) route exactly as the runtime router would (including the
-header's dateline bits), builds the channel-dependency graph over
+(src, dst) *endpoint* pair's route exactly as the runtime router would
+(the class/dateline discipline is queried from the routing object
+itself, so analyzer and runtime cannot drift), builds the
+channel-dependency graph over
 ``(node, port, vc_class)`` vertices, and reports any cycle together with
 the offending channel chain.  For adaptive routing the *extended* CDG is
 built: escape-channel dependencies are chained across adaptive
@@ -36,10 +38,9 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigError
 from repro.topology import build_topology
 from repro.topology.base import Topology
-from repro.topology.torus import Torus
 from repro.wormhole.routing import (
     AdaptiveRouting,
-    DimensionOrderRouting,
+    RoutingFunction,
     make_routing,
 )
 
@@ -56,16 +57,12 @@ class Channel:
     vc_class: int
 
     def describe(self, topology: Topology) -> str:
-        dim = topology.port_dimension(self.port)
-        sign = "+" if topology.port_is_plus(self.port) else "-"
         nbr = topology.neighbor(self.node, self.port)
+        to = topology.node_label(nbr) if nbr is not None else "?"
         return (
-            f"{self.coords_str(topology)}--d{dim}{sign}/c{self.vc_class}"
-            f"-->{Channel(nbr, 0, 0).coords_str(topology) if nbr is not None else '?'}"
+            f"{topology.node_label(self.node)}"
+            f"--{topology.port_label(self.port)}/c{self.vc_class}-->{to}"
         )
-
-    def coords_str(self, topology: Topology) -> str:
-        return "(" + ",".join(str(c) for c in topology.coords(self.node)) + ")"
 
 
 @dataclass
@@ -102,29 +99,6 @@ class CDGReport:
         return " -> ".join(ch.describe(topology) for ch in self.cycle)
 
 
-# -- dateline tracking (mirrors RoutingFunction exactly) -----------------
-
-
-def _hop_bits(topology: Topology, node: int, port: int, bits: int) -> int:
-    """Dateline bits after committing to a hop (``note_hop``, statically)."""
-    if isinstance(topology, Torus) and topology.crosses_dateline(node, port):
-        bits |= 1 << topology.port_dimension(port)
-    return bits
-
-
-def _class_of(
-    topology: Topology, node: int, port: int, bits: int, num_classes: int
-) -> int:
-    """VC class for taking ``port`` at ``node`` (``_dateline_class``)."""
-    if num_classes == 1:
-        return 0
-    dim = topology.port_dimension(port)
-    crossed = bool(bits & (1 << dim))
-    if isinstance(topology, Torus) and topology.crosses_dateline(node, port):
-        crossed = True
-    return 1 if crossed else 0
-
-
 # -- graph construction --------------------------------------------------
 
 Edges = dict[Channel, set[Channel]]
@@ -137,25 +111,30 @@ def _add_edge(edges: Edges, src: Channel | None, dst: Channel) -> None:
 
 
 def _walk_deterministic(
-    topology: Topology, src: int, dst: int, num_classes: int, edges: Edges
+    routing: RoutingFunction, src: int, dst: int, num_classes: int,
+    edges: Edges,
 ) -> None:
-    """Add the dependency chain of the unique dimension-order route."""
+    """Add the dependency chain of the unique deterministic route."""
+    topology = routing.topology
     node, bits = src, 0
     prev: Channel | None = None
     while node != dst:
         port = topology.dor_port(node, dst)
-        chan = Channel(node, port, _class_of(topology, node, port, bits,
-                                             num_classes))
+        chan = Channel(
+            node, port,
+            routing.hop_class(node, port, bits, num_classes=num_classes),
+        )
         _add_edge(edges, prev, chan)
         prev = chan
-        bits = _hop_bits(topology, node, port, bits)
+        bits = routing.hop_bits(node, port, bits)
         nxt = topology.neighbor(node, port)
         assert nxt is not None
         node = nxt
 
 
 def _walk_adaptive_escape(
-    topology: Topology, src: int, dst: int, num_classes: int, edges: Edges
+    routing: RoutingFunction, src: int, dst: int, num_classes: int,
+    edges: Edges,
 ) -> None:
     """Add *extended* escape-channel dependencies over all minimal routes.
 
@@ -166,6 +145,7 @@ def _walk_adaptive_escape(
     same transitive closure, so the DFS carries only the *last* escape
     channel.  States are memoised on (node, dateline bits, last escape).
     """
+    topology = routing.topology
     seen: set[tuple[int, int, Channel | None]] = set()
     stack: list[tuple[int, int, Channel | None]] = [(src, 0, None)]
     while stack:
@@ -175,18 +155,20 @@ def _walk_adaptive_escape(
         seen.add((node, bits, last))
         # Escape alternative: the dimension-order hop on the escape class.
         esc_port = topology.dor_port(node, dst)
-        esc = Channel(node, esc_port, _class_of(topology, node, esc_port,
-                                                bits, num_classes))
+        esc = Channel(
+            node, esc_port,
+            routing.hop_class(node, esc_port, bits, num_classes=num_classes),
+        )
         _add_edge(edges, last, esc)
         nxt = topology.neighbor(node, esc_port)
         assert nxt is not None
-        stack.append((nxt, _hop_bits(topology, node, esc_port, bits), esc))
+        stack.append((nxt, routing.hop_bits(node, esc_port, bits), esc))
         # Adaptive alternatives: any minimal hop, escape chain unchanged.
         for port in topology.minimal_ports(node, dst):
             nbr = topology.neighbor(node, port)
             if nbr is None:
                 continue
-            stack.append((nbr, _hop_bits(topology, node, port, bits), last))
+            stack.append((nbr, routing.hop_bits(node, port, bits), last))
 
 
 def build_cdg(
@@ -208,14 +190,17 @@ def build_cdg(
         raise ConfigError(f"assume_classes must be >= 1, got {assume_classes}")
     edges: Edges = {}
     adaptive = isinstance(routing, AdaptiveRouting)
-    for src in range(topology.num_nodes):
-        for dst in range(topology.num_nodes):
+    # Only endpoint pairs route messages; on topologies with dedicated
+    # switching elements (MINs) the switches never source or sink worms,
+    # and including them would add dependencies no run can create.
+    for src in topology.endpoints():
+        for dst in topology.endpoints():
             if src == dst:
                 continue
             if adaptive:
-                _walk_adaptive_escape(topology, src, dst, num_classes, edges)
+                _walk_adaptive_escape(routing, src, dst, num_classes, edges)
             else:
-                _walk_deterministic(topology, src, dst, num_classes, edges)
+                _walk_deterministic(routing, src, dst, num_classes, edges)
     return edges
 
 
@@ -289,11 +274,11 @@ def _separation_checks(config: "NetworkConfig", routing) -> list[SeparationCheck
         "acks, releases and teardowns are consumed at network interfaces "
         "and never wait on wormhole credits",
     ))
-    if isinstance(config_topology(config), Torus):
+    if config_topology(config).num_vc_classes > 1:
         need = routing.num_classes
         checks.append(SeparationCheck(
             "dateline_vcs", config.wormhole.vcs >= need,
-            f"torus dateline discipline needs >= {need} VCs "
+            f"dateline discipline needs >= {need} VCs "
             f"(configured: {config.wormhole.vcs})",
         ))
     return checks

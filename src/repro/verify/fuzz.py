@@ -205,6 +205,10 @@ _TOPOLOGIES: tuple[tuple[str, tuple[int, ...]], ...] = (
     ("torus", (3, 3)),
     ("torus", (4, 4)),
     ("hypercube", (2, 2, 2)),
+    ("fullmesh", (6,)),
+    ("fullmesh", (9,)),
+    ("min", (2, 2, 2)),
+    ("min", (3, 3)),
 )
 _PROTOCOLS = ("wormhole", "clrp", "clrp", "carp")  # weight towards CLRP
 _VARIANTS = ("standard", "eager_force", "single_switch", "immediate_force")
@@ -251,9 +255,14 @@ def generate_spec(index: int, master_seed: int = 0) -> JobSpec:
         mtbf = rng.randrange(3_000, 12_000)
         mttr = rng.choice((0, 800))
 
+    pattern = _PATTERNS[rng.randrange(len(_PATTERNS))]
+    if topology == "min" and pattern == "neighbor":
+        # A MIN terminal's only neighbour is a switch; keep the draw count
+        # identical so other scenarios are unaffected.
+        pattern = "uniform"
     workload = WorkloadRecipe.make(
         "uniform",
-        pattern=_PATTERNS[rng.randrange(len(_PATTERNS))],
+        pattern=pattern,
         load=round(rng.uniform(0.05, 0.55), 3),
         length=rng.choice((2, 8, 24, 48)),
         duration=rng.randrange(150, 900),
@@ -344,6 +353,15 @@ def _shrink_candidates(spec: JobSpec):
             yield _with_config(
                 spec, dims=tuple(max(2, d - 1) for d in dims)
             )
+    elif spec.config.topology == "fullmesh":
+        if dims[0] > 3:
+            yield _with_config(spec, dims=(max(3, dims[0] // 2),))
+    elif spec.config.topology == "min":
+        # Fewer stages first, then a smaller (uniform) radix.
+        if len(dims) > 1:
+            yield _with_config(spec, dims=dims[:-1])
+        if dims[0] > 2:
+            yield _with_config(spec, dims=(dims[0] - 1,) * len(dims))
     if spec.fault_fraction:
         yield dataclasses.replace(spec, fault_fraction=0.0)
     if spec.mtbf:

@@ -27,7 +27,6 @@ from abc import ABC, abstractmethod
 
 from repro.errors import ConfigError, RoutingError
 from repro.topology.base import Topology
-from repro.topology.torus import Torus
 from repro.wormhole.flit import Flit
 
 Candidate = tuple[int, tuple[int, ...]]  # (out_port, vc indices in preference order)
@@ -48,9 +47,7 @@ class RoutingFunction(ABC):
 
     def _required_classes(self) -> int:
         """Deadlock-avoidance VC classes demanded by the topology."""
-        if isinstance(self.topology, Torus):
-            return 2  # dateline classes
-        return 1
+        return self.topology.num_vc_classes
 
     def min_vcs(self) -> int:
         return self._required_classes()
@@ -67,17 +64,36 @@ class RoutingFunction(ABC):
             v for v in range(lo, hi) if (v - lo) % self.num_classes == vc_class
         )
 
-    def _dateline_class(self, node: int, port: int, head: Flit) -> int:
-        """VC class for taking ``port`` at ``node``, given header history."""
-        if self.num_classes == 1:
+    def hop_class(
+        self, node: int, port: int, bits: int, *, num_classes: int | None = None
+    ) -> int:
+        """VC class for taking ``port`` at ``node`` given dateline history.
+
+        ``bits`` is the header's dateline-bit mask.  This is the single
+        source of the class discipline: the runtime router uses it via
+        :meth:`_dateline_class` and the static CDG analyzer calls it
+        directly (optionally overriding ``num_classes`` to analyse the
+        deliberately-underprovisioned configuration).
+        """
+        classes = self.num_classes if num_classes is None else num_classes
+        if classes == 1:
             return 0
         topo = self.topology
-        assert isinstance(topo, Torus)
-        dim = topo.port_dimension(port)
-        crossed = bool(head.dateline_bits & (1 << dim))
+        crossed = bool(bits & (1 << topo.dateline_bit(node, port)))
         if topo.crosses_dateline(node, port):
             crossed = True
         return 1 if crossed else 0
+
+    def hop_bits(self, node: int, port: int, bits: int) -> int:
+        """Dateline-bit mask after committing to a hop."""
+        topo = self.topology
+        if topo.crosses_dateline(node, port):
+            bits |= 1 << topo.dateline_bit(node, port)
+        return bits
+
+    def _dateline_class(self, node: int, port: int, head: Flit) -> int:
+        """VC class for taking ``port`` at ``node``, given header history."""
+        return self.hop_class(node, port, head.dateline_bits)
 
     def note_hop(self, node: int, port: int, head: Flit) -> None:
         """Update header state after the worm commits to a hop.
@@ -85,9 +101,7 @@ class RoutingFunction(ABC):
         Must be called exactly once per header link traversal; keeps the
         dateline bits consistent with the class the worm occupies.
         """
-        topo = self.topology
-        if isinstance(topo, Torus) and topo.crosses_dateline(node, port):
-            head.dateline_bits |= 1 << topo.port_dimension(port)
+        head.dateline_bits = self.hop_bits(node, port, head.dateline_bits)
 
     @abstractmethod
     def candidates(self, node: int, dst: int, head: Flit) -> list[list[Candidate]]:

@@ -141,6 +141,11 @@ CONFIGS = [
     ("clrp", "torus", (3, 3)),
     ("carp", "mesh", (4, 4)),
     ("carp", "torus", (3, 3)),
+    # New topology families: diameter-1 full mesh and unidirectional MIN.
+    ("wormhole", "fullmesh", (9,)),
+    ("clrp", "fullmesh", (9,)),
+    ("wormhole", "min", (2, 2, 2)),
+    ("clrp", "min", (2, 2, 2)),
 ]
 
 

@@ -338,7 +338,7 @@ class TestVerifyCdg:
         code = main(["verify-cdg", "--all"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "7/7 configurations deadlock-free" in out
+        assert "11/11 configurations deadlock-free" in out
 
     def test_cyclic_config_flagged(self, capsys):
         code = main([

@@ -193,6 +193,14 @@ class TestBuildTopology:
         with pytest.raises(ValueError):
             build_topology("ring", (4,))
 
+    def test_hypercube_rejects_non_binary_radix(self):
+        # Regression: build_topology("hypercube", (4, 4)) used to build a
+        # 4-node 2-cube, silently discarding the radices.
+        with pytest.raises(TopologyError):
+            build_topology("hypercube", (4, 4))
+        cube = build_topology("hypercube", (2, 2, 2))
+        assert cube.num_nodes == 8
+
 
 @given(
     dims=st.lists(st.integers(2, 5), min_size=1, max_size=3).map(tuple),
@@ -234,3 +242,38 @@ class TestBisection:
 
         # An n-cube's bisection is N/2 physical links = N directed.
         assert bisection_links(Hypercube(4)) == 16
+
+    def test_asymmetric_mesh_cuts_max_radix_dimension(self):
+        from repro.topology.base import bisection_links
+
+        # Regression: the cut always sliced dimension 0.  A 2x8 mesh cut
+        # along dim 0 severs all 8 columns (16 directed links); the true
+        # bisection cuts the radix-8 dimension between columns 3 and 4,
+        # crossing only 2 physical links = 4 directed.
+        assert bisection_links(Mesh((2, 8))) == 4
+        # Same network transposed: dim 0 is now the long one.
+        assert bisection_links(Mesh((8, 2))) == 4
+
+    def test_asymmetric_torus_cuts_max_radix_dimension(self):
+        from repro.topology.base import bisection_links
+
+        # 2x8 torus: wrap links double the mesh's 2-link cut... but in the
+        # radix-2 dimension the "wrap" is a parallel link, so cutting the
+        # radix-8 ring gives 4 physical = 8 directed crossings.
+        assert bisection_links(Torus((2, 8))) == 8
+
+
+class TestDiameter:
+    def test_exact_bfs_agrees_with_cartesian_fast_path(self):
+        # Regression: diameter() used a per-dimension-extremes shortcut
+        # (distance to the single "farthest corner"); the exact BFS must
+        # agree with it wherever the shortcut was valid.
+        for topo in TOPOLOGIES:
+            far = topo._farthest_from_zero()
+            assert topo.diameter() == topo.distance(0, far), repr(topo)
+
+    def test_known_values(self):
+        assert Mesh((4, 4)).diameter() == 6
+        assert Mesh((2, 8)).diameter() == 8
+        assert Torus((4, 4)).diameter() == 4
+        assert Hypercube(4).diameter() == 4

@@ -1,0 +1,164 @@
+"""Property suite: every registered topology against a BFS oracle.
+
+The graph-first :class:`~repro.topology.base.Topology` contract promises
+that the analytic helpers (``distance``, ``minimal_ports``, ``dor_port``,
+``diameter``) agree with plain breadth-first search over the adjacency
+the topology itself reports via ``neighbor``.  This suite sweeps every
+name in :func:`~repro.topology.registered_topologies` with several dims,
+so a new topology is automatically held to the same contract the day it
+is registered.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import build_topology, registered_topologies
+
+# Representative shapes per registered name; every registered name MUST
+# appear here (enforced by test_every_registered_topology_is_covered).
+DIMS_BY_NAME = {
+    "mesh": [(5,), (3, 4), (2, 2, 3)],
+    "torus": [(5,), (3, 4), (2, 8)],
+    "hypercube": [(2, 2), (2, 2, 2, 2)],
+    "fullmesh": [(2,), (7,)],
+    "min": [(2, 2), (2, 2, 2), (3, 3)],
+}
+
+CASES = [
+    (name, dims)
+    for name in registered_topologies()
+    for dims in DIMS_BY_NAME[name]
+]
+
+
+def case_id(case):
+    name, dims = case
+    return f"{name}-{'x'.join(map(str, dims))}"
+
+
+@pytest.fixture(params=CASES, ids=case_id)
+def topo(request):
+    name, dims = request.param
+    return build_topology(name, dims)
+
+
+def bfs_distances(topo, src):
+    """Oracle: hop counts from ``src`` over the reported adjacency."""
+    dist = {src: 0}
+    queue = deque([src])
+    while queue:
+        node = queue.popleft()
+        for port in topo.connected_ports(node):
+            nbr = topo.neighbor(node, port)
+            if nbr is not None and nbr not in dist:
+                dist[nbr] = dist[node] + 1
+                queue.append(nbr)
+    return dist
+
+
+def test_every_registered_topology_is_covered():
+    assert set(DIMS_BY_NAME) == set(registered_topologies())
+
+
+class TestWiring:
+    def test_links_consistent_with_connected_ports(self, topo):
+        from_ports = {
+            (n, p)
+            for n in range(topo.num_nodes)
+            for p in topo.connected_ports(n)
+        }
+        assert set(topo.links()) == from_ports
+        for n, p in from_ports:
+            assert topo.neighbor(n, p) is not None
+
+    def test_reverse_port_is_downstream_input(self, topo):
+        """reverse_port names the input port the link lands on: distinct
+        upstream links never collide on one downstream input."""
+        inputs = set()
+        for node, port in topo.links():
+            nbr = topo.neighbor(node, port)
+            key = (nbr, topo.reverse_port(node, port))
+            assert key not in inputs, f"two links share input {key}"
+            inputs.add(key)
+
+    def test_return_port_roundtrips_or_is_none(self, topo):
+        for node, port in topo.links():
+            nbr = topo.neighbor(node, port)
+            back = topo.return_port(node, port)
+            if topo.bidirectional:
+                assert back is not None
+            if back is not None:
+                assert topo.neighbor(nbr, back) == node
+
+    def test_bidirectional_reverse_port_is_involution(self, topo):
+        if not topo.bidirectional:
+            pytest.skip("unidirectional topology")
+        for node, port in topo.links():
+            nbr = topo.neighbor(node, port)
+            back = topo.reverse_port(node, port)
+            assert topo.neighbor(nbr, back) == node
+            assert topo.reverse_port(nbr, back) == port
+
+
+class TestEndpoints:
+    def test_endpoints_are_id_prefix(self, topo):
+        eps = topo.endpoints()
+        assert list(eps) == list(range(topo.num_endpoints))
+        assert 2 <= topo.num_endpoints <= topo.num_nodes
+
+
+class TestDistances:
+    def test_distance_matches_bfs(self, topo):
+        for src in range(topo.num_nodes):
+            oracle = bfs_distances(topo, src)
+            assert len(oracle) == topo.num_nodes, "graph not connected"
+            for dst, d in oracle.items():
+                assert topo.distance(src, dst) == d, (src, dst)
+
+    def test_distance_symmetric_when_bidirectional(self, topo):
+        if not topo.bidirectional:
+            pytest.skip("unidirectional topology")
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+    def test_minimal_ports_strictly_decrease_distance(self, topo):
+        for a in topo.endpoints():
+            for b in topo.endpoints():
+                if a == b:
+                    assert topo.minimal_ports(a, b) == []
+                    continue
+                ports = topo.minimal_ports(a, b)
+                assert ports, f"no minimal port {a}->{b}"
+                d = topo.distance(a, b)
+                for p in ports:
+                    nbr = topo.neighbor(a, p)
+                    assert topo.distance(nbr, b) == d - 1
+                # And no non-minimal port is reported as minimal.
+                for p in topo.connected_ports(a):
+                    if p not in ports:
+                        assert topo.distance(topo.neighbor(a, p), b) >= d
+
+    def test_dor_port_walks_to_destination(self, topo):
+        for a in topo.endpoints():
+            for b in topo.endpoints():
+                if a == b:
+                    with pytest.raises(TopologyError):
+                        topo.dor_port(a, b)
+                    continue
+                cur, hops = a, 0
+                while cur != b:
+                    port = topo.dor_port(cur, b)
+                    assert port in topo.minimal_ports(cur, b)
+                    cur = topo.neighbor(cur, port)
+                    hops += 1
+                assert hops == topo.distance(a, b)
+
+    def test_diameter_is_max_pairwise_distance(self, topo):
+        assert topo.diameter() == max(
+            d
+            for src in range(topo.num_nodes)
+            for d in bfs_distances(topo, src).values()
+        )
