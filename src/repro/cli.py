@@ -836,35 +836,139 @@ def _shipped_verify_configs() -> list[NetworkConfig]:
     ]
 
 
+def _check_certificate_dir(directory: str) -> int:
+    """Replay every committed certificate in a directory; 0 iff all hold."""
+    from repro.verify.smt import check_certificate_files
+
+    paths = sorted(Path(directory).glob("*.json"))
+    if not paths:
+        print(f"no certificates found under {directory}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path, check in check_certificate_files(paths):
+        status = "ok" if check.ok else "FAIL"
+        print(f"{status:4s} {path.name}: {check.detail}")
+        for error in check.errors:
+            print(f"       {error}")
+        failures += not check.ok
+    print(f"{len(paths) - failures}/{len(paths)} certificates replayed "
+          "clean (no solver)")
+    return 0 if not failures else 1
+
+
 def cmd_verify_cdg(args: argparse.Namespace) -> int:
     """Statically prove (or refute) deadlock freedom for configurations.
 
     Builds the extended channel-dependency graph from topology + routing
     + protocol config alone -- no simulation -- and checks the
-    resource-separation conditions of Theorems 1-2.  Exit 0 when every
-    checked configuration is provably deadlock-free (or, under
-    ``--expect-cyclic``, when a cycle IS found).
+    resource-separation conditions of Theorems 1-2.  ``--backend smt``
+    swaps the cycle search for the exact rank/subrelation prover (with
+    machine-checkable certificates); ``--backend both`` runs both and
+    audits disagreements -- a config the search flags cyclic but the
+    prover certifies free is the union graph's over-approximation being
+    resolved, not a false alarm.  Exit 0 when every checked
+    configuration is provably deadlock-free (or, under
+    ``--expect-cyclic``, when the chosen backend refutes it).
     """
     from repro.verify.cdg import (
         analyze_config,
         config_topology,
         format_report,
     )
+    from repro.verify.smt import (
+        certificate_slug,
+        dump_certificate,
+        dump_rejection_specs,
+        format_smt_report,
+        have_z3,
+        verify_config,
+    )
 
+    if args.check_certificates:
+        return _check_certificate_dir(args.check_certificates)
+
+    run_search = args.backend in ("search", "both")
+    run_smt = args.backend in ("smt", "both")
+    if run_smt and args.engine == "auto" and not have_z3():
+        print("note: z3-solver not installed; using the native exact "
+              "rank engine (same constraints, same certificates)")
+    # The subcommand's --backend picks the *verifier*; restore the
+    # stepping-core default so build_config stays valid.
+    build_args = argparse.Namespace(**{**vars(args), "backend": "active"})
     configs = (
-        _shipped_verify_configs() if args.all else [build_config(args)]
+        _shipped_verify_configs() if args.all else [build_config(build_args)]
     )
     failures = 0
+    resolved = 0
     for config in configs:
-        report = analyze_config(config, assume_classes=args.assume_classes)
         print(f"== {config.describe()}")
-        print(format_report(report, config_topology(config)))
-        print()
-        ok = (not report.acyclic) if args.expect_cyclic else report.ok
+        search_ok = smt_ok = None
+        search_report = smt_report = None
+        if run_search:
+            search_report = analyze_config(
+                config, assume_classes=args.assume_classes
+            )
+            print(format_report(search_report, config_topology(config)))
+            search_ok = search_report.ok
+        if run_smt:
+            smt_report = verify_config(
+                config,
+                assume_classes=args.assume_classes,
+                engine=args.engine,
+            )
+            print(format_smt_report(smt_report))
+            smt_ok = smt_report.deadlock_free
+            if args.emit_certificates:
+                slug = certificate_slug(config, args.assume_classes)
+                path = dump_certificate(
+                    smt_report.certificate,
+                    Path(args.emit_certificates) / f"{slug}.json",
+                )
+                print(f"  certificate -> {path}")
+        if args.backend == "both":
+            # Disagreement audit.  The search over-approximates adaptive
+            # configs, so "search cyclic + SMT conclusively free" is the
+            # expected resolution, counted as success.  The reverse --
+            # search proves free, exact prover refutes -- would mean the
+            # analyzer is unsound and always fails the run.
+            if not search_ok and smt_ok and smt_report.conclusive:
+                resolved += 1
+                print("  audit: cycle search over-approximates here; the "
+                      f"'{smt_report.subfunction}' subfunction proof "
+                      "resolves it (config is deadlock-free)")
+            elif search_ok and not smt_ok:
+                print("  audit: DISAGREEMENT -- search proves free but "
+                      "the exact prover refutes; treat as analyzer "
+                      "unsoundness", file=sys.stderr)
+                failures += 1
+                print()
+                continue
+            ok = smt_ok
+        else:
+            ok = smt_ok if run_smt else search_ok
+        if args.expect_cyclic:
+            refuted = (
+                not smt_report.deadlock_free if run_smt
+                else not search_report.acyclic
+            )
+            ok = refuted
+        if not ok and run_smt and args.seed_fuzzer:
+            if args.assume_classes is None:
+                specs = dump_rejection_specs(config, args.seed_fuzzer)
+                print(f"  seeded {len(specs)} fuzzer scenario(s) under "
+                      f"{args.seed_fuzzer}")
+            else:
+                print("  (not seeding the fuzzer: --assume-classes "
+                      "analyses a counterfactual discipline the runtime "
+                      "does not implement)")
         failures += not ok
+        print()
     verdict = "cyclic as expected" if args.expect_cyclic else "deadlock-free"
     print(f"{len(configs) - failures}/{len(configs)} configurations "
           f"{verdict}")
+    if resolved:
+        print(f"({resolved} adaptive config(s) resolved past the union "
+              "graph's over-approximation by subfunction proofs)")
     return 0 if not failures else 1
 
 
@@ -1105,6 +1209,10 @@ def make_parser() -> argparse.ArgumentParser:
         "verify-cdg",
         help="statically verify deadlock freedom via the extended "
              "channel-dependency graph (no simulation)",
+        # verify-cdg never simulates, so the common stepping-core
+        # --backend is meaningless here; "resolve" lets the verifier
+        # --backend below replace it.
+        conflict_handler="resolve",
     )
     add_common(cdg_p)
     cdg_p.add_argument("--protocol", default="clrp",
@@ -1119,6 +1227,29 @@ def make_parser() -> argparse.ArgumentParser:
     cdg_p.add_argument("--expect-cyclic", action="store_true",
                        help="invert the verdict: exit 0 only if a cycle "
                             "IS found (CI check for the analyzer itself)")
+    cdg_p.add_argument("--backend", default="search",
+                       choices=["search", "smt", "both"],
+                       help="'search' = extended-CDG cycle search (may "
+                            "over-approximate adaptive configs); 'smt' = "
+                            "exact rank/subrelation verification with "
+                            "certificates; 'both' = run both and audit "
+                            "disagreements")
+    cdg_p.add_argument("--engine", default="auto",
+                       choices=["auto", "z3", "native"],
+                       help="SMT engine: 'auto' prefers z3 and falls back "
+                            "to the native exact rank engine when z3 is "
+                            "not installed")
+    cdg_p.add_argument("--emit-certificates", metavar="DIR", default=None,
+                       help="write a machine-checkable JSON certificate "
+                            "per config to DIR (smt/both backends)")
+    cdg_p.add_argument("--check-certificates", metavar="DIR", default=None,
+                       help="replay every certificate in DIR against the "
+                            "current code without a solver and exit; "
+                            "nonzero on any mismatch or graph drift")
+    cdg_p.add_argument("--seed-fuzzer", metavar="DIR", default=None,
+                       help="for each config the prover rejects, dump "
+                            "seeded stress scenarios to DIR for "
+                            "'repro fuzz --replay'")
     cdg_p.set_defaults(func=cmd_verify_cdg)
 
     fuzz_p = sub.add_parser(

@@ -17,6 +17,11 @@
 * :mod:`repro.verify.fuzz` -- property-based protocol fuzzing under a
   per-cycle invariant harness, with failure shrinking to minimal
   replayable JobSpecs.
+* :mod:`repro.verify.smt` -- exact SMT-style verification (z3 when
+  installed, a native rank engine always): per-channel rank proofs of
+  acyclicity, escape-channel verification and valid-subrelation search
+  for adaptive configs, machine-checkable JSON certificates replayable
+  without a solver, and fuzzer seeding for rejected configs.
 """
 
 from repro.verify.cdg import (
@@ -45,6 +50,16 @@ from repro.verify.fuzz import (
     shrink,
 )
 from repro.verify.ordering import OrderingReport, check_in_order_delivery
+from repro.verify.smt import (
+    CertificateCheck,
+    SmtReport,
+    check_certificate,
+    check_certificate_files,
+    format_smt_report,
+    have_z3,
+    rejection_jobspecs,
+    verify_config,
+)
 from repro.verify.progress import (
     ProbeWorkMonitor,
     ProgressMonitor,
@@ -54,27 +69,35 @@ from repro.verify.waitgraph import WaitGraph, build_wait_graph
 
 __all__ = [
     "CDGReport",
+    "CertificateCheck",
     "FuzzReport",
     "InvariantHarness",
     "OrderingReport",
     "ProbeWorkMonitor",
     "ProgressMonitor",
+    "SmtReport",
     "WaitGraph",
     "analyze_config",
     "assert_no_deadlock",
     "build_cdg",
     "build_wait_graph",
     "check_all_invariants",
+    "check_certificate",
+    "check_certificate_files",
     "check_fault_isolation",
     "check_in_order_delivery",
     "deadlocked_in_graph",
     "find_cycle",
     "find_deadlocked_worms",
     "format_report",
+    "format_smt_report",
     "fuzz_campaign",
     "generate_spec",
+    "have_z3",
     "load_spec",
     "max_message_age",
+    "rejection_jobspecs",
     "shrink",
     "teardown_latency",
+    "verify_config",
 ]

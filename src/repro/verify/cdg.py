@@ -188,6 +188,19 @@ def build_cdg(
     )
     if num_classes < 1:
         raise ConfigError(f"assume_classes must be >= 1, got {assume_classes}")
+    if assume_classes is not None and assume_classes > routing.num_classes:
+        # The class discipline is pinned by the topology: fullmesh and the
+        # unidirectional MIN (and mesh/hypercube) define exactly one VC
+        # class, a torus exactly two.  hop_class() can never emit a class
+        # the discipline does not define, so analysing with *more* classes
+        # than the topology pins would silently produce the same graph
+        # relabelled -- reject instead of composing wrongly.
+        raise ConfigError(
+            f"assume_classes={assume_classes} exceeds the "
+            f"{routing.num_classes} VC class(es) {routing.topology!r} "
+            "pins; only reducing the class count (e.g. 1 to ignore "
+            "torus datelines) is a meaningful override"
+        )
     edges: Edges = {}
     adaptive = isinstance(routing, AdaptiveRouting)
     # Only endpoint pairs route messages; on topologies with dedicated
@@ -284,6 +297,64 @@ def _separation_checks(config: "NetworkConfig", routing) -> list[SeparationCheck
     return checks
 
 
+def runtime_replay_check(
+    topology: Topology, routing: RoutingFunction, edges: Edges
+) -> SeparationCheck:
+    """Replay real routes through the runtime router against the CDG.
+
+    The analyzer walks routes via :meth:`hop_class`/:meth:`hop_bits`; the
+    runtime router goes through :meth:`candidates`/:meth:`note_hop` with a
+    live header flit.  The two code paths share the dateline discipline by
+    construction, but "cannot drift" is worth a machine check: every
+    channel the runtime would occupy along a route must be a vertex of
+    the analyzer's graph with the same VC class.  For adaptive routing
+    the escape tier is replayed (the adaptive tier has no per-VC class
+    discipline to drift).  Any missing channel fails the config, which
+    turns ``repro verify-cdg --all`` red instead of green-washing an
+    analyzer/runtime divergence.
+    """
+    from repro.wormhole.flit import Flit
+
+    vertices: set[Channel] = set(edges)
+    for outs in edges.values():
+        vertices.update(outs)
+    num_classes = routing.num_classes
+    replayed = 0
+    for src in topology.endpoints():
+        for dst in topology.endpoints():
+            if src == dst:
+                continue
+            head = Flit(0, 0, is_head=True, is_tail=True, dst=dst)
+            node = src
+            while node != dst:
+                tiers = routing.candidates(node, dst, head)
+                escape_tier = tiers[-1]  # DOR: only tier; adaptive: escape
+                for port, vcs in escape_tier:
+                    for vc in vcs:
+                        chan = Channel(node, port, vc % num_classes)
+                        if chan not in vertices:
+                            return SeparationCheck(
+                                "runtime_replay", False,
+                                f"runtime channel "
+                                f"{chan.describe(topology)} (route "
+                                f"{src}->{dst}) missing from the CDG: "
+                                "analyzer and router drifted",
+                            )
+                        replayed += 1
+                # Advance along the escape path exactly as a worm
+                # committed to it would, updating the header history.
+                port, _vcs = escape_tier[0]
+                routing.note_hop(node, port, head)
+                nxt = topology.neighbor(node, port)
+                assert nxt is not None
+                node = nxt
+    return SeparationCheck(
+        "runtime_replay", True,
+        f"{replayed} runtime channel uses replayed through "
+        "candidates()/note_hop() all match the analyzer's graph",
+    )
+
+
 def config_topology(config: "NetworkConfig") -> Topology:
     return build_topology(config.topology, config.dims)
 
@@ -297,6 +368,12 @@ def analyze_config(
         config.wormhole.routing, topology, config.wormhole.vcs
     )
     edges = build_cdg(topology, routing, assume_classes=assume_classes)
+    checks = _separation_checks(config, routing)
+    if assume_classes is None:
+        # Replay only when the analysis models the runtime discipline
+        # verbatim; under a counterfactual class count the runtime would
+        # legitimately use channels the analysed graph omits.
+        checks.append(runtime_replay_check(topology, routing, edges))
     report = CDGReport(
         topology=repr(topology),
         routing=type(routing).__name__,
@@ -306,7 +383,7 @@ def analyze_config(
         num_channels=len(edges),
         num_deps=sum(len(v) for v in edges.values()),
         cycle=find_cycle(edges),
-        checks=_separation_checks(config, routing),
+        checks=checks,
     )
     return report
 

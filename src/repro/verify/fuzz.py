@@ -36,12 +36,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.circuit_cache import CacheEntryState
-from repro.errors import ConfigError, ProtocolError
+from repro.errors import ConfigError, ProtocolError, ReproError
 from repro.orchestrate.pool import JobOutcome, run_jobs
 from repro.orchestrate.runner import execute_job
 from repro.orchestrate.spec import JobSpec, WorkloadRecipe
 from repro.sim.config import NetworkConfig, WaveConfig, WormholeConfig
 from repro.sim.rng import SimRandom
+from repro.topology import build_topology
 from repro.verify.deadlock import assert_no_deadlock
 from repro.verify.invariants import check_all_invariants
 
@@ -307,31 +308,74 @@ def signature_of_outcome(outcome: JobOutcome) -> str:
     return message.split(":", 1)[0].strip() or "UnknownFailure"
 
 
-def _with_workload(spec: JobSpec, **updates) -> JobSpec:
+def _with_workload(spec: JobSpec, **updates) -> JobSpec | None:
     params = dict(spec.workload.as_dict())
     kind = params.pop("kind")
     params.update(updates)
-    return dataclasses.replace(
-        spec, workload=WorkloadRecipe.make(kind, **params)
-    )
+    try:
+        return dataclasses.replace(
+            spec, workload=WorkloadRecipe.make(kind, **params)
+        )
+    except ReproError:
+        return None
 
 
-def _with_config(spec: JobSpec, **updates) -> JobSpec:
-    return dataclasses.replace(
-        spec, config=dataclasses.replace(spec.config, **updates)
-    )
+def _with_config(spec: JobSpec, **updates) -> JobSpec | None:
+    # dataclasses.replace re-runs __post_init__, so an individually
+    # sensible shrink (halve a radix, drop a dimension) can violate a
+    # cross-field constraint and raise.  Candidate construction must be
+    # total: a shrink rule that produces an invalid config yields
+    # nothing instead of blowing up the whole shrink loop (the exception
+    # would propagate through the generator, past shrink()'s per-
+    # candidate guard, and lose the original reproducer).
+    try:
+        return dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, **updates)
+        )
+    except ReproError:
+        return None
 
 
-def _with_wave(spec: JobSpec, **updates) -> JobSpec:
+def _with_wave(spec: JobSpec, **updates) -> JobSpec | None:
     if spec.config.wave is None:
         return spec
-    return _with_config(
-        spec, wave=dataclasses.replace(spec.config.wave, **updates)
-    )
+    try:
+        return _with_config(
+            spec, wave=dataclasses.replace(spec.config.wave, **updates)
+        )
+    except ReproError:
+        return None
+
+
+def _candidate_valid(candidate: JobSpec) -> bool:
+    """A shrink candidate must be buildable, not merely constructible.
+
+    ``NetworkConfig.__post_init__`` validates field shapes but the
+    topology constructors enforce more (a ``min`` is a k-ary n-fly with
+    k >= 2, n >= 1 and ``terminals = k**n``; a hypercube needs radix 2
+    everywhere) -- probe ``build_topology`` so a mid-shrink dims edit
+    can never hand the executor a topology it rejects, which would
+    surface as a spurious TopologyError signature or, worse, match a
+    TopologyError-flavoured original failure and "shrink" towards
+    garbage configs.
+    """
+    try:
+        build_topology(candidate.config.topology, candidate.config.dims)
+        candidate.key()  # validates serialisability too
+    except (ReproError, ValueError):
+        return False
+    return True
 
 
 def _shrink_candidates(spec: JobSpec):
-    """Yield strictly-simpler variants of a failing spec, best first."""
+    """Valid strictly-simpler variants of a failing spec, best first."""
+    for candidate in _raw_shrink_candidates(spec):
+        if candidate is not None and _candidate_valid(candidate):
+            yield candidate
+
+
+def _raw_shrink_candidates(spec: JobSpec):
+    """Yield simpler variants of a failing spec (or None), unvalidated."""
     workload = spec.workload.as_dict()
     if workload["kind"] == "uniform":
         duration = int(workload["duration"])
@@ -412,12 +456,10 @@ def shrink(
     while improved and attempts < max_attempts:
         improved = False
         for candidate in _shrink_candidates(current):
+            # Candidates arrive pre-validated (_candidate_valid): buildable
+            # topology, serialisable key.
             if attempts >= max_attempts:
                 break
-            try:
-                candidate.key()  # validates serialisability early
-            except ConfigError:
-                continue
             attempts += 1
             if failure_signature(candidate) == signature:
                 current = candidate

@@ -78,6 +78,31 @@ class TestCyclicConfigFlagged:
         with pytest.raises(ConfigError):
             analyze_config(config, assume_classes=0)
 
+    def test_assume_classes_above_pinned_rejected_fullmesh(self):
+        """Fullmesh pins a single VC class; pretending it has dateline
+        classes would silently relabel the same graph -- the override
+        must be rejected, not composed."""
+        config = NetworkConfig(topology="fullmesh", dims=(8,),
+                               protocol="wormhole", wave=None,
+                               wormhole=WormholeConfig(vcs=2))
+        with pytest.raises(ConfigError, match="pins"):
+            analyze_config(config, assume_classes=2)
+
+    def test_assume_classes_above_pinned_rejected_min(self):
+        config = NetworkConfig(topology="min", dims=(2, 2, 2),
+                               protocol="wormhole", wave=None,
+                               wormhole=WormholeConfig(vcs=2))
+        with pytest.raises(ConfigError, match="pins"):
+            analyze_config(config, assume_classes=2)
+
+    def test_reducing_classes_still_allowed(self):
+        """The meaningful direction -- ignoring torus datelines to show
+        the ring cycle -- must keep working."""
+        config = NetworkConfig(topology="torus", dims=(4, 4),
+                               protocol="wormhole", wave=None)
+        report = analyze_config(config, assume_classes=1)
+        assert not report.acyclic
+
 
 class TestNewTopologies:
     def test_fullmesh_single_vc_has_empty_dependency_graph(self):
@@ -161,6 +186,47 @@ class TestGraphMatchesRuntime:
         ext_edges = build_cdg(topo, make_routing("adaptive", topo, 3))
         for ch, outs in dor_edges.items():
             assert outs <= ext_edges.get(ch, set()), ch
+
+    def test_runtime_replay_check_runs_on_shipped_configs(self):
+        """analyze_config now replays every runtime route against the
+        analysed graph; the check must be present and passing whenever
+        the analysis models the real discipline (assume_classes=None)."""
+        for config in shipped_configs():
+            report = analyze_config(config)
+            replay = [c for c in report.checks if c.name == "runtime_replay"]
+            assert len(replay) == 1, config.describe()
+            assert replay[0].passed, replay[0].detail
+
+    def test_runtime_replay_skipped_under_assume_classes(self):
+        """Under a counterfactual class count the runtime would use
+        channels the analysed graph omits -- replay must not run."""
+        config = NetworkConfig(topology="torus", dims=(4, 4),
+                               protocol="wormhole", wave=None)
+        report = analyze_config(config, assume_classes=1)
+        assert not any(
+            c.name == "runtime_replay" for c in report.checks
+        )
+
+    def test_runtime_replay_flags_drifted_graph(self):
+        """Drop one edge-set entry from the graph and the replay check
+        must name the missing channel instead of passing."""
+        from repro.topology import build_topology
+        from repro.verify.cdg import runtime_replay_check
+        from repro.wormhole.routing import make_routing
+
+        topo = build_topology("torus", (4, 3))
+        routing = make_routing("dor", topo, 2)
+        edges = build_cdg(topo, routing)
+        check = runtime_replay_check(topo, routing, edges)
+        assert check.passed
+        victim = next(iter(edges))
+        pruned = {
+            ch: outs - {victim}
+            for ch, outs in edges.items() if ch != victim
+        }
+        check = runtime_replay_check(topo, routing, pruned)
+        assert not check.passed
+        assert "missing" in check.detail
 
 
 class TestFindCycle:

@@ -289,6 +289,121 @@ class TestShrinking:
         assert result.attempts <= 3
 
 
+class TestShrinkValidity:
+    """Regression: every transitive shrink candidate must be a config
+    the topology layer actually accepts.
+
+    The min branch in particular must preserve k-ary n-fly validity
+    (k >= 2, n >= 1, terminals = k**n) -- an invalid candidate used to
+    raise inside the candidate *generator*, escaping shrink()'s guard
+    and losing the original reproducer.
+    """
+
+    def _walk_dims_closure(self, spec, seen, problems, depth=0):
+        from repro.errors import ReproError
+        from repro.topology import build_topology
+        from repro.verify.fuzz import _shrink_candidates
+
+        sig = (spec.config.topology, spec.config.dims,
+               spec.config.wormhole.vcs, spec.config.wormhole.routing)
+        if sig in seen or depth > 8:
+            return
+        seen.add(sig)
+        try:
+            candidates = list(_shrink_candidates(spec))
+        except ReproError as exc:
+            problems.append(("generator-escape", sig, str(exc)))
+            return
+        for cand in candidates:
+            try:
+                build_topology(cand.config.topology, cand.config.dims)
+                cand.key()
+            except ReproError as exc:
+                problems.append(("invalid-candidate", sig,
+                                 cand.config.dims, str(exc)))
+                continue
+            if cand.config.dims != spec.config.dims:
+                self._walk_dims_closure(cand, seen, problems, depth + 1)
+
+    def test_all_pool_topologies_shrink_to_valid_configs(self):
+        from repro.verify.fuzz import _TOPOLOGIES
+
+        import dataclasses
+
+        from repro.sim.config import WormholeConfig
+
+        seen, problems = set(), []
+        base = generate_spec(0, master_seed=1)
+        for topology, dims in _TOPOLOGIES:
+            for routing in ("dor", "adaptive"):
+                classes = 2 if topology == "torus" else 1
+                vcs = classes + 1 if routing == "adaptive" else classes
+                spec = dataclasses.replace(
+                    base,
+                    config=dataclasses.replace(
+                        base.config, topology=topology, dims=dims,
+                        wormhole=WormholeConfig(vcs=vcs, routing=routing),
+                    ),
+                )
+                self._walk_dims_closure(spec, seen, problems)
+        assert not problems, problems[:5]
+
+    def test_min_shrink_chain_stays_kary_nfly(self):
+        """Walk the min branch explicitly: every dims it can ever emit
+        must be uniform with radix >= 2 and at least one stage."""
+        import dataclasses
+
+        from repro.sim.config import WormholeConfig
+        from repro.verify.fuzz import _shrink_candidates
+
+        base = generate_spec(0, master_seed=1)
+        spec = dataclasses.replace(
+            base,
+            config=dataclasses.replace(
+                base.config, topology="min", dims=(3, 3, 3),
+                wormhole=WormholeConfig(vcs=1, routing="dor"),
+            ),
+        )
+        frontier = [spec]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if current.config.dims in seen:
+                continue
+            seen.add(current.config.dims)
+            for cand in _shrink_candidates(current):
+                if cand.config.topology != "min":
+                    continue
+                dims = cand.config.dims
+                assert len(set(dims)) == 1 and dims[0] >= 2 and len(dims) >= 1
+                if dims != current.config.dims:
+                    frontier.append(cand)
+        # The chain really explored smaller flies, not just the seed.
+        assert len(seen) > 2
+
+    def test_invalid_candidates_filtered_not_raised(self):
+        """A shrink rule that produces an invalid config must yield
+        nothing rather than blow up the generator."""
+        import dataclasses
+
+        from repro.sim.config import WormholeConfig
+        from repro.verify.fuzz import _with_config
+
+        base = generate_spec(0, master_seed=1)
+        spec = dataclasses.replace(
+            base,
+            config=dataclasses.replace(
+                base.config, topology="min", dims=(2, 2),
+                wormhole=WormholeConfig(vcs=1, routing="dor"),
+            ),
+        )
+        # Non-uniform dims on a min: NetworkConfig rejects -> None,
+        # never an exception out of candidate construction.
+        assert _with_config(spec, dims=(2, 3)) is None
+        # Radix below 2 is likewise invalid anywhere.
+        assert _with_config(spec, dims=(1, 1)) is None
+
+
 # -- generation and campaign ----------------------------------------------
 
 
